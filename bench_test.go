@@ -1,0 +1,368 @@
+// Package grp's benchmark harness regenerates every table and figure of
+// the paper's evaluation section (see DESIGN.md's per-experiment index):
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkTableN / BenchmarkFigureN runs the simulations behind the
+// corresponding exhibit and prints the rendered table once; headline
+// numbers are also attached as custom benchmark metrics. The ablation
+// benchmarks cover the design choices DESIGN.md calls out.
+//
+// Set GRP_BENCH_FACTOR=small (or full) for larger working sets; the
+// default "test" scale keeps the whole harness to a couple of minutes.
+package grp
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"grp/internal/core"
+	"grp/internal/stats"
+	"grp/internal/workloads"
+)
+
+func benchFactor() workloads.Factor {
+	switch os.Getenv("GRP_BENCH_FACTOR") {
+	case "small":
+		return workloads.Small
+	case "full":
+		return workloads.Full
+	default:
+		return workloads.Test
+	}
+}
+
+var (
+	suiteOnce sync.Once
+	suite     *core.Suite
+	suiteErr  error
+)
+
+// benchSuite simulates the full benchmark matrix once and shares it across
+// all table/figure benchmarks.
+func benchSuite(b *testing.B) *core.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite, suiteErr = core.RunSuite(nil, nil, core.Options{Factor: benchFactor()})
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suite
+}
+
+// printOnce prints the rendered exhibit on the first iteration only.
+var printed sync.Map
+
+func printOnce(key, out string) {
+	if _, loaded := printed.LoadOrStore(key, true); !loaded {
+		fmt.Printf("\n%s\n", out)
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		tb, err := s.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("fig1", tb.String())
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	s := benchSuite(b)
+	var rows []core.Table1Row
+	for i := 0; i < b.N; i++ {
+		var tb *stats.Table
+		var err error
+		rows, tb, err = s.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("t1", tb.String())
+	}
+	for _, r := range rows {
+		switch r.Scheme {
+		case core.SRP:
+			b.ReportMetric(r.Speedup, "srp-speedup")
+			b.ReportMetric(r.TrafficIncrease, "srp-traffic")
+		case core.GRPVar:
+			b.ReportMetric(r.Speedup, "grp-speedup")
+			b.ReportMetric(r.TrafficIncrease, "grp-traffic")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		tb, err := s.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("t3", tb.String())
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		tb, err := s.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("fig9", tb.String())
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		tb, err := s.Figure10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("fig10", tb.String())
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		tb, err := s.Figure11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("fig11", tb.String())
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		tb, err := s.Table4(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("t4", tb.String())
+	}
+	// Flagship ratio: mesa fixed-region traffic over variable-region.
+	base := s.Get("mesa", core.NoPrefetch)
+	vr := s.Get("mesa", core.GRPVar)
+	fx := s.Get("mesa", core.GRPFix)
+	if base != nil && vr != nil && fx != nil {
+		b.ReportMetric(core.TrafficIncrease(fx, base)/core.TrafficIncrease(vr, base), "mesa-fix/var-traffic")
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		tb, err := s.Figure12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("fig12", tb.String())
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		tb, err := s.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("t5", tb.String())
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		tb, err := s.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("t6", tb.String())
+	}
+}
+
+func BenchmarkSensitivity(b *testing.B) {
+	// Section 5.4: the compiler-policy sweep resimulates per policy, so it
+	// runs on a representative subset.
+	benches := []string{"swim", "apsi", "art", "equake"}
+	for i := 0; i < b.N; i++ {
+		rows, tb, err := core.RunSensitivity(benches, core.Options{Factor: benchFactor()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("sens", tb.String())
+		for _, r := range rows {
+			if i == 0 {
+				b.ReportMetric(r.Speedup, r.Policy+"-speedup")
+			}
+		}
+	}
+}
+
+// --- ablations (DESIGN.md Section 4) --------------------------------------
+
+// ablate runs one benchmark under SRP with and without a knob and reports
+// the cycle and traffic ratios (with/without).
+func ablate(b *testing.B, bench string, scheme core.Scheme, with core.Options) {
+	b.Helper()
+	spec, err := workloads.ByName(bench)
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseOpt := core.Options{Factor: benchFactor()}
+	with.Factor = baseOpt.Factor
+	for i := 0; i < b.N; i++ {
+		off, err := core.Run(spec, scheme, baseOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		on, err := core.Run(spec, scheme, with)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(on.CPU.Cycles)/float64(off.CPU.Cycles), "cycles-ratio")
+			b.ReportMetric(float64(on.TrafficBytes)/float64(off.TrafficBytes), "traffic-ratio")
+		}
+	}
+}
+
+// BenchmarkAblationLRUInsert compares the paper's LRU insertion for
+// prefetch fills against MRU insertion on a pollution-sensitive workload.
+func BenchmarkAblationLRUInsert(b *testing.B) {
+	ablate(b, "twolf", core.SRP, core.Options{PrefetchInsertMRU: true})
+}
+
+// BenchmarkAblationPrioritizer lets prefetches contend with demands.
+func BenchmarkAblationPrioritizer(b *testing.B) {
+	ablate(b, "twolf", core.SRP, core.Options{DisablePrioritizer: true})
+}
+
+// BenchmarkAblationQueueDiscipline compares LIFO (paper) vs FIFO region
+// queues.
+func BenchmarkAblationQueueDiscipline(b *testing.B) {
+	ablate(b, "mcf", core.SRP, core.Options{SRPFIFO: true})
+}
+
+// BenchmarkAblationRegionSize sweeps the SRP region size (1 KB / 2 KB /
+// 4 KB).
+func BenchmarkAblationRegionSize(b *testing.B) {
+	for _, blocks := range []int{16, 32, 64} {
+		blocks := blocks
+		b.Run(fmt.Sprintf("%dKB", blocks*64/1024), func(b *testing.B) {
+			spec, err := workloads.ByName("wupwise")
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt := core.Options{Factor: benchFactor(), SRPRegionBlocks: blocks}
+			for i := 0; i < b.N; i++ {
+				r, err := core.Run(spec, core.SRP, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(r.IPC(), "ipc")
+					b.ReportMetric(float64(r.TrafficBytes)/1024, "traffic-KB")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRecursionDepth sweeps GRP's recursive chase depth on
+// the tree-chasing workload (paper footnote 2 uses 3 for mcf).
+func BenchmarkAblationRecursionDepth(b *testing.B) {
+	for _, depth := range []uint8{1, 3, 6} {
+		depth := depth
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			spec, err := workloads.ByName("mcf")
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt := core.Options{Factor: benchFactor(), RecursionDepth: depth}
+			for i := 0; i < b.N; i++ {
+				r, err := core.Run(spec, core.GRPVar, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(r.IPC(), "ipc")
+					b.ReportMetric(float64(r.TrafficBytes)/1024, "traffic-KB")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOpenPageFirst measures the paper's final SRP
+// optimization: issuing prefetch candidates whose DRAM row is already
+// open before index-order candidates.
+func BenchmarkAblationOpenPageFirst(b *testing.B) {
+	ablate(b, "wupwise", core.SRP, core.Options{OpenPageFirst: true})
+}
+
+// BenchmarkExtensionSoftwarePrefetch compares classic software
+// prefetching (the paper's Section 2 foil) against GRP on a dense stream
+// (where software prefetching works) and a pointer chase (where it
+// cannot compute addresses in advance).
+func BenchmarkExtensionSoftwarePrefetch(b *testing.B) {
+	for _, bench := range []string{"wupwise", "ammp"} {
+		bench := bench
+		b.Run(bench, func(b *testing.B) {
+			spec, err := workloads.ByName(bench)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt := core.Options{Factor: benchFactor()}
+			for i := 0; i < b.N; i++ {
+				base, err := core.Run(spec, core.NoPrefetch, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sw, err := core.Run(spec, core.SoftwarePF, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				grp, err := core.Run(spec, core.GRPVar, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(core.Speedup(sw, base), "swpf-speedup")
+					b.ReportMetric(core.Speedup(grp, base), "grp-speedup")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (simulated
+// instructions per second), the engineering metric for the simulator
+// itself.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	spec, err := workloads.ByName("wupwise")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := core.Options{Factor: benchFactor()}
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		r, err := core.Run(spec, core.GRPVar, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += r.CPU.Instrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim-instrs/s")
+}

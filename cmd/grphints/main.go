@@ -1,0 +1,64 @@
+// Command grphints shows the GRP compiler's analysis of a benchmark: the
+// hint assigned to each memory reference and the generated assembly with
+// hint annotations.
+//
+// Usage:
+//
+//	grphints -bench mcf [-policy default] [-asm]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"grp/internal/compiler"
+	"grp/internal/isa"
+	"grp/internal/mem"
+	"grp/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("grphints: ")
+	var (
+		bench  = flag.String("bench", "mcf", "benchmark name")
+		policy = flag.String("policy", "default", "compiler spatial policy")
+		asm    = flag.Bool("asm", false, "also print the generated assembly")
+	)
+	flag.Parse()
+
+	spec, err := workloads.ByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pol compiler.Policy
+	switch *policy {
+	case "default":
+		pol = compiler.PolicyDefault
+	case "conservative":
+		pol = compiler.PolicyConservative
+	case "aggressive":
+		pol = compiler.PolicyAggressive
+	default:
+		log.Fatalf("unknown policy %q", *policy)
+	}
+
+	built := spec.Build(workloads.Test)
+	m := mem.New()
+	prog, _, an, err := compiler.CompileWorkload(built.Prog, m, pol)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark %s (policy %s)\n\n", spec.Name, pol)
+	fmt.Printf("reference hints:\n%s\n", an.Describe())
+
+	h := prog.CountHints()
+	fmt.Printf("static census: %d mem instructions, %d spatial, %d pointer, %d recursive, %d indirect, %d variable-size (%.1f%% hinted)\n",
+		h.MemInsts, h.Spatial, h.Pointer, h.Recursive, h.Indirect, h.Variable, h.HintRatio())
+
+	if *asm {
+		fmt.Printf("\nassembly (%d instructions):\n%s", len(prog.Instrs), isa.Disassemble(prog))
+	}
+}

@@ -1,0 +1,104 @@
+// Command grpsim runs one benchmark proxy under one prefetching scheme and
+// prints the measured statistics.
+//
+// Usage:
+//
+//	grpsim -bench mcf -scheme grp/var [-factor full] [-policy default]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"grp/internal/compiler"
+	"grp/internal/core"
+	"grp/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("grpsim: ")
+	var (
+		bench   = flag.String("bench", "wupwise", "benchmark name ("+strings.Join(workloads.Names(), ", ")+")")
+		scheme  = flag.String("scheme", "grp/var", "scheme (base, perfectL1, perfectL2, stride, srp, grp/fix, grp/var, ptr, swpf)")
+		factor  = flag.String("factor", "small", "workload scale: test, small, full")
+		policy  = flag.String("policy", "default", "compiler spatial policy: default, conservative, aggressive")
+		compare = flag.Bool("compare", false, "also run the no-prefetch baseline and report speedup/traffic")
+	)
+	flag.Parse()
+
+	spec, err := workloads.ByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := core.SchemeByName(*scheme)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := core.Options{Factor: parseFactor(*factor), Policy: parsePolicy(*policy)}
+
+	r, err := core.Run(spec, sc, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printResult(r)
+
+	if *compare && sc != core.NoPrefetch {
+		base, err := core.Run(spec, core.NoPrefetch, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nvs no prefetching:\n")
+		fmt.Printf("  speedup          %.3f\n", core.Speedup(r, base))
+		fmt.Printf("  traffic increase %.2fx\n", core.TrafficIncrease(r, base))
+		fmt.Printf("  coverage         %.1f%%\n", core.Coverage(r, base))
+	}
+}
+
+func printResult(r *core.Result) {
+	fmt.Printf("benchmark %s  scheme %s\n", r.Bench, r.Scheme)
+	fmt.Printf("  instructions     %d\n", r.CPU.Instrs)
+	fmt.Printf("  cycles           %d\n", r.CPU.Cycles)
+	fmt.Printf("  IPC              %.3f\n", r.IPC())
+	fmt.Printf("  branches         %d (%d mispredicted)\n", r.CPU.Branches, r.CPU.Mispredicts)
+	fmt.Printf("  L1: %d accesses, %.1f%% miss\n", r.L1.Accesses, r.L1.MissRate())
+	fmt.Printf("  L2: %d accesses, %.1f%% miss\n", r.L2.Accesses, r.L2.MissRate())
+	fmt.Printf("  memory traffic   %d bytes (%d blocks)\n", r.TrafficBytes, r.TrafficBytes/64)
+	fmt.Printf("  prefetches       %d issued, %d useful, %d late, accuracy %.1f%%\n",
+		r.Mem.PrefetchesIssued, r.L2.UsefulPrefetches, r.Mem.PrefetchLates, r.Accuracy())
+	fmt.Printf("  hints            %d/%d mem instructions hinted (%.1f%%)\n",
+		r.Hints.Hinted(), r.Hints.MemInsts, r.Hints.HintRatio())
+}
+
+func parseFactor(s string) workloads.Factor {
+	switch s {
+	case "test":
+		return workloads.Test
+	case "small":
+		return workloads.Small
+	case "full":
+		return workloads.Full
+	default:
+		fmt.Fprintf(os.Stderr, "grpsim: unknown factor %q (want test, small, full)\n", s)
+		os.Exit(2)
+		return 0
+	}
+}
+
+func parsePolicy(s string) compiler.Policy {
+	switch s {
+	case "default":
+		return compiler.PolicyDefault
+	case "conservative":
+		return compiler.PolicyConservative
+	case "aggressive":
+		return compiler.PolicyAggressive
+	default:
+		fmt.Fprintf(os.Stderr, "grpsim: unknown policy %q\n", s)
+		os.Exit(2)
+		return 0
+	}
+}

@@ -1,0 +1,118 @@
+// Command grptables regenerates every table and figure of the paper's
+// evaluation section from fresh simulations and prints them in order.
+//
+// Usage:
+//
+//	grptables [-factor small|full] [-bench a,b,c] [-skip-sensitivity]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"grp/internal/core"
+	"grp/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("grptables: ")
+	var (
+		factor   = flag.String("factor", "small", "workload scale: test, small, full")
+		benches  = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
+		skipSens = flag.Bool("skip-sensitivity", false, "skip the Section 5.4 policy sweep (3x extra simulation)")
+		charts   = flag.Bool("charts", false, "also render Figures 1 and 12 as ASCII bar charts")
+	)
+	flag.Parse()
+
+	var f workloads.Factor
+	switch *factor {
+	case "test":
+		f = workloads.Test
+	case "small":
+		f = workloads.Small
+	case "full":
+		f = workloads.Full
+	default:
+		log.Fatalf("unknown factor %q", *factor)
+	}
+	var names []string
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+	opt := core.Options{Factor: f}
+
+	start := time.Now()
+	log.Printf("simulating %s-scale suite across %d schemes...", f, len(core.AllSchemes()))
+	suite, err := core.RunSuite(names, nil, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("suite done in %v", time.Since(start).Round(time.Millisecond))
+
+	fig1, err := suite.Figure1()
+	fatal(err)
+	fmt.Println(fig1)
+	if *charts {
+		c, err := suite.Figure1Chart()
+		fatal(err)
+		fmt.Println(c)
+	}
+
+	_, t1, err := suite.Table1()
+	fatal(err)
+	fmt.Println(t1)
+
+	t3, err := suite.Table3()
+	fatal(err)
+	fmt.Println(t3)
+
+	fig9, err := suite.Figure9()
+	fatal(err)
+	fmt.Println(fig9)
+
+	fig10, err := suite.Figure10()
+	fatal(err)
+	fmt.Println(fig10)
+
+	fig11, err := suite.Figure11()
+	fatal(err)
+	fmt.Println(fig11)
+
+	t4, err := suite.Table4(nil)
+	fatal(err)
+	fmt.Println(t4)
+
+	fig12, err := suite.Figure12()
+	fatal(err)
+	fmt.Println(fig12)
+	if *charts {
+		c, err := suite.Figure12Chart()
+		fatal(err)
+		fmt.Println(c)
+	}
+
+	t5, err := suite.Table5()
+	fatal(err)
+	fmt.Println(t5)
+
+	t6, err := suite.Table6()
+	fatal(err)
+	fmt.Println(t6)
+
+	if !*skipSens {
+		log.Printf("running Section 5.4 policy sweep...")
+		_, ts, err := core.RunSensitivity(names, opt)
+		fatal(err)
+		fmt.Println(ts)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+// Hint tour: walks through the paper's Table 2 — one minimal source
+// snippet per hint class — and shows what the GRP compiler derives for
+// each: the analysis annotations and the hint bits on the generated loads.
+//
+//	go run ./examples/hinttour
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"grp/internal/compiler"
+	"grp/internal/isa"
+	"grp/internal/lang"
+	"grp/internal/mem"
+)
+
+type snippet struct {
+	title  string
+	source string // pseudo-C, for display
+	prog   *lang.Program
+}
+
+func main() {
+	log.SetFlags(0)
+	for _, s := range snippets() {
+		fmt.Printf("=== %s\n", s.title)
+		fmt.Printf("source:\n%s\n", s.source)
+		m := mem.New()
+		prog, _, an, err := compiler.CompileWorkload(s.prog, m, compiler.PolicyDefault)
+		if err != nil {
+			log.Fatalf("%s: %v", s.title, err)
+		}
+		fmt.Printf("analysis:\n%s", an.Describe())
+		fmt.Println("hinted loads:")
+		for _, in := range prog.Instrs {
+			if in.IsLoad() && in.Hint != isa.HintNone {
+				fmt.Printf("\t%s\n", in)
+			}
+			if in.Op == isa.OpSetBound || in.Op == isa.OpPrefIndirect {
+				fmt.Printf("\t%s\n", in)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func snippets() []snippet {
+	var out []snippet
+
+	// --- spatial: the classic array stream (Table 2 row 1) --------------
+	a := &lang.Array{Name: "a", Elem: lang.I64, Dims: []int64{4096}}
+	out = append(out, snippet{
+		title:  "spatial",
+		source: "  for (i = 0; i < 4096; i++)\n    s += a[i];\n",
+		prog: &lang.Program{
+			Name: "spatial", Arrays: []*lang.Array{a}, Scalars: []string{"i", "s"},
+			Body: []lang.Stmt{&lang.For{Var: "i", Lo: lang.C(0), Hi: lang.C(4096), Step: 1,
+				Body: []lang.Stmt{&lang.Assign{Dst: lang.S("s"),
+					Src: lang.B(lang.Add, lang.S("s"), lang.Ix(a, lang.S("i")))}}}},
+		},
+	})
+
+	// --- size: a short loop gets a variable region (Table 2 row 2) ------
+	v := &lang.Array{Name: "v", Elem: lang.I64, Dims: []int64{1 << 16}}
+	out = append(out, snippet{
+		title:  "size (variable region)",
+		source: "  for (j = 0; j < 16; j++)   /* short burst */\n    s += v[j];\n",
+		prog: &lang.Program{
+			Name: "size", Arrays: []*lang.Array{v}, Scalars: []string{"j", "s"},
+			Body: []lang.Stmt{&lang.For{Var: "j", Lo: lang.C(0), Hi: lang.C(16), Step: 1,
+				Body: []lang.Stmt{&lang.Assign{Dst: lang.S("s"),
+					Src: lang.B(lang.Add, lang.S("s"), lang.Ix(v, lang.S("j")))}}}},
+		},
+	})
+
+	// --- indirect: a[b[i]] (Table 2 row 3, Section 4.3) -----------------
+	b := &lang.Array{Name: "b", Elem: lang.I32, Dims: []int64{4096}}
+	c := &lang.Array{Name: "c", Elem: lang.I64, Dims: []int64{1 << 16}}
+	out = append(out, snippet{
+		title:  "indirect",
+		source: "  for (i = 0; i < 4096; i++)\n    s += c[b[i]];\n",
+		prog: &lang.Program{
+			Name: "indirect", Arrays: []*lang.Array{b, c}, Scalars: []string{"i", "s"},
+			Body: []lang.Stmt{&lang.For{Var: "i", Lo: lang.C(0), Hi: lang.C(4096), Step: 1,
+				Body: []lang.Stmt{&lang.Assign{Dst: lang.S("s"),
+					Src: lang.B(lang.Add, lang.S("s"), lang.Ix(c, lang.Ix(b, lang.S("i"))))}}}},
+		},
+	})
+
+	// --- pointer: a struct with a pointer field used in the same loop ---
+	st := lang.NewStruct("t", lang.Field{Name: "data", Type: lang.I64})
+	st.Append("link", lang.PtrT{Elem: lang.I64})
+	out = append(out, snippet{
+		title:  "pointer",
+		source: "  while (p) {\n    s += p->data;   /* struct t has pointer field link */\n    q  = p->link;\n    p  = 0;\n  }\n",
+		prog: &lang.Program{
+			Name: "pointer", Scalars: []string{"p", "q", "s"},
+			Body: []lang.Stmt{&lang.While{Cond: lang.B(lang.Ne, lang.S("p"), lang.C(0)),
+				Body: []lang.Stmt{
+					&lang.Assign{Dst: lang.S("s"), Src: &lang.FieldRef{Ptr: lang.S("p"), Struct: st, Field: "data"}},
+					&lang.Assign{Dst: lang.S("q"), Src: &lang.FieldRef{Ptr: lang.S("p"), Struct: st, Field: "link"}},
+					&lang.Assign{Dst: lang.S("p"), Src: lang.C(0)},
+				}}},
+		},
+	})
+
+	// --- recursive pointer: p = p->next (Table 2 row 5, Figure 6) -------
+	node := lang.NewStruct("node", lang.Field{Name: "f", Type: lang.I64})
+	node.Append("next", lang.PtrT{Elem: node})
+	out = append(out, snippet{
+		title:  "recursive pointer",
+		source: "  while (a) {\n    s += a->f;\n    a  = a->next;   /* next: struct node* */\n  }\n",
+		prog: &lang.Program{
+			Name: "recursive", Scalars: []string{"a", "s"},
+			Body: []lang.Stmt{&lang.While{Cond: lang.B(lang.Ne, lang.S("a"), lang.C(0)),
+				Body: []lang.Stmt{
+					&lang.Assign{Dst: lang.S("s"), Src: &lang.FieldRef{Ptr: lang.S("a"), Struct: node, Field: "f"}},
+					&lang.Assign{Dst: lang.S("a"), Src: &lang.FieldRef{Ptr: lang.S("a"), Struct: node, Field: "next"}},
+				}}},
+		},
+	})
+
+	// --- induction pointer: *p with p += c (Figure 5) -------------------
+	out = append(out, snippet{
+		title:  "induction pointer",
+		source: "  for (; p < end; p += 16)\n    s += *p;\n",
+		prog: &lang.Program{
+			Name: "indptr", Scalars: []string{"p", "end", "s"},
+			Body: []lang.Stmt{&lang.While{Cond: lang.B(lang.Lt, lang.S("p"), lang.S("end")),
+				Body: []lang.Stmt{
+					&lang.Assign{Dst: lang.S("s"), Src: lang.B(lang.Add, lang.S("s"),
+						&lang.Deref{Ptr: lang.S("p"), Elem: lang.I64})},
+					&lang.Assign{Dst: lang.S("p"), Src: lang.B(lang.Add, lang.S("p"), lang.C(16))},
+				}}},
+		},
+	})
+	return out
+}

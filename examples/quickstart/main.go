@@ -1,0 +1,61 @@
+// Quickstart: run one benchmark proxy under the paper's main schemes and
+// print the headline comparison — speedup, traffic, coverage, accuracy.
+//
+//	go run ./examples/quickstart [bench]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"grp/internal/core"
+	"grp/internal/stats"
+	"grp/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	bench := "equake"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	spec, err := workloads.ByName(bench)
+	if err != nil {
+		log.Fatalf("quickstart: %v (have: %v)", err, workloads.Names())
+	}
+
+	opt := core.Options{Factor: workloads.Test}
+	fmt.Printf("benchmark %s (%s)\n\n", spec.Name, spec.MissCause)
+
+	base, err := core.Run(spec, core.NoPrefetch, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	perfect, err := core.Run(spec, core.PerfectL2, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tb := &stats.Table{
+		Headers: []string{"scheme", "IPC", "speedup", "traffic", "coverage%", "accuracy%", "gap from perfect L2 %"},
+	}
+	for _, sc := range []core.Scheme{core.NoPrefetch, core.StridePF, core.SRP, core.GRPFix, core.GRPVar} {
+		r, err := core.Run(spec, sc, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb.Add(sc.String(),
+			stats.Fmt(r.IPC(), 3),
+			stats.Fmt(core.Speedup(r, base), 3),
+			stats.Fmt(core.TrafficIncrease(r, base), 2),
+			stats.Fmt(core.Coverage(r, base), 1),
+			stats.Fmt(r.Accuracy(), 1),
+			stats.Fmt(core.GapFromPerfect(r, perfect), 1),
+		)
+	}
+	fmt.Println(tb)
+	fmt.Println("The GRP rows should match SRP's speedup at a fraction of its traffic;")
+	fmt.Println("run with a different benchmark name to explore, e.g.:")
+	fmt.Println("  go run ./examples/quickstart ammp")
+}

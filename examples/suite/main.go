@@ -1,0 +1,40 @@
+// Suite: regenerate the paper's headline summary (Table 1) plus the
+// traffic chart (Figure 12) on a chosen subset of the benchmark proxies.
+//
+//	go run ./examples/suite [bench,bench,...]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"grp/internal/core"
+	"grp/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	benches := []string{"wupwise", "equake", "ammp", "bzip2", "twolf"}
+	if len(os.Args) > 1 {
+		benches = strings.Split(os.Args[1], ",")
+	}
+	fmt.Printf("running %v at the small scale (this simulates %d configurations)...\n\n",
+		benches, len(benches)*len(core.AllSchemes()))
+
+	suite, err := core.RunSuite(benches, nil, core.Options{Factor: workloads.Small})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, t1, err := suite.Table1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t1)
+	f12, err := suite.Figure12()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(f12)
+}

@@ -1,0 +1,3 @@
+module grp
+
+go 1.22

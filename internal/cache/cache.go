@@ -1,0 +1,296 @@
+// Package cache implements the set-associative cache model used for both
+// levels of the simulated hierarchy, including the two SRP/GRP-specific
+// mechanisms from the paper: prefetched lines are inserted at the LRU
+// position of their set (so useless prefetches can displace at most 1/n of
+// the useful data in an n-way cache, Section 3.1), and a line is promoted
+// to MRU only when the CPU references it explicitly.
+package cache
+
+import "fmt"
+
+// Config describes one cache.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Assoc      int
+	BlockBytes int
+	HitLatency uint64 // cycles
+	MSHRs      int    // outstanding misses supported
+
+	// Perfect makes every access hit; used for the perfect-L1/L2 bars of
+	// the paper's Figure 1.
+	Perfect bool
+
+	// PrefetchInsertMRU places prefetch fills at the MRU position instead
+	// of the paper's LRU insertion — an ablation knob quantifying how much
+	// the low-priority replacement policy protects demand data.
+	PrefetchInsertMRU bool
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Assoc <= 0 || c.BlockBytes <= 0 {
+		return fmt.Errorf("cache %s: nonpositive geometry", c.Name)
+	}
+	if c.BlockBytes&(c.BlockBytes-1) != 0 {
+		return fmt.Errorf("cache %s: block size %d not a power of two", c.Name, c.BlockBytes)
+	}
+	sets := c.SizeBytes / (c.Assoc * c.BlockBytes)
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a positive power of two", c.Name, sets)
+	}
+	if c.MSHRs < 0 {
+		return fmt.Errorf("cache %s: negative MSHR count", c.Name)
+	}
+	return nil
+}
+
+// Stats accumulates cache event counts.
+type Stats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+
+	DemandFills   uint64
+	PrefetchFills uint64
+
+	// UsefulPrefetches counts prefetched lines later referenced by a
+	// demand access; UselessPrefetches counts prefetched lines evicted
+	// untouched. Accuracy (paper Table 5) = useful / issued prefetches.
+	UsefulPrefetches  uint64
+	UselessPrefetches uint64
+
+	Writebacks uint64
+}
+
+// MissRate returns misses/accesses in percent.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return 100 * float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	valid      bool
+	tag        uint64
+	dirty      bool
+	prefetched bool // filled by a prefetch and not yet demand-referenced
+}
+
+// Cache is a set-associative write-back, write-allocate cache with true-LRU
+// replacement. Each set is maintained as an ordered list, index 0 = MRU,
+// index assoc-1 = LRU.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	blkShift uint
+	stats    Stats
+}
+
+// New builds a cache from cfg; it panics on an invalid configuration (a
+// configuration bug is a programming error, not a runtime condition).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.SizeBytes / (cfg.Assoc * cfg.BlockBytes)
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([][]line, nsets),
+		setMask: uint64(nsets - 1),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Assoc)
+	}
+	for b := cfg.BlockBytes; b > 1; b >>= 1 {
+		c.blkShift++
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// BlockAddr returns addr rounded down to its block base.
+func (c *Cache) BlockAddr(addr uint64) uint64 {
+	return addr &^ uint64(c.cfg.BlockBytes-1)
+}
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	b := addr >> c.blkShift
+	// The tag keeps the set bits: it is the full block number. That wastes
+	// a few simulated-tag bits but makes reconstructing victim addresses
+	// trivial and cannot alias.
+	return b & c.setMask, b
+}
+
+// Contains reports whether the block holding addr is present, without
+// touching LRU state or statistics. The SRP engine uses it to initialize
+// region bit vectors to "blocks not already present in the L2" (Sec. 3.1).
+func (c *Cache) Contains(addr uint64) bool {
+	if c.cfg.Perfect {
+		return true
+	}
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a demand access. On a hit the line moves to MRU (and a
+// prefetched line is counted useful and loses its prefetched mark;
+// wasPrefetched reports that case so stream-based prefetchers can advance).
+// On a miss nothing is filled: the caller is responsible for calling Fill
+// when the data returns, which lets fill timing be modeled.
+func (c *Cache) Access(addr uint64, write bool) (hit, wasPrefetched bool) {
+	c.stats.Accesses++
+	if c.cfg.Perfect {
+		c.stats.Hits++
+		return true, false
+	}
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			c.stats.Hits++
+			ln := ways[i]
+			if ln.prefetched {
+				c.stats.UsefulPrefetches++
+				ln.prefetched = false
+				wasPrefetched = true
+			}
+			if write {
+				ln.dirty = true
+			}
+			// Promote to MRU.
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = ln
+			return true, wasPrefetched
+		}
+	}
+	c.stats.Misses++
+	return false, false
+}
+
+// MarkDirty sets the dirty bit on the block containing addr if present,
+// without touching LRU order or hit/miss statistics. It models a writeback
+// from the level above landing in this cache. It reports whether the block
+// was present.
+func (c *Cache) MarkDirty(addr uint64) bool {
+	if c.cfg.Perfect {
+		return true
+	}
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// Victim describes a block evicted by Fill.
+type Victim struct {
+	Addr  uint64
+	Dirty bool
+}
+
+// Fill inserts the block containing addr. Demand fills insert at MRU;
+// prefetch fills insert at the LRU position. It returns the evicted block,
+// if any. Filling a block already present is a no-op (it can happen when a
+// demand fill races a prefetch fill; the line keeps its current state).
+func (c *Cache) Fill(addr uint64, prefetch, dirty bool) (v Victim, evicted bool) {
+	if c.cfg.Perfect {
+		return Victim{}, false
+	}
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			if dirty {
+				ways[i].dirty = true
+			}
+			return Victim{}, false
+		}
+	}
+	if prefetch {
+		c.stats.PrefetchFills++
+	} else {
+		c.stats.DemandFills++
+	}
+	// The victim is always the current LRU line.
+	lru := len(ways) - 1
+	old := ways[lru]
+	if old.valid {
+		evicted = true
+		v = Victim{Addr: c.reconstruct(set, old.tag), Dirty: old.dirty}
+		if old.dirty {
+			c.stats.Writebacks++
+		}
+		if old.prefetched {
+			c.stats.UselessPrefetches++
+		}
+	}
+	nl := line{valid: true, tag: tag, dirty: dirty, prefetched: prefetch}
+	if prefetch && !c.cfg.PrefetchInsertMRU {
+		// Insert at LRU: the new line replaces the old LRU in place, and
+		// will itself be the next victim unless the CPU references it.
+		ways[lru] = nl
+	} else {
+		copy(ways[1:], ways[:lru])
+		ways[0] = nl
+	}
+	return v, evicted
+}
+
+// Invalidate drops the block containing addr if present, returning whether
+// it was dirty. Used by tests and by writeback handling.
+func (c *Cache) Invalidate(addr uint64) (wasDirty, wasPresent bool) {
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			wasDirty = ways[i].dirty
+			if ways[i].prefetched {
+				c.stats.UselessPrefetches++
+			}
+			// Compact toward MRU, leaving the hole at LRU.
+			copy(ways[i:], ways[i+1:])
+			ways[len(ways)-1] = line{}
+			return wasDirty, true
+		}
+	}
+	return false, false
+}
+
+func (c *Cache) reconstruct(_, tag uint64) uint64 {
+	// index() keeps the set bits inside the tag (the tag is the full block
+	// number), so the tag alone reconstructs the block address.
+	return tag << c.blkShift
+}
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return len(c.sets) }
+
+// WaysOf returns the block addresses currently valid in addr's set, MRU
+// first. Intended for tests and debugging.
+func (c *Cache) WaysOf(addr uint64) []uint64 {
+	set, _ := c.index(addr)
+	var out []uint64
+	for _, w := range c.sets[set] {
+		if w.valid {
+			out = append(out, c.reconstruct(set, w.tag))
+		}
+	}
+	return out
+}

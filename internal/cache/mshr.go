@@ -1,0 +1,58 @@
+package cache
+
+// MSHRFile models a set of miss status holding registers analytically:
+// each slot records the cycle at which it becomes free. A request that
+// finds all slots busy is delayed until the earliest slot frees, which is
+// how MSHR pressure turns into added latency in the timing model. Requests
+// to a block that already has an outstanding miss should be merged by the
+// caller (they do not consume a new slot), matching real MSHR semantics.
+type MSHRFile struct {
+	freeAt []uint64
+	peak   int
+}
+
+// NewMSHRFile returns a file with n slots. n == 0 means unlimited (used by
+// perfect caches).
+func NewMSHRFile(n int) *MSHRFile {
+	return &MSHRFile{freeAt: make([]uint64, n)}
+}
+
+// Reserve finds the slot that frees earliest and returns the cycle at which
+// the new miss can begin service (max of now and that slot's free time)
+// along with the slot index to pass to Complete. With zero slots it returns
+// now and index -1.
+func (m *MSHRFile) Reserve(now uint64) (start uint64, idx int) {
+	if len(m.freeAt) == 0 {
+		return now, -1
+	}
+	best := 0
+	for i := 1; i < len(m.freeAt); i++ {
+		if m.freeAt[i] < m.freeAt[best] {
+			best = i
+		}
+	}
+	if m.freeAt[best] > now {
+		now = m.freeAt[best]
+	}
+	busy := 0
+	for _, f := range m.freeAt {
+		if f > now {
+			busy++
+		}
+	}
+	if busy+1 > m.peak {
+		m.peak = busy + 1
+	}
+	return now, best
+}
+
+// Complete marks slot idx busy until done. Passing idx -1 is a no-op.
+func (m *MSHRFile) Complete(idx int, done uint64) {
+	if idx < 0 {
+		return
+	}
+	m.freeAt[idx] = done
+}
+
+// Peak returns the maximum number of simultaneously busy slots observed.
+func (m *MSHRFile) Peak() int { return m.peak }

@@ -1,0 +1,145 @@
+// Package compiler implements the paper's Section 4 analyses over the
+// lang AST — induction-variable recognition, dependence-based spatial
+// locality analysis with reuse-distance estimation (Figure 7), pointer and
+// recursive-pointer idiom analysis (Figure 8), indirect-array detection
+// (Section 4.3), and variable-region-size encoding (Section 4.4) — plus
+// code generation lowering annotated programs to the hint-carrying ISA.
+package compiler
+
+import "grp/internal/lang"
+
+// affine is a linear form Σ coef[v]·v + konst over loop induction
+// variables, with a flag for additional loop-invariant symbolic terms
+// (which shift the base address but do not affect strides, like the a and
+// b of buf[i][a*j+b] in the paper's Figure 4 discussion).
+type affine struct {
+	coef     map[string]int64
+	konst    int64
+	symbolic bool // an invariant unknown contributes to the constant part
+	ok       bool
+}
+
+func affConst(v int64) affine { return affine{konst: v, ok: true} }
+
+func affVar(v string) affine {
+	return affine{coef: map[string]int64{v: 1}, ok: true}
+}
+
+func (a affine) isConst() bool { return a.ok && len(a.coef) == 0 && !a.symbolic }
+
+// stride returns the coefficient of variable v.
+func (a affine) stride(v string) int64 { return a.coef[v] }
+
+func (a affine) add(b affine) affine {
+	if !a.ok || !b.ok {
+		return affine{}
+	}
+	r := affine{coef: map[string]int64{}, konst: a.konst + b.konst, symbolic: a.symbolic || b.symbolic, ok: true}
+	for k, v := range a.coef {
+		r.coef[k] += v
+	}
+	for k, v := range b.coef {
+		r.coef[k] += v
+	}
+	for k, v := range r.coef {
+		if v == 0 {
+			delete(r.coef, k)
+		}
+	}
+	return r
+}
+
+func (a affine) neg() affine {
+	if !a.ok {
+		return a
+	}
+	r := affine{coef: map[string]int64{}, konst: -a.konst, symbolic: a.symbolic, ok: true}
+	for k, v := range a.coef {
+		r.coef[k] = -v
+	}
+	return r
+}
+
+func (a affine) scale(s int64) affine {
+	if !a.ok {
+		return a
+	}
+	if s == 0 {
+		return affConst(0)
+	}
+	r := affine{coef: map[string]int64{}, konst: a.konst * s, symbolic: a.symbolic, ok: true}
+	for k, v := range a.coef {
+		r.coef[k] = v * s
+	}
+	return r
+}
+
+// affineEnv supplies the variable classification the analysis needs:
+// induction variables (loop counters and recognized pointer inductions) and
+// invariance of other scalars with respect to the reference's loop nest.
+type affineEnv struct {
+	// induction maps induction-variable names to true.
+	induction map[string]bool
+	// invariant reports whether a non-induction scalar is loop-invariant
+	// in the enclosing nest.
+	invariant func(name string) bool
+}
+
+// affineOf computes the affine form of e. Non-affine constructs (products
+// of variables, loads, etc.) yield ok == false.
+func affineOf(e lang.Expr, env affineEnv) affine {
+	switch n := e.(type) {
+	case *lang.Const:
+		return affConst(n.V)
+	case *lang.Scalar:
+		if env.induction[n.Name] {
+			return affVar(n.Name)
+		}
+		if env.invariant != nil && env.invariant(n.Name) {
+			return affine{symbolic: true, ok: true}
+		}
+		return affine{}
+	case *lang.Bin:
+		l := affineOf(n.L, env)
+		r := affineOf(n.R, env)
+		switch n.Op {
+		case lang.Add:
+			return l.add(r)
+		case lang.Sub:
+			return l.add(r.neg())
+		case lang.Mul:
+			if l.isConst() {
+				return r.scale(l.konst)
+			}
+			if r.isConst() {
+				return l.scale(r.konst)
+			}
+			return affine{}
+		case lang.Shl:
+			if r.isConst() && r.konst >= 0 && r.konst < 63 {
+				return l.scale(1 << uint(r.konst))
+			}
+			return affine{}
+		default:
+			return affine{}
+		}
+	default:
+		return affine{}
+	}
+}
+
+// byteOffset computes the affine byte offset of an Index reference:
+// Σ_d affine(idx_d) · stride_d · elemSize. ok is false when any subscript
+// is non-affine.
+func byteOffset(ix *lang.Index, env affineEnv) affine {
+	elem := ix.Arr.Elem.Size()
+	total := affConst(0)
+	for d, sub := range ix.Idx {
+		a := affineOf(sub, env)
+		if !a.ok {
+			return affine{}
+		}
+		total = total.add(a.scale(ix.Arr.Stride(d) * elem))
+	}
+	return total
+}

@@ -1,0 +1,305 @@
+package compiler
+
+import (
+	"math/rand"
+	"testing"
+
+	"grp/internal/cpu"
+	"grp/internal/isa"
+	"grp/internal/lang"
+	"grp/internal/mem"
+)
+
+// perfectMem is a trivial MemoryTiming for functional codegen tests.
+type perfectMem struct {
+	bounds    []uint64
+	indirects int
+	swprefs   int
+}
+
+func (pm *perfectMem) Load(_, _ uint64, _ isa.Hint, _ uint8, now uint64) uint64 { return now + 1 }
+func (pm *perfectMem) Store(_, _ uint64, now uint64) uint64                     { return now + 1 }
+func (pm *perfectMem) SetBound(v uint64)                                        { pm.bounds = append(pm.bounds, v) }
+func (pm *perfectMem) Indirect(_, _ uint64, _ uint)                             { pm.indirects++ }
+func (pm *perfectMem) SoftwarePrefetch(_, _ uint64)                             { pm.swprefs++ }
+
+// runBoth compiles and runs p on the CPU model and on the reference
+// interpreter over independent memories, then compares the named scalars
+// and the contents of every array.
+func runBoth(t *testing.T, p *lang.Program, init func(m *mem.Memory, lay *Layout), checkScalars []string) {
+	t.Helper()
+
+	// Interpreter run.
+	mi := mem.New()
+	layI := Place(p, mi)
+	if init != nil {
+		init(mi, layI)
+	}
+	interp := NewInterp(p, layI, mi, 0)
+	if err := interp.Run(); err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+
+	// Compiled run.
+	mc := mem.New()
+	prog, layC, _, err := CompileWorkload(p, mc, PolicyDefault)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if init != nil {
+		init(mc, layC)
+	}
+	core := cpu.New(cpu.Default(), mc, &perfectMem{})
+	res, err := core.Run(prog)
+	if err != nil {
+		t.Fatalf("cpu run: %v", err)
+	}
+	if !res.Halted {
+		t.Fatalf("compiled program did not halt (%d instrs)", res.Instrs)
+	}
+
+	// Compare scalars (the compiled program keeps scalars in registers;
+	// read them back through the register map exposed via a fresh
+	// compile... simplest is comparing through memory plus named scalars
+	// stored by the program; here we compare array contents and any
+	// scalars the caller persisted to memory).
+	_ = checkScalars
+
+	for _, a := range p.Arrays {
+		baseI, baseC := layI.Addr[a.Name], layC.Addr[a.Name]
+		for off := int64(0); off < a.Bytes(); off += 8 {
+			vi := mi.Read64(baseI + uint64(off))
+			vc := mc.Read64(baseC + uint64(off))
+			if vi != vc {
+				t.Fatalf("array %s byte %d: interp %#x vs compiled %#x", a.Name, off, vi, vc)
+			}
+		}
+	}
+}
+
+func TestCodegenArraySum(t *testing.T) {
+	a := &lang.Array{Name: "a", Elem: lang.I64, Dims: []int64{64}}
+	out := &lang.Array{Name: "out", Elem: lang.I64, Dims: []int64{1}}
+	p := &lang.Program{
+		Name: "sum", Arrays: []*lang.Array{a, out}, Scalars: []string{"i", "s"},
+		Body: []lang.Stmt{
+			&lang.Assign{Dst: lang.S("s"), Src: lang.C(0)},
+			&lang.For{Var: "i", Lo: lang.C(0), Hi: lang.C(64), Step: 1, Body: []lang.Stmt{
+				&lang.Assign{Dst: lang.S("s"), Src: lang.B(lang.Add, lang.S("s"), lang.Ix(a, lang.S("i")))},
+			}},
+			&lang.Assign{Dst: lang.Ix(out, lang.C(0)), Src: lang.S("s")},
+		},
+	}
+	runBoth(t, p, func(m *mem.Memory, lay *Layout) {
+		for i := int64(0); i < 64; i++ {
+			m.Write64(lay.Addr["a"]+uint64(i*8), uint64(i*i+1))
+		}
+	}, nil)
+}
+
+func TestCodegenMultiDim(t *testing.T) {
+	a := &lang.Array{Name: "a", Elem: lang.I64, Dims: []int64{8, 8, 8}}
+	b := &lang.Array{Name: "b", Elem: lang.I64, Dims: []int64{8, 8, 8}}
+	kv, jv, iv := lang.S("k"), lang.S("j"), lang.S("i")
+	p := &lang.Program{
+		Name: "md", Arrays: []*lang.Array{a, b}, Scalars: []string{"k", "j", "i"},
+		Body: []lang.Stmt{
+			&lang.For{Var: "k", Lo: lang.C(0), Hi: lang.C(8), Step: 1, Body: []lang.Stmt{
+				&lang.For{Var: "j", Lo: lang.C(0), Hi: lang.C(8), Step: 1, Body: []lang.Stmt{
+					&lang.For{Var: "i", Lo: lang.C(0), Hi: lang.C(8), Step: 1, Body: []lang.Stmt{
+						&lang.Assign{Dst: lang.Ix(b, kv, jv, iv), Src: lang.B(lang.Mul,
+							lang.Ix(a, kv, jv, iv),
+							lang.B(lang.Add, kv, lang.B(lang.Add, jv, iv)))},
+					}},
+				}},
+			}},
+		},
+	}
+	runBoth(t, p, func(m *mem.Memory, lay *Layout) {
+		for i := int64(0); i < 8*8*8; i++ {
+			m.Write64(lay.Addr["a"]+uint64(i*8), uint64(i*31+7))
+		}
+	}, nil)
+}
+
+func TestCodegenPointerWalk(t *testing.T) {
+	st := lang.NewStruct("n", lang.Field{Name: "v", Type: lang.I64})
+	st.Append("next", lang.PtrT{Elem: st})
+	head := &lang.Array{Name: "head", Elem: lang.PtrT{Elem: st}, Dims: []int64{1}, Heap: true}
+	out := &lang.Array{Name: "out", Elem: lang.I64, Dims: []int64{1}}
+	p := &lang.Program{
+		Name: "walk", Arrays: []*lang.Array{head, out}, Scalars: []string{"p", "s"},
+		Body: []lang.Stmt{
+			&lang.Assign{Dst: lang.S("p"), Src: lang.Ix(head, lang.C(0))},
+			&lang.Assign{Dst: lang.S("s"), Src: lang.C(0)},
+			&lang.While{Cond: lang.B(lang.Ne, lang.S("p"), lang.C(0)), Body: []lang.Stmt{
+				&lang.Assign{Dst: lang.S("s"), Src: lang.B(lang.Add, lang.S("s"),
+					&lang.FieldRef{Ptr: lang.S("p"), Struct: st, Field: "v"})},
+				&lang.Assign{Dst: lang.S("p"),
+					Src: &lang.FieldRef{Ptr: lang.S("p"), Struct: st, Field: "next"}},
+			}},
+			&lang.Assign{Dst: lang.Ix(out, lang.C(0)), Src: lang.S("s")},
+		},
+	}
+	runBoth(t, p, func(m *mem.Memory, lay *Layout) {
+		// Ten nodes; the same allocation sequence happens in both runs, so
+		// node addresses agree between interpreter and compiled layouts.
+		var prev uint64
+		var first uint64
+		for i := 0; i < 10; i++ {
+			n := m.Alloc(16, 8)
+			m.Write64(n, uint64(100+i))
+			if prev != 0 {
+				m.Write64(prev+8, n)
+			} else {
+				first = n
+			}
+			prev = n
+		}
+		m.Write64(prev+8, 0)
+		m.Write64(lay.Addr["head"], first)
+	}, nil)
+}
+
+func TestCodegenIfElse(t *testing.T) {
+	a := &lang.Array{Name: "a", Elem: lang.I64, Dims: []int64{100}}
+	b := &lang.Array{Name: "b", Elem: lang.I64, Dims: []int64{100}}
+	p := &lang.Program{
+		Name: "ifelse", Arrays: []*lang.Array{a, b}, Scalars: []string{"i", "v"},
+		Body: []lang.Stmt{
+			&lang.For{Var: "i", Lo: lang.C(0), Hi: lang.C(100), Step: 1, Body: []lang.Stmt{
+				&lang.Assign{Dst: lang.S("v"), Src: lang.Ix(a, lang.S("i"))},
+				&lang.If{
+					Cond: lang.B(lang.Lt, lang.S("v"), lang.C(50)),
+					Then: []lang.Stmt{&lang.Assign{Dst: lang.Ix(b, lang.S("i")), Src: lang.C(1)}},
+					Else: []lang.Stmt{&lang.Assign{Dst: lang.Ix(b, lang.S("i")), Src: lang.B(lang.Mul, lang.S("v"), lang.C(3))}},
+				},
+			}},
+		},
+	}
+	runBoth(t, p, func(m *mem.Memory, lay *Layout) {
+		for i := int64(0); i < 100; i++ {
+			m.Write64(lay.Addr["a"]+uint64(i*8), uint64(i%97))
+		}
+	}, nil)
+}
+
+func TestCodegenByteAndWordAccess(t *testing.T) {
+	src := &lang.Array{Name: "src", Elem: lang.I8, Dims: []int64{256}}
+	w := &lang.Array{Name: "w", Elem: lang.I32, Dims: []int64{256}}
+	p := &lang.Program{
+		Name: "bytes", Arrays: []*lang.Array{src, w}, Scalars: []string{"i", "t"},
+		Body: []lang.Stmt{
+			&lang.For{Var: "i", Lo: lang.C(0), Hi: lang.C(256), Step: 1, Body: []lang.Stmt{
+				&lang.Assign{Dst: lang.S("t"), Src: lang.Ix(src, lang.S("i"))},
+				&lang.Assign{Dst: lang.Ix(w, lang.S("i")),
+					Src: lang.B(lang.Add, lang.B(lang.Shl, lang.S("t"), lang.C(4)), lang.S("i"))},
+			}},
+		},
+	}
+	runBoth(t, p, func(m *mem.Memory, lay *Layout) {
+		for i := int64(0); i < 256; i++ {
+			m.Write(lay.Addr["src"]+uint64(i), 1, uint64(i*13))
+		}
+	}, nil)
+}
+
+func TestCodegenSetBoundEmitted(t *testing.T) {
+	a := &lang.Array{Name: "a", Elem: lang.I64, Dims: []int64{4096}}
+	p := &lang.Program{
+		Name: "sb", Arrays: []*lang.Array{a}, Scalars: []string{"i", "s"},
+		Body: []lang.Stmt{&lang.For{Var: "i", Lo: lang.C(0), Hi: lang.C(16), Step: 1,
+			Body: []lang.Stmt{&lang.Assign{Dst: lang.S("s"), Src: lang.Ix(a, lang.S("i"))}}}},
+	}
+	m := mem.New()
+	prog, _, _, err := CompileWorkload(p, m, PolicyDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := &perfectMem{}
+	core := cpu.New(cpu.Default(), m, pm)
+	if _, err := core.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if len(pm.bounds) != 1 || pm.bounds[0] != 16 {
+		t.Errorf("SETBOUND values = %v, want [16]", pm.bounds)
+	}
+}
+
+func TestCodegenPrefiGuarded(t *testing.T) {
+	b := &lang.Array{Name: "b", Elem: lang.I32, Dims: []int64{256}}
+	a := &lang.Array{Name: "a", Elem: lang.I64, Dims: []int64{4096}}
+	p := &lang.Program{
+		Name: "prefi", Arrays: []*lang.Array{b, a}, Scalars: []string{"i", "s"},
+		Body: []lang.Stmt{&lang.For{Var: "i", Lo: lang.C(0), Hi: lang.C(256), Step: 1,
+			Body: []lang.Stmt{&lang.Assign{Dst: lang.S("s"),
+				Src: lang.Ix(a, lang.Ix(b, lang.S("i")))}}}},
+	}
+	m := mem.New()
+	prog, _, _, err := CompileWorkload(p, m, PolicyDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := &perfectMem{}
+	core := cpu.New(cpu.Default(), m, pm)
+	if _, err := core.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	// Guarded on (i & 15) == 0: 256/16 = 16 executions.
+	if pm.indirects != 16 {
+		t.Errorf("PREFI executed %d times, want 16", pm.indirects)
+	}
+}
+
+func TestPlaceNoOverlap(t *testing.T) {
+	a := &lang.Array{Name: "a", Elem: lang.I64, Dims: []int64{100}}
+	b := &lang.Array{Name: "b", Elem: lang.I64, Dims: []int64{100}}
+	h := &lang.Array{Name: "h", Elem: lang.I64, Dims: []int64{100}, Heap: true}
+	p := &lang.Program{Name: "place", Arrays: []*lang.Array{a, b, h}}
+	m := mem.New()
+	lay := Place(p, m)
+	if lay.Addr["a"]+800 > lay.Addr["b"] {
+		t.Errorf("globals overlap: a=%#x b=%#x", lay.Addr["a"], lay.Addr["b"])
+	}
+	if !m.InHeap(lay.Addr["h"]) {
+		t.Errorf("heap array not in heap: %#x", lay.Addr["h"])
+	}
+	if m.InHeap(lay.Addr["a"]) {
+		t.Errorf("global array in heap: %#x", lay.Addr["a"])
+	}
+}
+
+// TestQuickCodegenExpressions: random arithmetic expressions over two
+// scalars compile to code computing the same value as the interpreter.
+func TestQuickCodegenExpressions(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	var build func(depth int) lang.Expr
+	build = func(depth int) lang.Expr {
+		if depth == 0 || r.Intn(3) == 0 {
+			switch r.Intn(3) {
+			case 0:
+				return lang.C(int64(r.Intn(2048) - 1024))
+			case 1:
+				return lang.S("x")
+			default:
+				return lang.S("y")
+			}
+		}
+		ops := []lang.BinOp{lang.Add, lang.Sub, lang.Mul, lang.And, lang.Or,
+			lang.Xor, lang.Lt, lang.Eq, lang.Ne, lang.Ge}
+		return lang.B(ops[r.Intn(len(ops))], build(depth-1), build(depth-1))
+	}
+	out := &lang.Array{Name: "out", Elem: lang.I64, Dims: []int64{1}}
+	for trial := 0; trial < 60; trial++ {
+		e := build(3)
+		p := &lang.Program{
+			Name: "expr", Arrays: []*lang.Array{out}, Scalars: []string{"x", "y"},
+			Body: []lang.Stmt{
+				&lang.Assign{Dst: lang.S("x"), Src: lang.C(int64(r.Intn(5000) - 2500))},
+				&lang.Assign{Dst: lang.S("y"), Src: lang.C(int64(r.Intn(5000) - 2500))},
+				&lang.Assign{Dst: lang.Ix(out, lang.C(0)), Src: e},
+			},
+		}
+		runBoth(t, p, nil, nil)
+	}
+}

@@ -1,0 +1,38 @@
+package compiler
+
+import "grp/internal/lang"
+
+// usesVar reports whether expression e reads scalar v.
+func usesVar(e lang.Expr, v string) bool {
+	switch n := e.(type) {
+	case nil:
+		return false
+	case *lang.Const:
+		return false
+	case *lang.Scalar:
+		return n.Name == v
+	case *lang.Bin:
+		return usesVar(n.L, v) || usesVar(n.R, v)
+	case *lang.Index:
+		for _, ix := range n.Idx {
+			if usesVar(ix, v) {
+				return true
+			}
+		}
+		return false
+	case *lang.AddrOf:
+		for _, ix := range n.Idx {
+			if usesVar(ix, v) {
+				return true
+			}
+		}
+		return false
+	case *lang.PtrIndex:
+		return usesVar(n.Ptr, v) || usesVar(n.Idx, v)
+	case *lang.FieldRef:
+		return usesVar(n.Ptr, v)
+	case *lang.Deref:
+		return usesVar(n.Ptr, v)
+	}
+	return true // unknown node: assume it might
+}

@@ -1,0 +1,310 @@
+// Package core is the public face of the GRP reproduction: it wires
+// workloads, the compiler, the core model, the memory hierarchy and the
+// prefetch engines into runnable configurations matching the paper's
+// evaluated schemes, and exposes one driver per paper table and figure.
+package core
+
+import (
+	"fmt"
+
+	"grp/internal/cache"
+	"grp/internal/compiler"
+	"grp/internal/cpu"
+	"grp/internal/dram"
+	"grp/internal/isa"
+	"grp/internal/mem"
+	"grp/internal/prefetch"
+	"grp/internal/sim"
+	"grp/internal/workloads"
+)
+
+// Scheme identifies one evaluated configuration.
+type Scheme int
+
+// The schemes of the paper's evaluation (Section 5).
+const (
+	// NoPrefetch is the baseline memory system.
+	NoPrefetch Scheme = iota
+	// PerfectL1 makes every L1 access hit (Figure 1's upper bound).
+	PerfectL1
+	// PerfectL2 makes every L2 access hit (the gap reference point).
+	PerfectL2
+	// StridePF is Sherwood-style predictor-directed stream buffers.
+	StridePF
+	// SRP is scheduled region prefetching without compiler hints.
+	SRP
+	// GRPFix is guided region prefetching with fixed 4 KB regions.
+	GRPFix
+	// GRPVar is guided region prefetching with variable-size regions.
+	GRPVar
+	// PointerOnly is the pure hardware pointer prefetcher (Figure 9).
+	PointerOnly
+	// SoftwarePF is classic Mowry-style software prefetching: the
+	// compiler inserts PREF instructions ahead of spatial loads and no
+	// hardware prefetcher runs. It is not one of the paper's evaluated
+	// schemes (Section 2 explains why it cannot cover L2 latencies); it
+	// is provided as the comparison foil and is not part of AllSchemes.
+	SoftwarePF
+)
+
+var schemeNames = map[Scheme]string{
+	NoPrefetch: "base", PerfectL1: "perfectL1", PerfectL2: "perfectL2",
+	StridePF: "stride", SRP: "srp", GRPFix: "grp/fix", GRPVar: "grp/var",
+	PointerOnly: "ptr", SoftwarePF: "swpf",
+}
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	if n, ok := schemeNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// SchemeByName resolves a scheme name as printed by String.
+func SchemeByName(name string) (Scheme, error) {
+	for s, n := range schemeNames {
+		if n == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown scheme %q", name)
+}
+
+// AllSchemes lists every scheme in presentation order.
+func AllSchemes() []Scheme {
+	return []Scheme{NoPrefetch, PerfectL1, PerfectL2, StridePF, SRP, GRPFix, GRPVar, PointerOnly}
+}
+
+// Options configures a run.
+type Options struct {
+	// Factor scales workload sizes (workloads.Test for unit tests,
+	// workloads.Full for the paper tables).
+	Factor workloads.Factor
+	// Policy is the compiler's spatial-marking policy (Section 5.4).
+	Policy compiler.Policy
+	// Mem overrides the memory configuration; zero value uses the paper's.
+	Mem *sim.MemConfig
+	// CPU overrides the core configuration; zero value uses the paper's.
+	CPU *cpu.Config
+	// MaxInstrs overrides the workload's instruction budget when nonzero.
+	MaxInstrs uint64
+	// DisablePrioritizer runs prefetches at demand priority (ablation).
+	DisablePrioritizer bool
+	// PrefetchInsertMRU inserts prefetch fills at MRU instead of the
+	// paper's LRU position (ablation).
+	PrefetchInsertMRU bool
+	// SRPFIFO issues prefetch regions oldest-first instead of the
+	// hardware's LIFO scheduling (ablation; SRP scheme only).
+	SRPFIFO bool
+	// SRPRegionBlocks overrides the SRP region size in blocks when
+	// nonzero (ablation; power of two ≤ 64).
+	SRPRegionBlocks int
+	// RecursionDepth overrides GRP's recursive chase depth when nonzero.
+	RecursionDepth uint8
+	// OpenPageFirst enables the paper's open-page-first prefetch issue
+	// optimization (off by default, matching the main evaluation).
+	OpenPageFirst bool
+}
+
+// Result captures everything measured in one run.
+type Result struct {
+	Bench  string
+	Scheme Scheme
+
+	CPU  cpu.Result
+	L1   cache.Stats
+	L2   cache.Stats
+	Mem  sim.MemStats
+	Dram dram.Stats
+	PF   prefetch.Stats
+
+	// TrafficBytes is total memory traffic (demand + prefetch +
+	// writeback transfers).
+	TrafficBytes uint64
+	// Hints is the static hint census of the compiled binary (Table 3).
+	Hints isa.HintCounts
+}
+
+// IPC returns committed instructions per cycle.
+func (r *Result) IPC() float64 { return r.CPU.IPC() }
+
+// Accuracy returns the fraction (percent) of issued prefetches that were
+// demand-referenced, counting late (in-flight) references as useful, as
+// the paper's Table 5 accuracy metric does.
+func (r *Result) Accuracy() float64 {
+	if r.Mem.PrefetchesIssued == 0 {
+		return 0
+	}
+	useful := r.L2.UsefulPrefetches + r.Mem.PrefetchLates
+	if useful > r.Mem.PrefetchesIssued {
+		useful = r.Mem.PrefetchesIssued
+	}
+	return 100 * float64(useful) / float64(r.Mem.PrefetchesIssued)
+}
+
+// Run simulates one benchmark under one scheme.
+func Run(spec *workloads.Spec, scheme Scheme, opt Options) (*Result, error) {
+	built := spec.Build(opt.Factor)
+	m := mem.New()
+
+	var cgOpts compiler.CodegenOptions
+	if scheme == SoftwarePF {
+		cgOpts.SoftwarePrefetch = true
+	}
+	prog, layout, _, err := compiler.CompileWorkloadOpts(built.Prog, m, opt.Policy, cgOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: compiling %s: %w", spec.Name, err)
+	}
+	built.Init(m, layout)
+
+	memCfg := sim.DefaultMemConfig()
+	if opt.Mem != nil {
+		memCfg = *opt.Mem
+	}
+	switch scheme {
+	case PerfectL1:
+		memCfg.L1.Perfect = true
+	case PerfectL2:
+		memCfg.L2.Perfect = true
+	}
+	if opt.PrefetchInsertMRU {
+		memCfg.L2.PrefetchInsertMRU = true
+	}
+	if opt.OpenPageFirst {
+		memCfg.OpenPageFirst = true
+	}
+
+	engine := engineFor(scheme, spec, m, opt)
+	ms := sim.NewMemSystem(memCfg, engine)
+	if opt.DisablePrioritizer {
+		ms.SetPrioritizer(false)
+	}
+
+	cpuCfg := cpu.Default()
+	if opt.CPU != nil {
+		cpuCfg = *opt.CPU
+	}
+	cpuCfg.MaxInstrs = built.MaxInstrs
+	if opt.MaxInstrs != 0 {
+		cpuCfg.MaxInstrs = opt.MaxInstrs
+	}
+
+	c := cpu.New(cpuCfg, m, ms)
+	cres, err := c.Run(prog)
+	if err != nil {
+		return nil, fmt.Errorf("core: running %s/%s: %w", spec.Name, scheme, err)
+	}
+	ms.Drain()
+
+	return &Result{
+		Bench:        spec.Name,
+		Scheme:       scheme,
+		CPU:          cres,
+		L1:           ms.L1.Stats(),
+		L2:           ms.L2.Stats(),
+		Mem:          ms.Stats(),
+		Dram:         ms.Dram.Stats(),
+		PF:           engine.Stats(),
+		TrafficBytes: ms.Dram.TrafficBytes(),
+		Hints:        prog.CountHints(),
+	}, nil
+}
+
+func engineFor(scheme Scheme, spec *workloads.Spec, m *mem.Memory, opt Options) prefetch.Engine {
+	switch scheme {
+	case StridePF:
+		return prefetch.NewStride(prefetch.DefaultStrideConfig())
+	case SRP:
+		e := prefetch.NewSRP()
+		e.FIFO = opt.SRPFIFO
+		if opt.SRPRegionBlocks != 0 {
+			e.RegionBlocks = opt.SRPRegionBlocks
+		}
+		return e
+	case GRPFix, GRPVar:
+		cfg := prefetch.DefaultGRPConfig()
+		cfg.Variable = scheme == GRPVar
+		cfg.RecursionDepth = grpDepth(spec, opt)
+		return prefetch.NewGRP(cfg, m)
+	case PointerOnly:
+		return prefetch.NewPointerOnly(m, grpDepth(spec, opt))
+	default:
+		return prefetch.NewNull()
+	}
+}
+
+// grpDepth returns the recursive chase depth: the paper uses 6, except 3
+// for mcf "to make simulation tractable" (footnote 2).
+func grpDepth(spec *workloads.Spec, opt Options) uint8 {
+	if opt.RecursionDepth != 0 {
+		return opt.RecursionDepth
+	}
+	if spec.Name == "mcf" {
+		return 3
+	}
+	return 6
+}
+
+// Suite holds results for a set of benchmarks across schemes, shared by
+// the per-table experiment drivers so each (bench, scheme) pair simulates
+// once.
+type Suite struct {
+	Opt     Options
+	Benches []string
+	results map[string]map[Scheme]*Result
+}
+
+// RunSuite simulates the given benchmarks under the given schemes. A nil
+// benches runs every workload; a nil schemes runs all of them.
+func RunSuite(benches []string, schemes []Scheme, opt Options) (*Suite, error) {
+	if benches == nil {
+		benches = workloads.Names()
+	}
+	if schemes == nil {
+		schemes = AllSchemes()
+	}
+	s := &Suite{Opt: opt, Benches: benches, results: map[string]map[Scheme]*Result{}}
+	for _, b := range benches {
+		spec, err := workloads.ByName(b)
+		if err != nil {
+			return nil, err
+		}
+		s.results[b] = map[Scheme]*Result{}
+		for _, sc := range schemes {
+			r, err := Run(spec, sc, opt)
+			if err != nil {
+				return nil, err
+			}
+			s.results[b][sc] = r
+		}
+	}
+	return s, nil
+}
+
+// Get returns the result for (bench, scheme), or nil if it was not run.
+func (s *Suite) Get(bench string, sc Scheme) *Result {
+	m := s.results[bench]
+	if m == nil {
+		return nil
+	}
+	return m[sc]
+}
+
+// Included reports whether the benchmark participates in timing results
+// (crafty is excluded, matching the paper's Section 5.1).
+func Included(bench string) bool {
+	sp, err := workloads.ByName(bench)
+	return err == nil && !sp.Exclude
+}
+
+// TimedBenches filters s.Benches to those included in timing results.
+func (s *Suite) TimedBenches() []string {
+	var out []string
+	for _, b := range s.Benches {
+		if Included(b) {
+			out = append(out, b)
+		}
+	}
+	return out
+}

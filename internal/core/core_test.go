@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"grp/internal/workloads"
+)
+
+// TestAllWorkloadsRunAllSchemes is the pipeline smoke test: every workload
+// must compile, initialize, and simulate to completion under every scheme.
+func TestAllWorkloadsRunAllSchemes(t *testing.T) {
+	opt := Options{Factor: workloads.Test}
+	for _, spec := range workloads.All() {
+		for _, sc := range AllSchemes() {
+			r, err := Run(spec, sc, opt)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", spec.Name, sc, err)
+			}
+			if r.CPU.Instrs == 0 || r.CPU.Cycles == 0 {
+				t.Errorf("%s/%s: empty result %+v", spec.Name, sc, r.CPU)
+			}
+		}
+	}
+}
+
+// TestSchemeOrdering checks the paper's headline ordering on a streaming
+// workload: perfectL2 >= SRP/GRP > base, and SRP traffic >= GRP traffic.
+func TestSchemeOrdering(t *testing.T) {
+	opt := Options{Factor: workloads.Test}
+	spec, err := workloads.ByName("wupwise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(sc Scheme) *Result {
+		r, err := Run(spec, sc, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+		return r
+	}
+	base := get(NoPrefetch)
+	perf := get(PerfectL2)
+	srp := get(SRP)
+	grp := get(GRPVar)
+	t.Logf("base=%d perf=%d srp=%d grp=%d cycles", base.CPU.Cycles, perf.CPU.Cycles, srp.CPU.Cycles, grp.CPU.Cycles)
+	t.Logf("traffic base=%d srp=%d grp=%d", base.TrafficBytes, srp.TrafficBytes, grp.TrafficBytes)
+	t.Logf("grp hints: %+v", grp.Hints)
+	if perf.CPU.Cycles >= base.CPU.Cycles {
+		t.Errorf("perfect L2 (%d) not faster than base (%d)", perf.CPU.Cycles, base.CPU.Cycles)
+	}
+	if srp.CPU.Cycles >= base.CPU.Cycles {
+		t.Errorf("SRP (%d) not faster than base (%d)", srp.CPU.Cycles, base.CPU.Cycles)
+	}
+	if grp.CPU.Cycles >= base.CPU.Cycles {
+		t.Errorf("GRP (%d) not faster than base (%d)", grp.CPU.Cycles, base.CPU.Cycles)
+	}
+	if grp.Hints.Spatial == 0 {
+		t.Errorf("wupwise should have spatial hints, got %+v", grp.Hints)
+	}
+}

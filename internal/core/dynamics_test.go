@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"grp/internal/sim"
+	"grp/internal/workloads"
+)
+
+// TestWorkloadDynamics asserts each proxy exercises the GRP mechanism it
+// was built for at runtime — not just that the static hints exist. This is
+// the integration-level counterpart of the Table 3 hint-class test in the
+// workloads package.
+func TestWorkloadDynamics(t *testing.T) {
+	s := getSuite(t)
+
+	type expect struct {
+		// regions: GRP allocated spatial regions.
+		regions bool
+		// scans: the pointer scanner ran on returned lines.
+		scans bool
+		// indirect: PREFI instructions reached the engine.
+		indirect bool
+		// variable: some non-64-block regions were allocated (GRP/Var).
+		variable bool
+	}
+	cases := map[string]expect{
+		"gzip":    {regions: true},
+		"wupwise": {regions: true},
+		"mgrid":   {regions: true},
+		"vpr":     {regions: true, indirect: true},
+		"mesa":    {regions: true, scans: true, variable: true},
+		"mcf":     {regions: true, scans: true},
+		"equake":  {regions: true, scans: true},
+		"ammp":    {scans: true},
+		"parser":  {regions: true, scans: true},
+		"bzip2":   {regions: true, indirect: true, variable: true},
+		"twolf":   {scans: true},
+		"sphinx":  {regions: true, scans: true, variable: true},
+	}
+	for bench, want := range cases {
+		r := s.Get(bench, GRPVar)
+		if r == nil {
+			t.Fatalf("%s: no GRP/Var result in suite", bench)
+		}
+		if want.regions && r.PF.RegionsAllocated == 0 {
+			t.Errorf("%s: expected spatial region allocations, got none", bench)
+		}
+		if want.scans && r.PF.PointerScans == 0 {
+			t.Errorf("%s: expected pointer scans, got none", bench)
+		}
+		if !want.scans && r.PF.PointerScans > 0 && bench != "mesa" {
+			// Benchmarks without pointer hints must not trigger scanning.
+			t.Errorf("%s: unexpected pointer scans (%d)", bench, r.PF.PointerScans)
+		}
+		if want.indirect && r.PF.IndirectInstrs == 0 {
+			t.Errorf("%s: expected PREFI executions, got none", bench)
+		}
+		if want.variable {
+			small := false
+			for sz, n := range r.PF.RegionSizeDist {
+				if sz < 64 && n > 0 {
+					small = true
+				}
+			}
+			if !small {
+				t.Errorf("%s: expected variable-size regions, got %v", bench, r.PF.RegionSizeDist)
+			}
+		}
+	}
+}
+
+// TestGRPIgnoresUnhintedMisses: on the shuffled-pointer workload, GRP's
+// only activity must come through hints — its spatial region count stays
+// far below SRP's every-miss allocation.
+func TestGRPIgnoresUnhintedMisses(t *testing.T) {
+	s := getSuite(t)
+	srp := s.Get("twolf", SRP)
+	grp := s.Get("twolf", GRPVar)
+	if srp.PF.RegionsAllocated == 0 {
+		t.Fatal("SRP should allocate regions on every miss")
+	}
+	// GRP allocates only 2-block pointer-target entries on twolf; its
+	// 64-block region count should be zero.
+	if n := grp.PF.RegionSizeDist[64]; n > 0 {
+		t.Errorf("twolf GRP allocated %d full regions despite no spatial hints", n)
+	}
+}
+
+// TestCraftyNegligibleMisses: the excluded benchmark really has a
+// negligible L2 miss rate, the paper's reason for dropping it.
+func TestCraftyNegligibleMisses(t *testing.T) {
+	spec, err := workloads.ByName("crafty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small scale: a Test-scale run is short enough that cold fills still
+	// dominate the (tiny) miss count.
+	r, err := Run(spec, NoPrefetch, Options{Factor: workloads.Small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's 0.4% is misses per memory reference: crafty's table fits
+	// the L1, so only its cold fills ever reach the L2.
+	refs := r.Mem.Loads + r.Mem.Stores
+	if refs == 0 {
+		t.Fatal("crafty issued no memory references")
+	}
+	if perRef := 100 * float64(r.L2.Misses) / float64(refs); perRef > 2 {
+		t.Errorf("crafty L2 misses per reference = %.2f%%, should be negligible", perRef)
+	}
+}
+
+// TestBandwidthBoundArt: art must stay memory-limited even under GRP —
+// the paper's "simply requires more memory bandwidth" benchmark. Doubling
+// the channel count should visibly help its GRP configuration.
+func TestBandwidthBoundArt(t *testing.T) {
+	spec, err := workloads.ByName("art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Factor: workloads.Test}
+	narrow, err := Run(spec, GRPVar, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wideOpt := opt
+	mc := *defaultMemConfigForTest()
+	mc.DRAM.Channels = 8
+	wideOpt.Mem = &mc
+	wide, err := Run(spec, GRPVar, wideOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.CPU.Cycles >= narrow.CPU.Cycles {
+		t.Errorf("doubling channels should help bandwidth-bound art: %d vs %d cycles",
+			wide.CPU.Cycles, narrow.CPU.Cycles)
+	}
+}
+
+// defaultMemConfigForTest returns a fresh default memory configuration for
+// option overrides in tests.
+func defaultMemConfigForTest() *sim.MemConfig {
+	c := sim.DefaultMemConfig()
+	return &c
+}

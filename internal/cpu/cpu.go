@@ -1,0 +1,438 @@
+// Package cpu models the out-of-order processor core of the paper's
+// evaluation platform (Section 5.1): a 4-way issue core with a 64-entry
+// RUU/reorder buffer, a bimodal branch predictor, and non-blocking caches.
+//
+// The model is timing-directed functional simulation: instructions execute
+// functionally in program order (the oracle path), and a dependence- and
+// resource-constrained scheduler assigns each instruction fetch, issue,
+// completion and commit cycles. The reorder buffer bounds how far fetch
+// runs ahead of commit, which is what limits memory-level parallelism;
+// branch mispredictions insert fetch bubbles until the branch resolves.
+// Wrong-path cache effects are not modeled (see DESIGN.md).
+package cpu
+
+import (
+	"fmt"
+
+	"grp/internal/isa"
+	"grp/internal/mem"
+)
+
+// MemoryTiming is the interface the core drives; *sim.MemSystem implements
+// it, as do the perfect-memory stubs in tests.
+type MemoryTiming interface {
+	// Load returns the completion cycle of a load issued at cycle now.
+	Load(pc, addr uint64, hint isa.Hint, coeff uint8, now uint64) uint64
+	// Store returns the completion cycle of a store issued at cycle now.
+	Store(pc, addr uint64, now uint64) uint64
+	// SetBound forwards a SETBOUND instruction's value.
+	SetBound(v uint64)
+	// Indirect forwards a PREFI instruction.
+	Indirect(indexAddr, base uint64, shift uint)
+	// SoftwarePrefetch issues a non-binding PREF for addr at cycle now.
+	SoftwarePrefetch(addr, now uint64)
+}
+
+// Config describes the core.
+type Config struct {
+	FetchWidth  int
+	IssueWidth  int
+	CommitWidth int
+	ROBSize     int
+	MemPorts    int
+	// BranchPenalty is the front-end refill delay after a mispredicted
+	// branch resolves.
+	BranchPenalty uint64
+	// PredictorEntries sizes the bimodal predictor (power of two).
+	PredictorEntries int
+
+	// MaxInstrs bounds simulated instruction count; 0 means unlimited
+	// (run to HALT).
+	MaxInstrs uint64
+}
+
+// Default returns the paper's core: 4-way, 64-entry window.
+func Default() Config {
+	return Config{
+		FetchWidth:       4,
+		IssueWidth:       4,
+		CommitWidth:      4,
+		ROBSize:          64,
+		MemPorts:         2,
+		BranchPenalty:    7,
+		PredictorEntries: 4096,
+		MaxInstrs:        0,
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	Instrs      uint64
+	Cycles      uint64
+	Loads       uint64
+	Stores      uint64
+	Branches    uint64
+	Mispredicts uint64
+	Halted      bool // reached HALT (vs. instruction budget)
+}
+
+// IPC returns committed instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instrs) / float64(r.Cycles)
+}
+
+// opLatency returns execution latency for non-memory operations.
+func opLatency(op isa.Op) uint64 {
+	switch op {
+	case isa.OpMul, isa.OpMuli:
+		return 3
+	case isa.OpDiv, isa.OpRem:
+		return 12
+	default:
+		return 1
+	}
+}
+
+// slotTable tracks per-cycle resource usage (issue slots, memory ports)
+// sparsely; old cycles are pruned as the fetch front advances past them.
+type slotTable struct {
+	counts map[uint64]uint8
+	limit  uint8
+}
+
+func newSlotTable(limit int) *slotTable {
+	return &slotTable{counts: make(map[uint64]uint8), limit: uint8(limit)}
+}
+
+// reserveWith finds the first cycle >= at with a free slot in both s and
+// (when other != nil) other, and claims one slot in each.
+func (s *slotTable) reserveWith(at uint64, other *slotTable) uint64 {
+	for {
+		if s.counts[at] < s.limit && (other == nil || other.counts[at] < other.limit) {
+			s.counts[at]++
+			if other != nil {
+				other.counts[at]++
+			}
+			return at
+		}
+		at++
+	}
+}
+
+func (s *slotTable) pruneBelow(c uint64) {
+	if len(s.counts) < 1<<15 {
+		return
+	}
+	for k := range s.counts {
+		if k < c {
+			delete(s.counts, k)
+		}
+	}
+}
+
+// Core simulates one program on one memory system.
+type Core struct {
+	cfg  Config
+	mem  *mem.Memory
+	msys MemoryTiming
+
+	regs    [isa.NumRegs]uint64 // functional register file
+	predict []uint8             // 2-bit bimodal counters
+}
+
+// New builds a core over functional memory m and timing model msys.
+func New(cfg Config, m *mem.Memory, msys MemoryTiming) *Core {
+	if cfg.FetchWidth <= 0 || cfg.IssueWidth <= 0 || cfg.CommitWidth <= 0 ||
+		cfg.ROBSize <= 0 || cfg.MemPorts <= 0 {
+		panic("cpu: nonpositive width in config")
+	}
+	n := cfg.PredictorEntries
+	if n == 0 {
+		n = 4096
+	}
+	if n&(n-1) != 0 {
+		panic("cpu: predictor entries must be a power of two")
+	}
+	return &Core{cfg: cfg, mem: m, msys: msys, predict: make([]uint8, n)}
+}
+
+// Run executes the program to HALT or the instruction budget and returns
+// timing results. It returns an error for malformed programs or runaway
+// execution without a budget.
+func (c *Core) Run(p *isa.Program) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	var res Result
+
+	var regReady [isa.NumRegs]uint64
+	robCommit := make([]uint64, c.cfg.ROBSize) // commit cycle by ROB slot
+
+	issueSlots := newSlotTable(c.cfg.IssueWidth)
+	memSlots := newSlotTable(c.cfg.MemPorts)
+
+	var fetchCycle uint64 = 1
+	fetchedThisCycle := 0
+	var lastCommitCycle uint64
+	commitsThisCycle := 0
+	var storeAddrReadyMax uint64 // all older stores' addresses known by here
+
+	// Recent stores for load forwarding: block address -> data-ready cycle.
+	type pendStore struct {
+		addr   uint64
+		size   int
+		ready  uint64
+		commit uint64
+	}
+	var recentStores []pendStore
+
+	pc := 0
+	budget := c.cfg.MaxInstrs
+	if budget == 0 {
+		budget = 1 << 62
+	}
+
+	for i := uint64(0); i < budget; i++ {
+		if pc < 0 || pc >= len(p.Instrs) {
+			return res, fmt.Errorf("cpu: %s: pc %d out of range", p.Name, pc)
+		}
+		in := p.Instrs[pc]
+
+		// --- Fetch slot ---
+		if fetchedThisCycle >= c.cfg.FetchWidth {
+			fetchCycle++
+			fetchedThisCycle = 0
+		}
+		fetchAt := fetchCycle
+		// ROB space: the slot we are about to reuse must have committed.
+		slot := int(i) % c.cfg.ROBSize
+		if robCommit[slot] > fetchAt {
+			fetchAt = robCommit[slot]
+			fetchCycle = fetchAt
+			fetchedThisCycle = 0
+		}
+		fetchedThisCycle++
+
+		// --- Functional execute (oracle path) ---
+		a, b := in.Uses()
+		v1, v2 := c.regs[a], c.regs[b]
+		var value uint64
+		var addr uint64
+		var taken bool
+		switch in.Op {
+		case isa.OpNop, isa.OpHalt:
+		case isa.OpLi:
+			value = uint64(in.Imm)
+		case isa.OpMov:
+			value = v1
+		case isa.OpAdd:
+			value = v1 + v2
+		case isa.OpSub:
+			value = v1 - v2
+		case isa.OpMul:
+			value = v1 * v2
+		case isa.OpDiv:
+			if v2 != 0 {
+				value = uint64(int64(v1) / int64(v2))
+			}
+		case isa.OpRem:
+			if v2 != 0 {
+				value = uint64(int64(v1) % int64(v2))
+			}
+		case isa.OpAnd:
+			value = v1 & v2
+		case isa.OpOr:
+			value = v1 | v2
+		case isa.OpXor:
+			value = v1 ^ v2
+		case isa.OpShl:
+			value = v1 << (v2 & 63)
+		case isa.OpShr:
+			value = v1 >> (v2 & 63)
+		case isa.OpSlt:
+			if int64(v1) < int64(v2) {
+				value = 1
+			}
+		case isa.OpAddi:
+			value = v1 + uint64(in.Imm)
+		case isa.OpMuli:
+			value = v1 * uint64(in.Imm)
+		case isa.OpAndi:
+			value = v1 & uint64(in.Imm)
+		case isa.OpOri:
+			value = v1 | uint64(in.Imm)
+		case isa.OpXori:
+			value = v1 ^ uint64(in.Imm)
+		case isa.OpShli:
+			value = v1 << (uint64(in.Imm) & 63)
+		case isa.OpShri:
+			value = v1 >> (uint64(in.Imm) & 63)
+		case isa.OpSlti:
+			if int64(v1) < in.Imm {
+				value = 1
+			}
+		case isa.OpLd, isa.OpLd4, isa.OpLd1:
+			addr = v1 + uint64(in.Imm)
+			value = c.mem.Read(addr, in.MemSize())
+		case isa.OpSt, isa.OpSt4, isa.OpSt1:
+			addr = v1 + uint64(in.Imm)
+			c.mem.Write(addr, in.MemSize(), v2)
+		case isa.OpBeq:
+			taken = v1 == v2
+		case isa.OpBne:
+			taken = v1 != v2
+		case isa.OpBlt:
+			taken = int64(v1) < int64(v2)
+		case isa.OpBge:
+			taken = int64(v1) >= int64(v2)
+		case isa.OpJmp:
+			taken = true
+		case isa.OpSetBound:
+			c.msys.SetBound(v1)
+		case isa.OpPrefIndirect:
+			c.msys.Indirect(v1, v2, uint(in.Imm)&63)
+		case isa.OpPref:
+			addr = v1 + uint64(in.Imm)
+		}
+
+		// --- Schedule: ready, issue, complete ---
+		readyAt := fetchAt + 1 // decode/rename
+		if regReady[a] > readyAt {
+			readyAt = regReady[a]
+		}
+		if regReady[b] > readyAt {
+			readyAt = regReady[b]
+		}
+		var doneAt uint64
+		ipc := uint64(pc) // instruction address for the stride table
+
+		switch {
+		case in.Op == isa.OpPref:
+			// A software prefetch consumes an issue slot and a memory
+			// port like a load — its runtime overhead is the point of the
+			// comparison — but binds no register and never stalls.
+			issueAt := issueSlots.reserveWith(readyAt, memSlots)
+			c.msys.SoftwarePrefetch(addr, issueAt)
+			doneAt = issueAt + 1
+		case in.IsLoad():
+			res.Loads++
+			// Conservative disambiguation: wait for all older stores'
+			// addresses.
+			if storeAddrReadyMax > readyAt {
+				readyAt = storeAddrReadyMax
+			}
+			issueAt := issueSlots.reserveWith(readyAt, memSlots)
+			// Forward from an in-flight older store to the same address.
+			forwarded := false
+			for j := len(recentStores) - 1; j >= 0; j-- {
+				st := recentStores[j]
+				if st.commit <= issueAt {
+					continue
+				}
+				if overlaps(st.addr, st.size, addr, in.MemSize()) {
+					d := st.ready
+					if issueAt > d {
+						d = issueAt
+					}
+					doneAt = d + 1
+					forwarded = true
+					break
+				}
+			}
+			if !forwarded {
+				doneAt = c.msys.Load(ipc, addr, in.Hint, in.Coeff, issueAt)
+			}
+		case in.IsStore():
+			res.Stores++
+			issueAt := issueSlots.reserveWith(readyAt, memSlots)
+			// The store enters the store buffer; the cache access happens
+			// in the background and does not block commit.
+			c.msys.Store(ipc, addr, issueAt)
+			doneAt = issueAt + 1
+			if readyAt > storeAddrReadyMax {
+				storeAddrReadyMax = readyAt
+			}
+			recentStores = append(recentStores, pendStore{
+				addr: addr, size: in.MemSize(), ready: doneAt, commit: doneAt + 2,
+			})
+			if len(recentStores) > c.cfg.ROBSize {
+				recentStores = recentStores[len(recentStores)-c.cfg.ROBSize:]
+			}
+		default:
+			issueAt := issueSlots.reserveWith(readyAt, nil)
+			doneAt = issueAt + opLatency(in.Op)
+		}
+
+		// --- Writeback ---
+		if d := in.Defines(); d != 0 {
+			regReady[d] = doneAt
+			c.regs[d] = value
+		}
+
+		// --- Branch resolution ---
+		if in.IsBranch() {
+			res.Branches++
+			if in.IsConditional() {
+				idx := pc & (len(c.predict) - 1)
+				predTaken := c.predict[idx] >= 2
+				if predTaken != taken {
+					res.Mispredicts++
+					// Fetch resumes after the branch resolves.
+					if doneAt+c.cfg.BranchPenalty > fetchCycle {
+						fetchCycle = doneAt + c.cfg.BranchPenalty
+						fetchedThisCycle = 0
+					}
+				}
+				if taken && c.predict[idx] < 3 {
+					c.predict[idx]++
+				} else if !taken && c.predict[idx] > 0 {
+					c.predict[idx]--
+				}
+			}
+		}
+
+		// --- Commit (in order) ---
+		cAt := doneAt + 1
+		if cAt < lastCommitCycle {
+			cAt = lastCommitCycle
+		}
+		if cAt == lastCommitCycle && commitsThisCycle >= c.cfg.CommitWidth {
+			cAt++
+		}
+		if cAt > lastCommitCycle {
+			lastCommitCycle = cAt
+			commitsThisCycle = 0
+		}
+		commitsThisCycle++
+		robCommit[slot] = cAt
+		res.Instrs++
+		res.Cycles = cAt
+
+		if i%(1<<16) == 0 {
+			issueSlots.pruneBelow(fetchCycle)
+			memSlots.pruneBelow(fetchCycle)
+		}
+
+		// --- Next PC ---
+		if in.Op == isa.OpHalt {
+			res.Halted = true
+			break
+		}
+		if in.IsBranch() && taken {
+			pc = in.Target
+		} else {
+			pc++
+		}
+	}
+	return res, nil
+}
+
+// Regs returns the architectural register file after Run (for tests).
+func (c *Core) Regs() [isa.NumRegs]uint64 { return c.regs }
+
+func overlaps(a uint64, an int, b uint64, bn int) bool {
+	return a < b+uint64(bn) && b < a+uint64(an)
+}

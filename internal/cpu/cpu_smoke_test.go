@@ -1,0 +1,122 @@
+package cpu
+
+import (
+	"testing"
+
+	"grp/internal/isa"
+	"grp/internal/mem"
+	"grp/internal/prefetch"
+	"grp/internal/sim"
+)
+
+// sumProgram sums n int64s starting at base into r5.
+const sumSrc = `
+	li   r1, %BASE%      ; cursor
+	li   r2, %END%       ; end
+	li   r5, 0           ; sum
+loop:
+	ld   r3, 0(r1) !spatial
+	add  r5, r5, r3
+	addi r1, r1, 8
+	blt  r1, r2, loop
+	halt
+`
+
+func buildSum(t *testing.T, n int) (*isa.Program, *mem.Memory, uint64) {
+	t.Helper()
+	m := mem.New()
+	base := m.Alloc(uint64(n)*8, 64)
+	var want uint64
+	for i := 0; i < n; i++ {
+		m.Write64(base+uint64(i)*8, uint64(i*3))
+		want += uint64(i * 3)
+	}
+	src := sumSrc
+	src = replace(src, "%BASE%", base)
+	src = replace(src, "%END%", base+uint64(n)*8)
+	p, err := isa.Assemble("sum", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p, m, want
+}
+
+func replace(s, k string, v uint64) string {
+	out := ""
+	for {
+		i := index(s, k)
+		if i < 0 {
+			return out + s
+		}
+		out += s[:i] + itoa(v)
+		s = s[i+len(k):]
+	}
+}
+
+func index(s, k string) int {
+	for i := 0; i+len(k) <= len(s); i++ {
+		if s[i:i+len(k)] == k {
+			return i
+		}
+	}
+	return -1
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestSmokeSumNoPrefetch(t *testing.T) {
+	p, m, want := buildSum(t, 4096)
+	ms := sim.NewMemSystem(sim.DefaultMemConfig(), prefetch.NewNull())
+	core := New(Default(), m, ms)
+	res, err := core.Run(p)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.Halted {
+		t.Fatalf("did not halt")
+	}
+	if got := core.Regs()[5]; got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+	if res.Instrs == 0 || res.Cycles == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	t.Logf("instrs=%d cycles=%d ipc=%.3f l1=%+v l2=%+v",
+		res.Instrs, res.Cycles, res.IPC(), ms.L1.Stats(), ms.L2.Stats())
+}
+
+func TestSmokeSumSRPFasterAndMoreTraffic(t *testing.T) {
+	run := func(eng func(msCfg sim.MemConfig) prefetch.Engine) (Result, *sim.MemSystem) {
+		p, m, _ := buildSum(t, 1<<16) // 512 KB stream, misses throughout
+		cfg := sim.DefaultMemConfig()
+		ms := sim.NewMemSystem(cfg, eng(cfg))
+		core := New(Default(), m, ms)
+		res, err := core.Run(p)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		ms.Drain()
+		return res, ms
+	}
+	base, msBase := run(func(sim.MemConfig) prefetch.Engine { return prefetch.NewNull() })
+	srp, msSRP := run(func(sim.MemConfig) prefetch.Engine { return prefetch.NewSRP() })
+	t.Logf("base: cycles=%d traffic=%d", base.Cycles, msBase.Dram.TrafficBytes())
+	t.Logf("srp : cycles=%d traffic=%d issued=%d useful=%d", srp.Cycles,
+		msSRP.Dram.TrafficBytes(), msSRP.Stats().PrefetchesIssued, msSRP.L2.Stats().UsefulPrefetches)
+	if srp.Cycles >= base.Cycles {
+		t.Errorf("SRP (%d cycles) not faster than base (%d cycles) on a streaming loop", srp.Cycles, base.Cycles)
+	}
+	if msSRP.Stats().PrefetchesIssued == 0 {
+		t.Errorf("SRP issued no prefetches")
+	}
+}

@@ -1,0 +1,156 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := Default()
+	bad.RowBytes = 100 // not a multiple of 64
+	if err := bad.Validate(); err == nil {
+		t.Error("expected row-size validation error")
+	}
+	if err := (Config{}).Validate(); err == nil {
+		t.Error("zero config should fail")
+	}
+}
+
+func TestMapChannelInterleave(t *testing.T) {
+	c := New(Default())
+	// Consecutive blocks round-robin across channels.
+	for i := 0; i < 8; i++ {
+		ch, _, _ := c.Map(uint64(i * 64))
+		if ch != i%4 {
+			t.Errorf("block %d → channel %d, want %d", i, ch, i%4)
+		}
+	}
+	// Channel-local consecutive blocks share a row until it fills.
+	_, bk0, row0 := c.Map(0)
+	_, bk1, row1 := c.Map(4 * 64) // next block on channel 0
+	if bk0 != bk1 || row0 != row1 {
+		t.Errorf("adjacent channel-local blocks should share bank/row: (%d,%d) vs (%d,%d)",
+			bk0, row0, bk1, row1)
+	}
+	// Far-apart addresses land in different rows.
+	_, _, rowFar := c.Map(1 << 24)
+	if rowFar == row0 {
+		t.Error("distant block should use a different row")
+	}
+}
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	cfg := Default()
+	c := New(cfg)
+	d1 := c.Submit(0, Demand, 0)          // row miss
+	d2 := c.Submit(4*64, Demand, d1+1000) // same row, after quiet period: row hit
+	lat1 := d1 - 0
+	lat2 := d2 - (d1 + 1000)
+	if lat2 >= lat1 {
+		t.Errorf("row hit latency %d not less than row miss %d", lat2, lat1)
+	}
+	s := c.Stats()
+	if s.RowMisses != 1 || s.RowHits != 1 {
+		t.Errorf("row stats = %+v", s)
+	}
+}
+
+func TestRowOpen(t *testing.T) {
+	c := New(Default())
+	if c.RowOpen(0) {
+		t.Error("no row open initially")
+	}
+	c.Submit(0, Demand, 0)
+	if !c.RowOpen(0) {
+		t.Error("row should be open after access")
+	}
+	if !c.RowOpen(4 * 64) {
+		t.Error("adjacent channel-local block shares the open row")
+	}
+}
+
+func TestChannelOccupancy(t *testing.T) {
+	cfg := Default()
+	c := New(cfg)
+	c.Submit(0, Prefetch, 0)
+	free := c.ChannelFreeAt(0)
+	if free == 0 {
+		t.Fatal("channel should be busy after a submit")
+	}
+	// A second request on the same channel starts no earlier than the
+	// channel frees.
+	d2 := c.Submit(4*64*2048, Demand, 0) // same channel (block multiple of 4), different row
+	if d2 < free {
+		t.Errorf("second request done %d before channel free %d", d2, free)
+	}
+	// A request on another channel is unaffected.
+	if c.ChannelFreeAt(1) != 0 {
+		t.Error("other channels should be idle")
+	}
+}
+
+func TestKindsCounted(t *testing.T) {
+	c := New(Default())
+	c.Submit(0, Demand, 0)
+	c.Submit(64, Prefetch, 0)
+	c.Submit(128, Writeback, 0)
+	s := c.Stats()
+	if s.DemandReads != 1 || s.PrefetchReads != 1 || s.Writebacks != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if c.TotalBlocks() != 3 {
+		t.Errorf("TotalBlocks = %d", c.TotalBlocks())
+	}
+	if c.TrafficBytes() != 3*64 {
+		t.Errorf("TrafficBytes = %d", c.TrafficBytes())
+	}
+}
+
+func TestBankBusyShorterThanLatency(t *testing.T) {
+	cfg := Default()
+	c := New(cfg)
+	done := c.Submit(0, Demand, 0)
+	// Another access to the same bank, different row: may start before the
+	// first's data arrives (bank busy < full latency) but not before the
+	// bank frees.
+	rowBlocks := uint64(cfg.RowBytes / cfg.BlockBytes)
+	sameBank := rowBlocks * uint64(cfg.Channels) * uint64(cfg.BanksPerChannel) * 64
+	d2 := c.Submit(sameBank, Demand, 0)
+	if d2 <= done {
+		t.Errorf("second access to same bank done %d, first %d", d2, done)
+	}
+	gap := d2 - done
+	if gap >= cfg.RowMissCycles {
+		t.Errorf("bank serialization too strong: gap %d >= full latency %d", gap, cfg.RowMissCycles)
+	}
+}
+
+// TestQuickSubmitMonotonic: a request never completes before it is
+// submitted plus the minimum service time, and never before `now`.
+func TestQuickSubmitMonotonic(t *testing.T) {
+	c := New(Default())
+	minService := Default().RowHitCycles + Default().TransferCycles
+	var now uint64
+	f := func(blockSeed uint16, dn uint8, kind uint8) bool {
+		now += uint64(dn)
+		addr := uint64(blockSeed) * 64
+		done := c.Submit(addr, Kind(kind%3), now)
+		return done >= now+minService
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroBankBusyFallsBack(t *testing.T) {
+	cfg := Default()
+	cfg.BankBusyHit, cfg.BankBusyMiss = 0, 0
+	c := New(cfg)
+	done := c.Submit(0, Demand, 0)
+	if done == 0 {
+		t.Error("submit should take time")
+	}
+}

@@ -1,0 +1,326 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses the textual assembler syntax produced by Disassemble (and
+// written by hand in tests and examples) into a Program.
+//
+// Syntax, one instruction per line:
+//
+//	; comment                     (also # comment)
+//	loop:                         label, attaches to the next instruction
+//	li   r1, 100
+//	add  r3, r1, r2
+//	addi r3, r1, 8
+//	ld   r2, 8(r1) !spatial!sz3   hints: !spatial !pointer !recursive !szN
+//	st   r2, 0(r4)                (store syntax: value register first)
+//	beq  r1, r2, loop             branch targets are labels
+//	jmp  loop
+//	setbound r5
+//	prefi r6, r7, 2               index-elem addr, base addr, log2 elem size
+//	halt
+func Assemble(name, src string) (*Program, error) {
+	p := &Program{Name: name}
+	labels := map[string]int{}
+	type fixup struct {
+		instr int
+		label string
+		line  int
+	}
+	var fixups []fixup
+	pending := ""
+
+	lineNo := 0
+	for _, raw := range strings.Split(src, "\n") {
+		lineNo++
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			label := strings.TrimSuffix(line, ":")
+			if !isIdent(label) {
+				return nil, fmt.Errorf("isa: %s:%d: bad label %q", name, lineNo, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("isa: %s:%d: duplicate label %q", name, lineNo, label)
+			}
+			labels[label] = len(p.Instrs)
+			pending = label
+			continue
+		}
+
+		in, targetLabel, err := parseInstr(line)
+		if err != nil {
+			return nil, fmt.Errorf("isa: %s:%d: %v", name, lineNo, err)
+		}
+		if pending != "" {
+			in.Label = pending
+			pending = ""
+		}
+		if targetLabel != "" {
+			fixups = append(fixups, fixup{len(p.Instrs), targetLabel, lineNo})
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+
+	for _, f := range fixups {
+		t, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: %s:%d: undefined label %q", name, f.line, f.label)
+		}
+		if t >= len(p.Instrs) {
+			return nil, fmt.Errorf("isa: %s:%d: label %q points past end", name, f.line, f.label)
+		}
+		p.Instrs[f.instr].Target = t
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Disassemble renders the program in the assembler syntax accepted by
+// Assemble. Instructions that are branch targets are given labels.
+func Disassemble(p *Program) string {
+	names := map[int]string{}
+	for _, in := range p.Instrs {
+		if in.IsBranch() {
+			if _, ok := names[in.Target]; !ok {
+				names[in.Target] = fmt.Sprintf("L%d", in.Target)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, in := range p.Instrs {
+		if lbl, ok := names[i]; ok {
+			fmt.Fprintf(&b, "%s:\n", lbl)
+		}
+		s := in.String()
+		if in.IsBranch() {
+			// Replace "@N" with the label name.
+			s = strings.Replace(s, fmt.Sprintf("@%d", in.Target), names[in.Target], 1)
+		}
+		fmt.Fprintf(&b, "\t%s\n", s)
+	}
+	return b.String()
+}
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, n := range opNames {
+		if n != "" {
+			m[n] = Op(op)
+		}
+	}
+	return m
+}()
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseInstr(line string) (Instr, string, error) {
+	// Split off hint suffixes ("!spatial!sz3") before tokenizing.
+	hints := ""
+	if i := strings.Index(line, "!"); i >= 0 {
+		hints = line[i:]
+		line = strings.TrimSpace(line[:i])
+	}
+	fields := strings.FieldsFunc(line, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' })
+	if len(fields) == 0 {
+		return Instr{}, "", fmt.Errorf("empty instruction")
+	}
+	op, ok := opByName[fields[0]]
+	if !ok {
+		return Instr{}, "", fmt.Errorf("unknown opcode %q", fields[0])
+	}
+	args := fields[1:]
+	in := Instr{Op: op, Coeff: FixedRegion}
+
+	reg := func(s string) (uint8, error) {
+		if len(s) < 2 || s[0] != 'r' {
+			return 0, fmt.Errorf("expected register, got %q", s)
+		}
+		n, err := strconv.Atoi(s[1:])
+		if err != nil || n < 0 || n >= NumRegs {
+			return 0, fmt.Errorf("bad register %q", s)
+		}
+		return uint8(n), nil
+	}
+	imm := func(s string) (int64, error) {
+		n, err := strconv.ParseInt(s, 0, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad immediate %q", s)
+		}
+		return n, nil
+	}
+	// memOperand parses "8(r1)" into displacement and base register.
+	memOperand := func(s string) (int64, uint8, error) {
+		open := strings.Index(s, "(")
+		if open < 0 || !strings.HasSuffix(s, ")") {
+			return 0, 0, fmt.Errorf("expected disp(reg), got %q", s)
+		}
+		d := int64(0)
+		if open > 0 {
+			var err error
+			d, err = imm(s[:open])
+			if err != nil {
+				return 0, 0, err
+			}
+		}
+		r, err := reg(s[open+1 : len(s)-1])
+		return d, r, err
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s expects %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+
+	var targetLabel string
+	var err error
+	switch op {
+	case OpNop, OpHalt:
+		err = need(0)
+	case OpLi:
+		if err = need(2); err == nil {
+			in.Rd, err = reg(args[0])
+			if err == nil {
+				in.Imm, err = imm(args[1])
+			}
+		}
+	case OpMov:
+		if err = need(2); err == nil {
+			in.Rd, err = reg(args[0])
+			if err == nil {
+				in.Rs1, err = reg(args[1])
+			}
+		}
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSlt:
+		if err = need(3); err == nil {
+			in.Rd, err = reg(args[0])
+			if err == nil {
+				in.Rs1, err = reg(args[1])
+			}
+			if err == nil {
+				in.Rs2, err = reg(args[2])
+			}
+		}
+	case OpAddi, OpMuli, OpAndi, OpOri, OpXori, OpShli, OpShri, OpSlti:
+		if err = need(3); err == nil {
+			in.Rd, err = reg(args[0])
+			if err == nil {
+				in.Rs1, err = reg(args[1])
+			}
+			if err == nil {
+				in.Imm, err = imm(args[2])
+			}
+		}
+	case OpLd, OpLd4, OpLd1:
+		if err = need(2); err == nil {
+			in.Rd, err = reg(args[0])
+			if err == nil {
+				in.Imm, in.Rs1, err = memOperand(args[1])
+			}
+		}
+	case OpSt, OpSt4, OpSt1:
+		if err = need(2); err == nil {
+			in.Rs2, err = reg(args[0])
+			if err == nil {
+				in.Imm, in.Rs1, err = memOperand(args[1])
+			}
+		}
+	case OpBeq, OpBne, OpBlt, OpBge:
+		if err = need(3); err == nil {
+			in.Rs1, err = reg(args[0])
+			if err == nil {
+				in.Rs2, err = reg(args[1])
+			}
+			if err == nil {
+				targetLabel = args[2]
+				if !isIdent(targetLabel) {
+					err = fmt.Errorf("bad branch target %q", targetLabel)
+				}
+			}
+		}
+	case OpJmp:
+		if err = need(1); err == nil {
+			targetLabel = args[0]
+			if !isIdent(targetLabel) {
+				err = fmt.Errorf("bad jump target %q", targetLabel)
+			}
+		}
+	case OpSetBound:
+		if err = need(1); err == nil {
+			in.Rs1, err = reg(args[0])
+		}
+	case OpPref:
+		if err = need(1); err == nil {
+			in.Imm, in.Rs1, err = memOperand(args[0])
+		}
+	case OpPrefIndirect:
+		if err = need(3); err == nil {
+			in.Rs1, err = reg(args[0])
+			if err == nil {
+				in.Rs2, err = reg(args[1])
+			}
+			if err == nil {
+				in.Imm, err = imm(args[2])
+			}
+		}
+	default:
+		err = fmt.Errorf("unhandled opcode %s", op)
+	}
+	if err != nil {
+		return Instr{}, "", err
+	}
+
+	if hints != "" {
+		if !in.IsLoad() {
+			return Instr{}, "", fmt.Errorf("hints on non-load %s", op)
+		}
+		for _, h := range strings.Split(strings.TrimPrefix(hints, "!"), "!") {
+			switch {
+			case h == "spatial":
+				in.Hint |= HintSpatial
+			case h == "pointer":
+				in.Hint |= HintPointer
+			case h == "recursive":
+				in.Hint |= HintRecursive
+			case strings.HasPrefix(h, "sz"):
+				n, cerr := strconv.Atoi(h[2:])
+				if cerr != nil || n < 0 || n > int(FixedRegion) {
+					return Instr{}, "", fmt.Errorf("bad size coefficient %q", h)
+				}
+				in.Coeff = uint8(n)
+			default:
+				return Instr{}, "", fmt.Errorf("unknown hint %q", h)
+			}
+		}
+	}
+	return in, targetLabel, nil
+}

@@ -1,0 +1,181 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleSrc = `
+; a loop summing 10 values
+	li   r1, 4096
+	li   r2, 10
+	li   r3, 0
+loop:
+	ld   r4, 0(r1) !spatial!sz3
+	add  r3, r3, r4
+	addi r1, r1, 8
+	addi r2, r2, -1
+	bne  r2, r0, loop
+	st   r3, 8(r1)
+	halt
+`
+
+func TestAssembleBasic(t *testing.T) {
+	p, err := Assemble("sample", sampleSrc)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if len(p.Instrs) != 10 {
+		t.Fatalf("got %d instructions, want 10", len(p.Instrs))
+	}
+	ld := p.Instrs[3]
+	if ld.Op != OpLd || ld.Rd != 4 || ld.Rs1 != 1 || ld.Imm != 0 {
+		t.Errorf("ld parsed wrong: %+v", ld)
+	}
+	if !ld.Hint.Has(HintSpatial) || ld.Coeff != 3 {
+		t.Errorf("ld hints parsed wrong: hint=%v coeff=%d", ld.Hint, ld.Coeff)
+	}
+	bne := p.Instrs[7]
+	if bne.Op != OpBne || bne.Target != 3 {
+		t.Errorf("bne target = %d, want 3 (%+v)", bne.Target, bne)
+	}
+	st := p.Instrs[8]
+	if st.Op != OpSt || st.Rs2 != 3 || st.Rs1 != 1 || st.Imm != 8 {
+		t.Errorf("st parsed wrong: %+v", st)
+	}
+}
+
+func TestAssembleNegativeDisplacement(t *testing.T) {
+	p, err := Assemble("neg", "\tld r1, -16(r2)\n\thalt\n")
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if p.Instrs[0].Imm != -16 {
+		t.Errorf("displacement = %d, want -16", p.Instrs[0].Imm)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown op":      "\tfrob r1, r2\n\thalt\n",
+		"bad register":    "\tli r99, 1\n\thalt\n",
+		"undefined label": "\tjmp nowhere\n\thalt\n",
+		"dup label":       "a:\n\tnop\na:\n\thalt\n",
+		"hint on alu":     "\tadd r1, r2, r3 !spatial\n\thalt\n",
+		"bad hint":        "\tld r1, 0(r2) !warp\n\thalt\n",
+		"bad coeff":       "\tld r1, 0(r2) !sz9\n\thalt\n",
+		"missing operand": "\tadd r1, r2\n\thalt\n",
+		"bad mem operand": "\tld r1, r2\n\thalt\n",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(name, src); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	p, err := Assemble("sample", sampleSrc)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	text := Disassemble(p)
+	p2, err := Assemble("sample2", text)
+	if err != nil {
+		t.Fatalf("reassemble failed: %v\n%s", err, text)
+	}
+	if len(p2.Instrs) != len(p.Instrs) {
+		t.Fatalf("round trip changed length: %d vs %d", len(p2.Instrs), len(p.Instrs))
+	}
+	for i := range p.Instrs {
+		a, b := p.Instrs[i], p2.Instrs[i]
+		a.Label, b.Label = "", ""
+		if a != b {
+			t.Errorf("instr %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// randomProgram builds a structurally valid random program for the
+// round-trip property test.
+func randomProgram(r *rand.Rand, n int) *Program {
+	if n < 2 {
+		n = 2
+	}
+	p := &Program{Name: "rand"}
+	ops := []Op{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpSlt,
+		OpAddi, OpMuli, OpShli, OpLi, OpMov, OpLd, OpLd4, OpLd1,
+		OpSt, OpSt4, OpSt1, OpBeq, OpBne, OpBlt, OpBge, OpJmp,
+		OpSetBound, OpPrefIndirect, OpNop}
+	reg := func() uint8 { return uint8(r.Intn(NumRegs)) }
+	for i := 0; i < n-1; i++ {
+		op := ops[r.Intn(len(ops))]
+		in := Instr{Op: op, Rd: reg(), Rs1: reg(), Rs2: reg(), Coeff: FixedRegion}
+		switch {
+		case in.IsLoad():
+			in.Imm = int64(r.Intn(256)) - 128
+			if r.Intn(2) == 0 {
+				in.Hint = Hint(r.Intn(8)) << 1 // any combination
+				if in.Hint.Has(HintSpatial) {
+					in.Coeff = uint8(r.Intn(8))
+				}
+			}
+		case in.IsStore():
+			in.Imm = int64(r.Intn(256)) - 128
+		case in.IsBranch():
+			in.Target = r.Intn(n)
+		case op == OpLi, op == OpAddi, op == OpMuli, op == OpPrefIndirect:
+			in.Imm = int64(r.Intn(1 << 16))
+		case op == OpShli:
+			in.Imm = int64(r.Intn(63))
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	p.Instrs = append(p.Instrs, Instr{Op: OpHalt, Coeff: 0})
+	return p
+}
+
+// TestQuickDisassembleAssembleRoundTrip is the property test: any valid
+// program survives disassemble → assemble unchanged (up to labels and the
+// canonical Coeff on non-loads).
+func TestQuickDisassembleAssembleRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		p := randomProgram(r, 2+r.Intn(40))
+		if err := p.Validate(); err != nil {
+			t.Fatalf("generator produced invalid program: %v", err)
+		}
+		// The textual form is the canonical representation: it must be a
+		// fixed point of disassemble ∘ assemble. (Struct equality is too
+		// strict: the generator fills register fields an opcode ignores.)
+		text := Disassemble(p)
+		p2, err := Assemble("rt", text)
+		if err != nil {
+			t.Logf("reassemble error: %v\n%s", err, text)
+			return false
+		}
+		text2 := Disassemble(p2)
+		if text2 != text {
+			t.Logf("round trip changed text:\n%s\nvs\n%s", text, text2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisassembleLabels(t *testing.T) {
+	p := &Program{Name: "lbl", Instrs: []Instr{
+		{Op: OpJmp, Target: 2},
+		{Op: OpNop},
+		{Op: OpHalt},
+	}}
+	text := Disassemble(p)
+	if !strings.Contains(text, "L2:") {
+		t.Errorf("expected label L2 in:\n%s", text)
+	}
+}

@@ -1,0 +1,409 @@
+// Package isa defines the register instruction set executed by the
+// simulated out-of-order core, including the GRP hint encoding that the
+// compiler attaches to load instructions.
+//
+// The ISA is a small RISC machine in the spirit of the Alpha ISA the paper
+// targets: 32 general-purpose 64-bit registers, load/store with
+// register+immediate addressing, three-operand ALU instructions, and
+// conditional branches. Two GRP-specific instructions exist: SETBOUND,
+// which conveys a loop upper bound to the prefetch engine for variable-size
+// region prefetching (paper Section 3.3.2), and PREFI, the indirect
+// prefetch instruction for a[b[i]] patterns (Section 3.3.3).
+//
+// The paper encodes hints in unused Alpha VAX floating-point load opcodes;
+// here they are explicit fields on the instruction, which is the same
+// information channel (a few bits riding on a load).
+package isa
+
+import "fmt"
+
+// NumRegs is the number of architectural registers. Register 0 is
+// hard-wired to zero, as on MIPS/Alpha-style machines.
+const NumRegs = 32
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+// Opcodes. ALU immediate forms use Imm as the second operand.
+const (
+	OpNop Op = iota
+
+	// ALU register-register: Rd = Rs1 op Rs2.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpSlt // set if less than (signed): Rd = Rs1 < Rs2
+
+	// ALU register-immediate: Rd = Rs1 op Imm.
+	OpAddi
+	OpMuli
+	OpAndi
+	OpOri
+	OpXori
+	OpShli
+	OpShri
+	OpSlti
+
+	// OpLi loads a 64-bit immediate: Rd = Imm.
+	OpLi
+	// OpMov copies a register: Rd = Rs1.
+	OpMov
+
+	// Loads: Rd = mem[Rs1+Imm]. Ld is 8 bytes, Ld4 4 bytes, Ld1 1 byte
+	// (zero-extended). Loads are the only instructions that carry hints.
+	OpLd
+	OpLd4
+	OpLd1
+
+	// Stores: mem[Rs1+Imm] = Rs2 (8/4/1 bytes).
+	OpSt
+	OpSt4
+	OpSt1
+
+	// Branches compare Rs1 and Rs2 and jump to Target when taken.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	// OpJmp unconditionally jumps to Target.
+	OpJmp
+
+	// OpSetBound conveys the value of Rs1 (a loop trip count) to the
+	// prefetch engine; subsequent size-hinted loads use it to compute
+	// variable region sizes (paper Section 3.3.2).
+	OpSetBound
+
+	// OpPrefIndirect is the indirect prefetch instruction (paper Section
+	// 3.3.3). Rs1 holds the address of b[i] (the indirection array
+	// element), Rs2 holds the base address &a[0], and Imm holds
+	// log2(sizeof(a[0])). The prefetch engine reads the cache block
+	// containing Rs1 and generates one prefetch per 4-byte index word.
+	OpPrefIndirect
+
+	// OpPref is a classic non-binding software prefetch of mem[Rs1+Imm]
+	// (Mowry-style). It is not part of GRP — the paper's Section 2
+	// discusses why pure software prefetching cannot cover L2 miss
+	// latencies — but the reproduction implements it as the comparison
+	// foil: it occupies fetch/issue/memory-port resources like a load and
+	// brings the block into the cache without binding a register.
+	OpPref
+
+	// OpHalt terminates the program.
+	OpHalt
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div",
+	OpRem: "rem", OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl",
+	OpShr: "shr", OpSlt: "slt", OpAddi: "addi", OpMuli: "muli",
+	OpAndi: "andi", OpOri: "ori", OpXori: "xori", OpShli: "shli",
+	OpShri: "shri", OpSlti: "slti", OpLi: "li", OpMov: "mov",
+	OpLd: "ld", OpLd4: "ld4", OpLd1: "ld1",
+	OpSt: "st", OpSt4: "st4", OpSt1: "st1",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge", OpJmp: "jmp",
+	OpSetBound: "setbound", OpPrefIndirect: "prefi", OpPref: "pref",
+	OpHalt: "halt",
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Hint is the set of compiler hint bits carried by a load instruction
+// (paper Table 2). Spatial, Pointer and Recursive may be combined; the
+// paper notes a load can be marked both spatial and pointer (e.g. an array
+// of pointers to heap arrays, its Figure 4).
+type Hint uint8
+
+const (
+	// HintNone marks a load with no compiler hint; GRP does not prefetch
+	// on misses to unhinted loads.
+	HintNone Hint = 0
+	// HintSpatial predicts the reference exhibits spatial locality; GRP
+	// initiates a region prefetch on a spatial-hinted L2 miss.
+	HintSpatial Hint = 1 << iota
+	// HintPointer predicts the referenced structure contains pointers the
+	// program will follow; GRP scans the returned block for heap addresses.
+	HintPointer
+	// HintRecursive predicts the program recursively follows pointers in
+	// the returned structure; GRP chases pointers for several levels.
+	HintRecursive
+)
+
+// Has reports whether h includes all bits of q.
+func (h Hint) Has(q Hint) bool { return h&q == q }
+
+// String renders the hint set, e.g. "spatial|pointer".
+func (h Hint) String() string {
+	if h == HintNone {
+		return "none"
+	}
+	s := ""
+	add := func(name string) {
+		if s != "" {
+			s += "|"
+		}
+		s += name
+	}
+	if h.Has(HintSpatial) {
+		add("spatial")
+	}
+	if h.Has(HintPointer) {
+		add("pointer")
+	}
+	if h.Has(HintRecursive) {
+		add("recursive")
+	}
+	return s
+}
+
+// FixedRegion is the 3-bit size-coefficient value reserved to mean "use the
+// fixed (full) region size" (paper Section 4.4 reserves encoding 7).
+const FixedRegion uint8 = 7
+
+// Instr is one decoded instruction. The zero value is a NOP.
+type Instr struct {
+	Op     Op
+	Rd     uint8 // destination register
+	Rs1    uint8 // first source register (base register for memory ops)
+	Rs2    uint8 // second source register (data register for stores)
+	Imm    int64 // immediate / displacement
+	Target int   // branch target, an instruction index within the program
+
+	// Hint carries the compiler's GRP hint bits; meaningful on loads only.
+	Hint Hint
+	// Coeff is the 3-bit variable-region-size coefficient for size-hinted
+	// spatial loads: region blocks = min(bound << Coeff scaling, fixed).
+	// FixedRegion (7) selects fixed-size region prefetching.
+	Coeff uint8
+
+	// Label optionally names the instruction's location; used by the
+	// assembler and disassembler for branch targets.
+	Label string
+}
+
+// IsLoad reports whether the instruction reads data memory.
+func (in Instr) IsLoad() bool { return in.Op == OpLd || in.Op == OpLd4 || in.Op == OpLd1 }
+
+// IsStore reports whether the instruction writes data memory.
+func (in Instr) IsStore() bool { return in.Op == OpSt || in.Op == OpSt4 || in.Op == OpSt1 }
+
+// IsMem reports whether the instruction accesses data memory.
+func (in Instr) IsMem() bool { return in.IsLoad() || in.IsStore() }
+
+// IsBranch reports whether the instruction can redirect control flow.
+func (in Instr) IsBranch() bool {
+	switch in.Op {
+	case OpBeq, OpBne, OpBlt, OpBge, OpJmp:
+		return true
+	}
+	return false
+}
+
+// IsConditional reports whether the instruction is a conditional branch.
+func (in Instr) IsConditional() bool {
+	switch in.Op {
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return true
+	}
+	return false
+}
+
+// MemSize returns the access width in bytes for memory instructions and 0
+// otherwise.
+func (in Instr) MemSize() int {
+	switch in.Op {
+	case OpLd, OpSt:
+		return 8
+	case OpLd4, OpSt4:
+		return 4
+	case OpLd1, OpSt1:
+		return 1
+	}
+	return 0
+}
+
+// Uses returns the source registers read by the instruction. A register
+// slot of 0 never creates a dependence because r0 is constant zero.
+func (in Instr) Uses() (a, b uint8) {
+	switch in.Op {
+	case OpNop, OpLi, OpHalt:
+		return 0, 0
+	case OpMov, OpAddi, OpMuli, OpAndi, OpOri, OpXori, OpShli, OpShri, OpSlti:
+		return in.Rs1, 0
+	case OpLd, OpLd4, OpLd1:
+		return in.Rs1, 0
+	case OpSt, OpSt4, OpSt1:
+		return in.Rs1, in.Rs2
+	case OpJmp:
+		return 0, 0
+	case OpSetBound, OpPref:
+		return in.Rs1, 0
+	case OpPrefIndirect:
+		return in.Rs1, in.Rs2
+	default:
+		return in.Rs1, in.Rs2
+	}
+}
+
+// Defines returns the destination register written by the instruction, or
+// 0 when it writes none (register 0 is the zero register, so "defines r0"
+// and "defines nothing" coincide).
+func (in Instr) Defines() uint8 {
+	switch in.Op {
+	case OpSt, OpSt4, OpSt1, OpBeq, OpBne, OpBlt, OpBge, OpJmp,
+		OpSetBound, OpPrefIndirect, OpPref, OpHalt, OpNop:
+		return 0
+	}
+	return in.Rd
+}
+
+// String renders the instruction in assembler syntax.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpNop:
+		return "nop"
+	case OpHalt:
+		return "halt"
+	case OpLi:
+		return fmt.Sprintf("li r%d, %d", in.Rd, in.Imm)
+	case OpMov:
+		return fmt.Sprintf("mov r%d, r%d", in.Rd, in.Rs1)
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSlt:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case OpAddi, OpMuli, OpAndi, OpOri, OpXori, OpShli, OpShri, OpSlti:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case OpLd, OpLd4, OpLd1:
+		s := fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.Rd, in.Imm, in.Rs1)
+		if in.Hint != HintNone {
+			s += " "
+			if in.Hint.Has(HintSpatial) {
+				s += "!spatial"
+			}
+			if in.Hint.Has(HintPointer) {
+				s += "!pointer"
+			}
+			if in.Hint.Has(HintRecursive) {
+				s += "!recursive"
+			}
+			if in.Coeff != FixedRegion && in.Hint.Has(HintSpatial) {
+				s += fmt.Sprintf("!sz%d", in.Coeff)
+			}
+		}
+		return s
+	case OpSt, OpSt4, OpSt1:
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return fmt.Sprintf("%s r%d, r%d, @%d", in.Op, in.Rs1, in.Rs2, in.Target)
+	case OpJmp:
+		return fmt.Sprintf("jmp @%d", in.Target)
+	case OpSetBound:
+		return fmt.Sprintf("setbound r%d", in.Rs1)
+	case OpPrefIndirect:
+		return fmt.Sprintf("prefi r%d, r%d, %d", in.Rs1, in.Rs2, in.Imm)
+	case OpPref:
+		return fmt.Sprintf("pref %d(r%d)", in.Imm, in.Rs1)
+	}
+	return in.Op.String()
+}
+
+// Program is a fully resolved instruction sequence. Branch targets are
+// instruction indices.
+type Program struct {
+	Name   string
+	Instrs []Instr
+}
+
+// Validate checks structural invariants: branch targets in range, register
+// numbers within the file, a terminating HALT reachable by fallthrough.
+func (p *Program) Validate() error {
+	if len(p.Instrs) == 0 {
+		return fmt.Errorf("isa: program %q is empty", p.Name)
+	}
+	for i, in := range p.Instrs {
+		if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
+			return fmt.Errorf("isa: %q instr %d (%s): register out of range", p.Name, i, in)
+		}
+		if in.IsBranch() {
+			if in.Target < 0 || in.Target >= len(p.Instrs) {
+				return fmt.Errorf("isa: %q instr %d (%s): branch target %d out of range [0,%d)",
+					p.Name, i, in, in.Target, len(p.Instrs))
+			}
+		}
+		if in.IsLoad() && in.Coeff > FixedRegion {
+			return fmt.Errorf("isa: %q instr %d (%s): coefficient %d exceeds 3-bit field",
+				p.Name, i, in, in.Coeff)
+		}
+	}
+	last := p.Instrs[len(p.Instrs)-1]
+	if last.Op != OpHalt && last.Op != OpJmp {
+		return fmt.Errorf("isa: %q does not end in halt or jmp", p.Name)
+	}
+	return nil
+}
+
+// HintCounts summarizes the static hint population of a program; it backs
+// the paper's Table 3.
+type HintCounts struct {
+	MemInsts  int // static memory reference instructions
+	Spatial   int // loads marked spatial
+	Pointer   int // loads marked pointer
+	Recursive int // loads marked recursive pointer
+	Indirect  int // static indirect prefetch instructions
+	Variable  int // spatial loads with a variable (non-fixed) region size
+
+	hinted int // memory instructions carrying at least one hint
+}
+
+// HintRatio returns the fraction of static memory instructions carrying any
+// hint, in percent (paper Table 3, column "ratio").
+func (h HintCounts) HintRatio() float64 {
+	if h.MemInsts == 0 {
+		return 0
+	}
+	return 100 * float64(h.Hinted()) / float64(h.MemInsts)
+}
+
+// Hinted returns the number of static memory instructions carrying at least
+// one hint. Loads marked both spatial and pointer count once.
+func (h HintCounts) Hinted() int { return h.hinted }
+
+// CountHints scans the program and tabulates its static hint population.
+func (p *Program) CountHints() HintCounts {
+	var c HintCounts
+	for _, in := range p.Instrs {
+		if in.IsMem() {
+			c.MemInsts++
+		}
+		if in.IsLoad() && in.Hint != HintNone {
+			c.hinted++
+			if in.Hint.Has(HintSpatial) {
+				c.Spatial++
+				if in.Coeff != FixedRegion {
+					c.Variable++
+				}
+			}
+			if in.Hint.Has(HintPointer) {
+				c.Pointer++
+			}
+			if in.Hint.Has(HintRecursive) {
+				c.Recursive++
+			}
+		}
+		if in.Op == OpPrefIndirect {
+			c.Indirect++
+		}
+	}
+	return c
+}

@@ -1,0 +1,167 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpAdd: "add", OpLd: "ld", OpSt4: "st4", OpBeq: "beq",
+		OpSetBound: "setbound", OpPrefIndirect: "prefi", OpHalt: "halt",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+	if got := Op(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown op string = %q", got)
+	}
+}
+
+func TestHintString(t *testing.T) {
+	cases := []struct {
+		h    Hint
+		want string
+	}{
+		{HintNone, "none"},
+		{HintSpatial, "spatial"},
+		{HintPointer, "pointer"},
+		{HintSpatial | HintPointer, "spatial|pointer"},
+		{HintSpatial | HintPointer | HintRecursive, "spatial|pointer|recursive"},
+	}
+	for _, c := range cases {
+		if got := c.h.String(); got != c.want {
+			t.Errorf("Hint(%b).String() = %q, want %q", c.h, got, c.want)
+		}
+	}
+}
+
+func TestHintHas(t *testing.T) {
+	h := HintSpatial | HintPointer
+	if !h.Has(HintSpatial) || !h.Has(HintPointer) {
+		t.Error("Has should report both set bits")
+	}
+	if h.Has(HintRecursive) {
+		t.Error("Has(HintRecursive) on spatial|pointer should be false")
+	}
+	if !h.Has(HintNone) {
+		t.Error("Has(HintNone) should always be true")
+	}
+}
+
+func TestInstrPredicates(t *testing.T) {
+	ld := Instr{Op: OpLd}
+	st := Instr{Op: OpSt4}
+	add := Instr{Op: OpAdd}
+	beq := Instr{Op: OpBeq}
+	jmp := Instr{Op: OpJmp}
+
+	if !ld.IsLoad() || ld.IsStore() || !ld.IsMem() {
+		t.Error("ld predicates wrong")
+	}
+	if st.IsLoad() || !st.IsStore() || !st.IsMem() {
+		t.Error("st predicates wrong")
+	}
+	if add.IsMem() || add.IsBranch() {
+		t.Error("add predicates wrong")
+	}
+	if !beq.IsBranch() || !beq.IsConditional() {
+		t.Error("beq predicates wrong")
+	}
+	if !jmp.IsBranch() || jmp.IsConditional() {
+		t.Error("jmp predicates wrong")
+	}
+}
+
+func TestMemSize(t *testing.T) {
+	cases := map[Op]int{
+		OpLd: 8, OpLd4: 4, OpLd1: 1, OpSt: 8, OpSt4: 4, OpSt1: 1, OpAdd: 0,
+	}
+	for op, want := range cases {
+		if got := (Instr{Op: op}).MemSize(); got != want {
+			t.Errorf("%s MemSize = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestUsesDefines(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		a, b uint8
+		d    uint8
+	}{
+		{Instr{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}, 2, 3, 1},
+		{Instr{Op: OpAddi, Rd: 1, Rs1: 2}, 2, 0, 1},
+		{Instr{Op: OpLd, Rd: 4, Rs1: 5}, 5, 0, 4},
+		{Instr{Op: OpSt, Rs1: 5, Rs2: 6}, 5, 6, 0},
+		{Instr{Op: OpLi, Rd: 7}, 0, 0, 7},
+		{Instr{Op: OpBeq, Rs1: 1, Rs2: 2}, 1, 2, 0},
+		{Instr{Op: OpSetBound, Rs1: 3}, 3, 0, 0},
+		{Instr{Op: OpPrefIndirect, Rs1: 3, Rs2: 4}, 3, 4, 0},
+		{Instr{Op: OpHalt}, 0, 0, 0},
+	}
+	for _, c := range cases {
+		a, b := c.in.Uses()
+		if a != c.a || b != c.b {
+			t.Errorf("%s Uses = (%d,%d), want (%d,%d)", c.in, a, b, c.a, c.b)
+		}
+		if d := c.in.Defines(); d != c.d {
+			t.Errorf("%s Defines = %d, want %d", c.in, d, c.d)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := &Program{Name: "ok", Instrs: []Instr{
+		{Op: OpLi, Rd: 1, Imm: 5},
+		{Op: OpHalt},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+	cases := []*Program{
+		{Name: "empty"},
+		{Name: "badtarget", Instrs: []Instr{{Op: OpJmp, Target: 5}, {Op: OpHalt}}},
+		{Name: "noend", Instrs: []Instr{{Op: OpLi, Rd: 1}}},
+		{Name: "badcoeff", Instrs: []Instr{{Op: OpLd, Rd: 1, Coeff: 9}, {Op: OpHalt}}},
+	}
+	for _, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("program %q should fail validation", p.Name)
+		}
+	}
+}
+
+func TestCountHints(t *testing.T) {
+	p := &Program{Name: "h", Instrs: []Instr{
+		{Op: OpLd, Rd: 1, Hint: HintSpatial, Coeff: 3},
+		{Op: OpLd, Rd: 2, Hint: HintSpatial | HintPointer, Coeff: FixedRegion},
+		{Op: OpLd, Rd: 3, Hint: HintRecursive, Coeff: FixedRegion},
+		{Op: OpLd, Rd: 4, Coeff: FixedRegion},
+		{Op: OpSt, Rs1: 1, Rs2: 2},
+		{Op: OpPrefIndirect, Rs1: 1, Rs2: 2},
+		{Op: OpHalt},
+	}}
+	c := p.CountHints()
+	if c.MemInsts != 5 {
+		t.Errorf("MemInsts = %d, want 5", c.MemInsts)
+	}
+	if c.Spatial != 2 || c.Pointer != 1 || c.Recursive != 1 || c.Indirect != 1 || c.Variable != 1 {
+		t.Errorf("counts = %+v", c)
+	}
+	if c.Hinted() != 3 {
+		t.Errorf("Hinted = %d, want 3", c.Hinted())
+	}
+	if got := c.HintRatio(); got != 60 {
+		t.Errorf("HintRatio = %v, want 60", got)
+	}
+}
+
+func TestHintRatioEmpty(t *testing.T) {
+	var c HintCounts
+	if c.HintRatio() != 0 {
+		t.Error("empty ratio should be 0")
+	}
+}

@@ -1,0 +1,460 @@
+// Package lang defines the small structured source language the workloads
+// are written in and the GRP compiler analyzes. It corresponds to the C and
+// Fortran 77 subset the paper's Scale compiler consumes: counted loops,
+// while loops, affine array subscripts, pointer arithmetic, struct field
+// access, and linked-structure walks.
+//
+// The language is deliberately analyzable: loops name their induction
+// variables, array subscripts are explicit expressions, and pointer
+// dereferences are typed, so the compiler package can run the paper's
+// dependence-testing, induction-variable-recognition, and pointer-idiom
+// analyses (Sections 4.1–4.5) without a parser or SSA construction in the
+// way.
+package lang
+
+import "fmt"
+
+// ---------------------------------------------------------------- types --
+
+// Type is the type of a value or memory object.
+type Type interface {
+	Size() int64
+	String() string
+}
+
+// IntT is a primitive integer type of the given byte width (1, 4, or 8).
+type IntT struct{ Bytes int64 }
+
+// Size implements Type.
+func (t IntT) Size() int64 { return t.Bytes }
+
+// String implements Type.
+func (t IntT) String() string { return fmt.Sprintf("int%d", t.Bytes*8) }
+
+// Convenient primitive types.
+var (
+	I64 = IntT{8}
+	I32 = IntT{4}
+	I8  = IntT{1}
+)
+
+// PtrT is a pointer to Elem.
+type PtrT struct{ Elem Type }
+
+// Size implements Type; pointers are 8-byte aligned 8-byte entities, as on
+// the paper's Alpha target.
+func (t PtrT) Size() int64 { return 8 }
+
+// String implements Type.
+func (t PtrT) String() string { return "*" + t.Elem.String() }
+
+// Field is a struct member.
+type Field struct {
+	Name   string
+	Type   Type
+	Offset int64 // assigned by NewStruct
+}
+
+// StructT is a record type. Build with NewStruct so offsets are assigned.
+type StructT struct {
+	Name   string
+	Fields []Field
+	size   int64
+}
+
+// NewStruct lays out fields in order with natural alignment.
+func NewStruct(name string, fields ...Field) *StructT {
+	s := &StructT{Name: name}
+	var off int64
+	for _, f := range fields {
+		al := f.Type.Size()
+		if al > 8 {
+			al = 8
+		}
+		if al < 1 {
+			al = 1
+		}
+		off = (off + al - 1) / al * al
+		f.Offset = off
+		off += f.Type.Size()
+		s.Fields = append(s.Fields, f)
+	}
+	// Round size to 8 so arrays of structs stay aligned.
+	s.size = (off + 7) / 8 * 8
+	if s.size == 0 {
+		s.size = 8
+	}
+	return s
+}
+
+// Size implements Type.
+func (s *StructT) Size() int64 { return s.size }
+
+// Append adds a field after construction with natural alignment. It exists
+// so self-referential structs (next *node) can be built: construct the
+// struct first, then append the pointer fields that mention it.
+func (s *StructT) Append(name string, t Type) {
+	off := s.size
+	// s.size is 8-byte rounded; all appended fields start 8-aligned.
+	s.Fields = append(s.Fields, Field{Name: name, Type: t, Offset: off})
+	s.size = (off + t.Size() + 7) / 8 * 8
+}
+
+// SetStructSize force-sets a struct's size; for workloads that lay fields
+// out manually.
+func SetStructSize(s *StructT, size int64) { s.size = size }
+
+// String implements Type.
+func (s *StructT) String() string { return "struct " + s.Name }
+
+// FieldByName returns the named field; it panics if absent (a workload
+// authoring bug).
+func (s *StructT) FieldByName(name string) Field {
+	for _, f := range s.Fields {
+		if f.Name == name {
+			return f
+		}
+	}
+	panic(fmt.Sprintf("lang: struct %s has no field %s", s.Name, name))
+}
+
+// HasPointerField reports whether any field is a pointer (used by the
+// pointer-hint analysis of paper Figure 8).
+func (s *StructT) HasPointerField() bool {
+	for _, f := range s.Fields {
+		if _, ok := f.Type.(PtrT); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------- arrays --
+
+// Array declares a named memory object: a (possibly multi-dimensional,
+// row-major) array of Elem. Heap marks objects allocated with the simulated
+// malloc, which places them inside the heap range the pointer scanner
+// checks; the distinction also feeds the heap-array analyses of Sections
+// 4.1 and 4.5.
+type Array struct {
+	Name string
+	Elem Type
+	Dims []int64
+	Heap bool
+}
+
+// Count returns the number of elements.
+func (a *Array) Count() int64 {
+	n := int64(1)
+	for _, d := range a.Dims {
+		n *= d
+	}
+	return n
+}
+
+// Bytes returns the total object size.
+func (a *Array) Bytes() int64 { return a.Count() * a.Elem.Size() }
+
+// Stride returns the element stride, in elements, of dimension d: the
+// product of the dimensions to its right (row-major).
+func (a *Array) Stride(d int) int64 {
+	n := int64(1)
+	for i := d + 1; i < len(a.Dims); i++ {
+		n *= a.Dims[i]
+	}
+	return n
+}
+
+// ------------------------------------------------------------ expressions --
+
+// Expr is an expression producing a 64-bit value.
+type Expr interface{ expr() }
+
+// LValue is an expression that can also be assigned to.
+type LValue interface {
+	Expr
+	lvalue()
+}
+
+// Const is an integer literal.
+type Const struct{ V int64 }
+
+func (*Const) expr() {}
+
+// Scalar reads a named scalar variable (a register-resident int64 or
+// pointer; loop induction variables are scalars).
+type Scalar struct{ Name string }
+
+func (*Scalar) expr()   {}
+func (*Scalar) lvalue() {}
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// Binary operators. Comparisons yield 0/1.
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Rem
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	Lt
+	Eq
+	Ne
+	Ge
+)
+
+// Bin applies Op to L and R.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+func (*Bin) expr() {}
+
+// Index is an array element access arr[i0][i1]... (one Idx per dimension).
+// As an expression it loads the element; as an LValue it stores it.
+type Index struct {
+	Arr *Array
+	Idx []Expr
+}
+
+func (*Index) expr()   {}
+func (*Index) lvalue() {}
+
+// PtrIndex accesses ptr[idx] where ptr is an expression yielding an
+// address and Elem is the pointee element type (the C heap-array idiom of
+// paper Figure 4, buf[i][j]).
+type PtrIndex struct {
+	Ptr  Expr
+	Elem Type
+	Idx  Expr
+}
+
+func (*PtrIndex) expr()   {}
+func (*PtrIndex) lvalue() {}
+
+// FieldRef accesses ptr->field where Ptr yields the address of a Struct.
+type FieldRef struct {
+	Ptr    Expr
+	Struct *StructT
+	Field  string
+}
+
+func (*FieldRef) expr()   {}
+func (*FieldRef) lvalue() {}
+
+// Deref accesses *ptr with pointee type Elem (paper Figure 5's *p).
+type Deref struct {
+	Ptr  Expr
+	Elem Type
+}
+
+func (*Deref) expr()   {}
+func (*Deref) lvalue() {}
+
+// AddrOf yields the address of an array element without loading it; the
+// compiler uses it internally (e.g. PREFI operands) and workloads use it to
+// seed pointers.
+type AddrOf struct {
+	Arr *Array
+	Idx []Expr
+}
+
+func (*AddrOf) expr() {}
+
+// ------------------------------------------------------------- statements --
+
+// Stmt is a statement.
+type Stmt interface{ stmt() }
+
+// For is a counted loop: for Var := Lo; Var < Hi; Var += Step { Body }.
+// Lo and Hi are evaluated once, before the first iteration.
+type For struct {
+	Var  string
+	Lo   Expr
+	Hi   Expr
+	Step int64
+	Body []Stmt
+}
+
+func (*For) stmt() {}
+
+// While loops while Cond is nonzero.
+type While struct {
+	Cond Expr
+	Body []Stmt
+}
+
+func (*While) stmt() {}
+
+// If executes Then when Cond is nonzero, else Else.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+func (*If) stmt() {}
+
+// Assign stores Src into Dst.
+type Assign struct {
+	Dst LValue
+	Src Expr
+}
+
+func (*Assign) stmt() {}
+
+// ---------------------------------------------------------------- program --
+
+// Program is one workload kernel.
+type Program struct {
+	Name    string
+	Arrays  []*Array
+	Scalars []string // every scalar variable used (declared up front)
+	Body    []Stmt
+}
+
+// ArrayByName returns the named array or nil.
+func (p *Program) ArrayByName(name string) *Array {
+	for _, a := range p.Arrays {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Validate checks that referenced arrays and scalars are declared and that
+// Index arity matches array rank.
+func (p *Program) Validate() error {
+	scalars := map[string]bool{}
+	for _, s := range p.Scalars {
+		scalars[s] = true
+	}
+	arrays := map[*Array]bool{}
+	for _, a := range p.Arrays {
+		arrays[a] = true
+	}
+	var err error
+	var checkExpr func(e Expr)
+	var checkStmts func(ss []Stmt)
+	checkExpr = func(e Expr) {
+		if err != nil || e == nil {
+			return
+		}
+		switch n := e.(type) {
+		case *Const:
+		case *Scalar:
+			if !scalars[n.Name] {
+				err = fmt.Errorf("lang: %s: undeclared scalar %q", p.Name, n.Name)
+			}
+		case *Bin:
+			checkExpr(n.L)
+			checkExpr(n.R)
+		case *Index:
+			if !arrays[n.Arr] {
+				err = fmt.Errorf("lang: %s: undeclared array %q", p.Name, n.Arr.Name)
+			} else if len(n.Idx) != len(n.Arr.Dims) {
+				err = fmt.Errorf("lang: %s: array %q rank %d indexed with %d subscripts",
+					p.Name, n.Arr.Name, len(n.Arr.Dims), len(n.Idx))
+			}
+			for _, ix := range n.Idx {
+				checkExpr(ix)
+			}
+		case *AddrOf:
+			if !arrays[n.Arr] {
+				err = fmt.Errorf("lang: %s: undeclared array %q", p.Name, n.Arr.Name)
+			} else if len(n.Idx) != len(n.Arr.Dims) {
+				err = fmt.Errorf("lang: %s: array %q rank %d addressed with %d subscripts",
+					p.Name, n.Arr.Name, len(n.Arr.Dims), len(n.Idx))
+			}
+			for _, ix := range n.Idx {
+				checkExpr(ix)
+			}
+		case *PtrIndex:
+			checkExpr(n.Ptr)
+			checkExpr(n.Idx)
+			if n.Elem == nil {
+				err = fmt.Errorf("lang: %s: PtrIndex without element type", p.Name)
+			}
+		case *FieldRef:
+			checkExpr(n.Ptr)
+			if n.Struct == nil {
+				err = fmt.Errorf("lang: %s: FieldRef without struct type", p.Name)
+			} else {
+				found := false
+				for _, f := range n.Struct.Fields {
+					if f.Name == n.Field {
+						found = true
+					}
+				}
+				if !found {
+					err = fmt.Errorf("lang: %s: struct %s has no field %q", p.Name, n.Struct.Name, n.Field)
+				}
+			}
+		case *Deref:
+			checkExpr(n.Ptr)
+			if n.Elem == nil {
+				err = fmt.Errorf("lang: %s: Deref without element type", p.Name)
+			}
+		default:
+			err = fmt.Errorf("lang: %s: unknown expression %T", p.Name, e)
+		}
+	}
+	checkStmts = func(ss []Stmt) {
+		for _, s := range ss {
+			if err != nil {
+				return
+			}
+			switch n := s.(type) {
+			case *For:
+				if !scalars[n.Var] {
+					err = fmt.Errorf("lang: %s: undeclared loop variable %q", p.Name, n.Var)
+				}
+				if n.Step == 0 {
+					err = fmt.Errorf("lang: %s: loop over %q with zero step", p.Name, n.Var)
+				}
+				checkExpr(n.Lo)
+				checkExpr(n.Hi)
+				checkStmts(n.Body)
+			case *While:
+				checkExpr(n.Cond)
+				checkStmts(n.Body)
+			case *If:
+				checkExpr(n.Cond)
+				checkStmts(n.Then)
+				checkStmts(n.Else)
+			case *Assign:
+				checkExpr(n.Dst)
+				checkExpr(n.Src)
+			default:
+				err = fmt.Errorf("lang: %s: unknown statement %T", p.Name, s)
+			}
+		}
+	}
+	checkStmts(p.Body)
+	return err
+}
+
+// ------------------------------------------------------------ constructors --
+
+// C returns a constant expression.
+func C(v int64) *Const { return &Const{V: v} }
+
+// S returns a scalar reference.
+func S(name string) *Scalar { return &Scalar{Name: name} }
+
+// B returns a binary expression.
+func B(op BinOp, l, r Expr) *Bin { return &Bin{Op: op, L: l, R: r} }
+
+// Ix returns an array element access.
+func Ix(a *Array, idx ...Expr) *Index { return &Index{Arr: a, Idx: idx} }
+
+// Addr returns the address of an array element.
+func Addr(a *Array, idx ...Expr) *AddrOf { return &AddrOf{Arr: a, Idx: idx} }

@@ -1,0 +1,156 @@
+package lang
+
+import "testing"
+
+func TestTypeSizes(t *testing.T) {
+	if I64.Size() != 8 || I32.Size() != 4 || I8.Size() != 1 {
+		t.Error("primitive sizes wrong")
+	}
+	if (PtrT{Elem: I8}).Size() != 8 {
+		t.Error("pointers are 8 bytes")
+	}
+	if I64.String() != "int64" || (PtrT{Elem: I64}).String() != "*int64" {
+		t.Error("type strings wrong")
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	s := NewStruct("s",
+		Field{Name: "a", Type: I8},
+		Field{Name: "b", Type: I32},
+		Field{Name: "c", Type: I64},
+	)
+	if s.FieldByName("a").Offset != 0 {
+		t.Error("a offset")
+	}
+	if s.FieldByName("b").Offset != 4 {
+		t.Errorf("b offset = %d, want 4 (natural alignment)", s.FieldByName("b").Offset)
+	}
+	if s.FieldByName("c").Offset != 8 {
+		t.Errorf("c offset = %d, want 8", s.FieldByName("c").Offset)
+	}
+	if s.Size() != 16 {
+		t.Errorf("size = %d, want 16 (rounded to 8)", s.Size())
+	}
+	if s.String() != "struct s" {
+		t.Error("struct string")
+	}
+}
+
+func TestStructAppendSelfReference(t *testing.T) {
+	s := NewStruct("node", Field{Name: "v", Type: I64})
+	s.Append("next", PtrT{Elem: s})
+	if s.FieldByName("next").Offset != 8 {
+		t.Errorf("next offset = %d", s.FieldByName("next").Offset)
+	}
+	if s.Size() != 16 {
+		t.Errorf("size = %d", s.Size())
+	}
+	if !s.HasPointerField() {
+		t.Error("HasPointerField should be true")
+	}
+	plain := NewStruct("plain", Field{Name: "v", Type: I64})
+	if plain.HasPointerField() {
+		t.Error("plain struct has no pointer field")
+	}
+}
+
+func TestFieldByNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FieldByName of missing field should panic")
+		}
+	}()
+	NewStruct("s").FieldByName("missing")
+}
+
+func TestSetStructSize(t *testing.T) {
+	s := NewStruct("s", Field{Name: "v", Type: I64})
+	SetStructSize(s, 40)
+	if s.Size() != 40 {
+		t.Error("SetStructSize")
+	}
+}
+
+func TestArrayGeometry(t *testing.T) {
+	a := &Array{Name: "a", Elem: I64, Dims: []int64{4, 5, 6}}
+	if a.Count() != 120 {
+		t.Errorf("Count = %d", a.Count())
+	}
+	if a.Bytes() != 960 {
+		t.Errorf("Bytes = %d", a.Bytes())
+	}
+	if a.Stride(0) != 30 || a.Stride(1) != 6 || a.Stride(2) != 1 {
+		t.Errorf("strides = %d,%d,%d", a.Stride(0), a.Stride(1), a.Stride(2))
+	}
+}
+
+func validProgram() *Program {
+	a := &Array{Name: "a", Elem: I64, Dims: []int64{8}}
+	return &Program{
+		Name: "v", Arrays: []*Array{a}, Scalars: []string{"i", "s"},
+		Body: []Stmt{&For{Var: "i", Lo: C(0), Hi: C(8), Step: 1,
+			Body: []Stmt{&Assign{Dst: S("s"), Src: Ix(a, S("i"))}}}},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validProgram().Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	a := &Array{Name: "a", Elem: I64, Dims: []int64{8}}
+	other := &Array{Name: "other", Elem: I64, Dims: []int64{8}}
+	st := NewStruct("st", Field{Name: "f", Type: I64})
+	cases := map[string]*Program{
+		"undeclared scalar": {Name: "p", Body: []Stmt{
+			&Assign{Dst: S("x"), Src: C(1)}}},
+		"undeclared array": {Name: "p", Scalars: []string{"s"}, Body: []Stmt{
+			&Assign{Dst: S("s"), Src: Ix(other, C(0))}}},
+		"wrong rank": {Name: "p", Arrays: []*Array{a}, Scalars: []string{"s"}, Body: []Stmt{
+			&Assign{Dst: S("s"), Src: Ix(a, C(0), C(1))}}},
+		"zero step": {Name: "p", Arrays: []*Array{a}, Scalars: []string{"i"}, Body: []Stmt{
+			&For{Var: "i", Lo: C(0), Hi: C(8), Step: 0}}},
+		"undeclared loop var": {Name: "p", Body: []Stmt{
+			&For{Var: "i", Lo: C(0), Hi: C(8), Step: 1}}},
+		"missing field": {Name: "p", Scalars: []string{"p1", "s"}, Body: []Stmt{
+			&Assign{Dst: S("s"), Src: &FieldRef{Ptr: S("p1"), Struct: st, Field: "nope"}}}},
+		"nil elem deref": {Name: "p", Scalars: []string{"p1", "s"}, Body: []Stmt{
+			&Assign{Dst: S("s"), Src: &Deref{Ptr: S("p1")}}}},
+		"nil elem ptrindex": {Name: "p", Scalars: []string{"p1", "s"}, Body: []Stmt{
+			&Assign{Dst: S("s"), Src: &PtrIndex{Ptr: S("p1"), Idx: C(0)}}}},
+		"bad addrof rank": {Name: "p", Arrays: []*Array{a}, Scalars: []string{"s"}, Body: []Stmt{
+			&Assign{Dst: S("s"), Src: Addr(a, C(0), C(1))}}},
+	}
+	for name, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestValidateNestedStatements(t *testing.T) {
+	// Errors inside While/If bodies are found too.
+	p := &Program{Name: "p", Scalars: []string{"c"}, Body: []Stmt{
+		&While{Cond: S("c"), Body: []Stmt{
+			&If{Cond: S("c"), Then: []Stmt{
+				&Assign{Dst: S("nope"), Src: C(1)},
+			}},
+		}},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Error("nested undeclared scalar should fail validation")
+	}
+}
+
+func TestArrayByName(t *testing.T) {
+	p := validProgram()
+	if p.ArrayByName("a") == nil {
+		t.Error("ArrayByName should find a")
+	}
+	if p.ArrayByName("zz") != nil {
+		t.Error("ArrayByName should return nil for unknown")
+	}
+}

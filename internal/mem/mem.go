@@ -1,0 +1,175 @@
+// Package mem provides the simulated flat physical memory backing the
+// cache hierarchy, together with the heap range bookkeeping that the GRP
+// pointer scanner's base-and-bounds test relies on (paper Section 3.2).
+//
+// Memory is sparse: pages are allocated lazily, so multi-gigabyte address
+// spaces cost only what the workload touches. All values are little-endian.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the allocation granularity of the sparse backing store. It is
+// also the paper's region size (4 KB), though the two are independent.
+const PageSize = 4096
+
+// Layout constants for the simulated address space. The heap begins well
+// above the globals segment so the base-and-bounds pointer test never
+// confuses small integers or global addresses with heap pointers.
+const (
+	// GlobalBase is where statically sized workload data (if any) begins.
+	GlobalBase uint64 = 0x0001_0000
+	// HeapBase is the bottom of the simulated heap.
+	HeapBase uint64 = 0x1000_0000
+)
+
+// Memory is a sparse, page-granular byte-addressable store with a bump
+// allocator and heap range tracking.
+type Memory struct {
+	pages map[uint64]*[PageSize]byte
+
+	heapStart uint64
+	heapBrk   uint64 // next free heap byte (bump pointer)
+}
+
+// New returns an empty memory whose heap begins at HeapBase.
+func New() *Memory {
+	return &Memory{
+		pages:     make(map[uint64]*[PageSize]byte),
+		heapStart: HeapBase,
+		heapBrk:   HeapBase,
+	}
+}
+
+// Alloc carves size bytes from the heap, aligned to align (a power of two,
+// at least 1), and returns the base address. It is the simulated malloc:
+// allocations are contiguous in allocation order, which reproduces the
+// "regular layout ... and memory allocation patterns for pointer data
+// structures" the paper observes make spatial prefetching effective even on
+// pointer codes (Section 3.1).
+func (m *Memory) Alloc(size uint64, align uint64) uint64 {
+	if align == 0 {
+		align = 1
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("mem: Alloc align %d not a power of two", align))
+	}
+	base := (m.heapBrk + align - 1) &^ (align - 1)
+	m.heapBrk = base + size
+	return base
+}
+
+// HeapRange returns the [start, end) range of allocated heap bytes. The GRP
+// pointer scanner treats any 8-byte value within this range as a candidate
+// pointer.
+func (m *Memory) HeapRange() (start, end uint64) { return m.heapStart, m.heapBrk }
+
+// InHeap reports whether addr falls within the allocated heap, i.e. whether
+// the hardware's base-and-bounds check would accept it as a pointer.
+func (m *Memory) InHeap(addr uint64) bool { return addr >= m.heapStart && addr < m.heapBrk }
+
+// HeapBytes returns the number of bytes allocated so far.
+func (m *Memory) HeapBytes() uint64 { return m.heapBrk - m.heapStart }
+
+func (m *Memory) page(addr uint64) *[PageSize]byte {
+	pn := addr / PageSize
+	p := m.pages[pn]
+	if p == nil {
+		p = new([PageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// ReadBytes copies len(dst) bytes starting at addr into dst.
+func (m *Memory) ReadBytes(addr uint64, dst []byte) {
+	for len(dst) > 0 {
+		p := m.page(addr)
+		off := addr % PageSize
+		n := copy(dst, p[off:])
+		dst = dst[n:]
+		addr += uint64(n)
+	}
+}
+
+// WriteBytes copies src into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, src []byte) {
+	for len(src) > 0 {
+		p := m.page(addr)
+		off := addr % PageSize
+		n := copy(p[off:], src)
+		src = src[n:]
+		addr += uint64(n)
+	}
+}
+
+// Read returns the size-byte little-endian value at addr. Size must be 1, 4
+// or 8. Accesses may straddle page boundaries.
+func (m *Memory) Read(addr uint64, size int) uint64 {
+	var buf [8]byte
+	switch size {
+	case 1:
+		return uint64(m.page(addr)[addr%PageSize])
+	case 4:
+		if addr%PageSize <= PageSize-4 {
+			p := m.page(addr)
+			return uint64(binary.LittleEndian.Uint32(p[addr%PageSize:]))
+		}
+		m.ReadBytes(addr, buf[:4])
+		return uint64(binary.LittleEndian.Uint32(buf[:4]))
+	case 8:
+		if addr%PageSize <= PageSize-8 {
+			p := m.page(addr)
+			return binary.LittleEndian.Uint64(p[addr%PageSize:])
+		}
+		m.ReadBytes(addr, buf[:8])
+		return binary.LittleEndian.Uint64(buf[:8])
+	default:
+		panic(fmt.Sprintf("mem: Read size %d", size))
+	}
+}
+
+// Write stores the low size bytes of val at addr, little-endian.
+func (m *Memory) Write(addr uint64, size int, val uint64) {
+	var buf [8]byte
+	switch size {
+	case 1:
+		m.page(addr)[addr%PageSize] = byte(val)
+	case 4:
+		if addr%PageSize <= PageSize-4 {
+			p := m.page(addr)
+			binary.LittleEndian.PutUint32(p[addr%PageSize:], uint32(val))
+			return
+		}
+		binary.LittleEndian.PutUint32(buf[:4], uint32(val))
+		m.WriteBytes(addr, buf[:4])
+	case 8:
+		if addr%PageSize <= PageSize-8 {
+			p := m.page(addr)
+			binary.LittleEndian.PutUint64(p[addr%PageSize:], val)
+			return
+		}
+		binary.LittleEndian.PutUint64(buf[:8], val)
+		m.WriteBytes(addr, buf[:8])
+	default:
+		panic(fmt.Sprintf("mem: Write size %d", size))
+	}
+}
+
+// Read64 is shorthand for Read(addr, 8).
+func (m *Memory) Read64(addr uint64) uint64 { return m.Read(addr, 8) }
+
+// Write64 is shorthand for Write(addr, 8, val).
+func (m *Memory) Write64(addr uint64, val uint64) { m.Write(addr, 8, val) }
+
+// Read32 is shorthand for Read(addr, 4).
+func (m *Memory) Read32(addr uint64) uint32 { return uint32(m.Read(addr, 4)) }
+
+// Write32 is shorthand for Write(addr, 4, val).
+func (m *Memory) Write32(addr uint64, val uint32) { m.Write(addr, 4, uint64(val)) }
+
+// PagesTouched returns how many distinct pages have been materialized;
+// useful in tests asserting sparseness.
+func (m *Memory) PagesTouched() int { return len(m.pages) }

@@ -1,0 +1,162 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteSizes(t *testing.T) {
+	m := New()
+	m.Write(100, 8, 0x1122334455667788)
+	if got := m.Read(100, 8); got != 0x1122334455667788 {
+		t.Errorf("Read64 = %#x", got)
+	}
+	// Little-endian sub-reads.
+	if got := m.Read(100, 1); got != 0x88 {
+		t.Errorf("Read1 = %#x, want 0x88", got)
+	}
+	if got := m.Read(100, 4); got != 0x55667788 {
+		t.Errorf("Read4 = %#x, want 0x55667788", got)
+	}
+	m.Write(104, 4, 0xdeadbeef)
+	if got := m.Read(100, 8); got != 0xdeadbeef55667788 {
+		t.Errorf("mixed = %#x", got)
+	}
+}
+
+func TestPageStraddle(t *testing.T) {
+	m := New()
+	addr := uint64(PageSize - 3)
+	m.Write(addr, 8, 0xa1b2c3d4e5f60718)
+	if got := m.Read(addr, 8); got != 0xa1b2c3d4e5f60718 {
+		t.Errorf("straddling read = %#x", got)
+	}
+	addr4 := uint64(2*PageSize - 2)
+	m.Write(addr4, 4, 0xcafef00d)
+	if got := m.Read(addr4, 4); got != 0xcafef00d {
+		t.Errorf("straddling 4-byte read = %#x", got)
+	}
+}
+
+func TestReadWriteBytes(t *testing.T) {
+	m := New()
+	src := make([]byte, 3*PageSize)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	m.WriteBytes(500, src)
+	dst := make([]byte, len(src))
+	m.ReadBytes(500, dst)
+	for i := range src {
+		if src[i] != dst[i] {
+			t.Fatalf("byte %d: got %d want %d", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	m := New()
+	a := m.Alloc(10, 64)
+	if a%64 != 0 {
+		t.Errorf("Alloc not 64-aligned: %#x", a)
+	}
+	b := m.Alloc(1, 8)
+	if b < a+10 {
+		t.Errorf("allocations overlap: %#x after %#x+10", b, a)
+	}
+	c := m.Alloc(8, 4096)
+	if c%4096 != 0 {
+		t.Errorf("Alloc not page-aligned: %#x", c)
+	}
+}
+
+func TestAllocBadAlign(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Alloc with non-power-of-two alignment should panic")
+		}
+	}()
+	New().Alloc(8, 3)
+}
+
+func TestHeapRange(t *testing.T) {
+	m := New()
+	if m.InHeap(HeapBase) {
+		t.Error("empty heap should contain nothing")
+	}
+	a := m.Alloc(100, 8)
+	start, end := m.HeapRange()
+	if start != HeapBase {
+		t.Errorf("heap start = %#x", start)
+	}
+	if end != a+100 {
+		t.Errorf("heap end = %#x, want %#x", end, a+100)
+	}
+	if !m.InHeap(a) || !m.InHeap(a+99) {
+		t.Error("allocated bytes should be in heap")
+	}
+	if m.InHeap(a + 100) {
+		t.Error("past-the-end should be outside heap")
+	}
+	if m.InHeap(GlobalBase) {
+		t.Error("globals are not heap")
+	}
+	if m.HeapBytes() == 0 {
+		t.Error("HeapBytes should be nonzero after Alloc")
+	}
+}
+
+func TestSparseness(t *testing.T) {
+	m := New()
+	m.Write64(0, 1)
+	m.Write64(1<<40, 2)
+	if n := m.PagesTouched(); n != 2 {
+		t.Errorf("PagesTouched = %d, want 2", n)
+	}
+	if m.Read64(1<<40) != 2 {
+		t.Error("high-address value lost")
+	}
+	if m.Read64(1<<20) != 0 {
+		t.Error("untouched memory should read zero")
+	}
+}
+
+// TestQuickReadAfterWrite checks the fundamental memory property across
+// random addresses and sizes, including page boundaries.
+func TestQuickReadAfterWrite(t *testing.T) {
+	m := New()
+	sizes := []int{1, 4, 8}
+	f := func(addrSeed uint32, val uint64, sizeIdx uint8) bool {
+		// Bias addresses toward page boundaries.
+		addr := uint64(addrSeed) % (8 * PageSize)
+		if addrSeed%3 == 0 {
+			addr = uint64(addrSeed%16) + PageSize - 8
+		}
+		size := sizes[int(sizeIdx)%len(sizes)]
+		m.Write(addr, size, val)
+		got := m.Read(addr, size)
+		want := val
+		switch size {
+		case 1:
+			want &= 0xff
+		case 4:
+			want &= 0xffffffff
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHelpers32And64(t *testing.T) {
+	m := New()
+	m.Write32(64, 0x01020304)
+	if m.Read32(64) != 0x01020304 {
+		t.Error("Write32/Read32 mismatch")
+	}
+	m.Write64(128, 0xfeedfacecafebeef)
+	if m.Read64(128) != 0xfeedfacecafebeef {
+		t.Error("Write64/Read64 mismatch")
+	}
+}

@@ -1,0 +1,256 @@
+package prefetch
+
+import "grp/internal/isa"
+
+// MemReader is the slice of simulated memory the pointer-scanning hardware
+// needs: word reads (the engine inspects returned cache lines) and the
+// heap base-and-bounds test of Section 3.2.
+type MemReader interface {
+	Read64(addr uint64) uint64
+	Read32(addr uint64) uint32
+	InHeap(addr uint64) bool
+}
+
+// GRPConfig parameterizes the GRP engine.
+type GRPConfig struct {
+	// Variable enables compiler-controlled variable-size region
+	// prefetching (GRP/Var); when false the engine is GRP/Fix.
+	Variable bool
+	// RecursionDepth is the initial counter for recursive pointer hints
+	// (6 in the paper; 3 for mcf to keep simulation tractable, footnote 2).
+	RecursionDepth uint8
+	// PtrBlocks is how many blocks to prefetch per discovered pointer
+	// (2 in the paper: the target block and its successor, Sec. 3.3.1).
+	PtrBlocks int
+}
+
+// DefaultGRPConfig returns the paper's settings.
+func DefaultGRPConfig() GRPConfig {
+	return GRPConfig{Variable: true, RecursionDepth: 6, PtrBlocks: 2}
+}
+
+// GRP is the guided region prefetching engine: SRP-style region prefetching
+// gated by compiler spatial hints, variable region sizes from size hints,
+// pointer scanning driven by pointer/recursive hints, and indirect array
+// prefetching from PREFI instructions.
+type GRP struct {
+	cfg   GRPConfig
+	mem   MemReader
+	q     regionQueue
+	stats Stats
+
+	// bound is the most recent SETBOUND value (loop trip count).
+	bound uint64
+	// scanCtr maps blocks awaiting arrival to their pointer-chase counter.
+	scanCtr map[uint64]uint8
+}
+
+// NewGRP builds a GRP engine reading scanned lines from mem.
+func NewGRP(cfg GRPConfig, mem MemReader) *GRP {
+	if cfg.PtrBlocks <= 0 {
+		cfg.PtrBlocks = 2
+	}
+	if cfg.RecursionDepth == 0 {
+		cfg.RecursionDepth = 6
+	}
+	return &GRP{cfg: cfg, mem: mem, stats: newStats(), scanCtr: make(map[uint64]uint8)}
+}
+
+// Name implements Engine.
+func (g *GRP) Name() string {
+	if g.cfg.Variable {
+		return "grp/var"
+	}
+	return "grp/fix"
+}
+
+// regionBlocksFor computes the region size in blocks for a spatial miss.
+// With variable sizing and a known loop bound, the region size is
+// bound << coeff bytes (Sec. 3.3.2), rounded up to a power of two between 2
+// and 64 blocks; coefficient 7 (FixedRegion) selects the fixed 4 KB region.
+func (g *GRP) regionBlocksFor(coeff uint8) int {
+	if !g.cfg.Variable || coeff == isa.FixedRegion {
+		return RegionBlocks
+	}
+	if coeff == 0 {
+		// Coefficient 0 is reserved: the compiler could not guarantee the
+		// extent of the locality (propagated pointer-target hints) and
+		// requests the minimum region.
+		return 2
+	}
+	bound := g.bound
+	if bound == 0 {
+		bound = 1 // no SETBOUND seen: the minimum region
+	}
+	bytes := bound << coeff
+	blocks := int((bytes + BlockBytes - 1) / BlockBytes)
+	p := 2
+	for p < blocks {
+		p <<= 1
+	}
+	if p > RegionBlocks {
+		p = RegionBlocks
+	}
+	return p
+}
+
+// OnL2DemandMiss implements Engine. Unlike SRP, GRP initiates a spatial
+// prefetch only when the missing load carries a spatial hint, and arms the
+// pointer scanner only for pointer/recursive hints (Sec. 3.3).
+func (g *GRP) OnL2DemandMiss(ev MissEvent) {
+	miss := ev.Addr &^ uint64(BlockBytes-1)
+
+	if ev.Merged {
+		// The merged request's hint bits land in the MSHR: raise the
+		// pointer counter if this request is more aggressive than the one
+		// that allocated the miss.
+		var want uint8
+		switch {
+		case ev.Hint.Has(isa.HintRecursive):
+			want = g.cfg.RecursionDepth
+		case ev.Hint.Has(isa.HintPointer):
+			want = 1
+		default:
+			return
+		}
+		if g.scanCtr[miss] < want {
+			g.scanCtr[miss] = want
+		}
+		return
+	}
+
+	if ev.Hint.Has(isa.HintSpatial) {
+		blocks := g.regionBlocksFor(ev.Coeff)
+		size := uint64(blocks) * BlockBytes
+		base := ev.Addr &^ (size - 1)
+		if i := g.q.find(base); i >= 0 && int(g.q.entries[i].blocks) == blocks {
+			g.q.entries[i].retarget(ev.Addr)
+			g.q.moveToHead(i)
+			g.stats.RegionsRecycled++
+		} else {
+			e := makeRegion(ev.Addr, blocks, ev.Present, 0)
+			if e.bits != 0 {
+				g.q.pushHead(e)
+				g.stats.recordRegion(blocks)
+			}
+		}
+	}
+
+	switch {
+	case ev.Hint.Has(isa.HintRecursive):
+		g.scanCtr[miss] = g.cfg.RecursionDepth
+	case ev.Hint.Has(isa.HintPointer):
+		g.scanCtr[miss] = 1
+	}
+}
+
+// OnDemandHitPrefetched implements Engine.
+func (*GRP) OnDemandHitPrefetched(uint64) {}
+
+// OnArrival implements Engine: when a line with a nonzero pointer counter
+// arrives, scan its eight 8-byte words; every value passing the heap
+// base-and-bounds test queues a two-block prefetch whose entry inherits the
+// decremented counter (Sec. 3.3.1).
+func (g *GRP) OnArrival(block uint64) {
+	ctr, ok := g.scanCtr[block]
+	if !ok {
+		return
+	}
+	delete(g.scanCtr, block)
+	if ctr == 0 {
+		return
+	}
+	g.scanBlock(block, ctr-1)
+}
+
+func (g *GRP) scanBlock(block uint64, childCtr uint8) {
+	g.stats.PointerScans++
+	for off := uint64(0); off < BlockBytes; off += 8 {
+		v := g.mem.Read64(block + off)
+		if !g.mem.InHeap(v) {
+			continue
+		}
+		g.stats.PointersFound++
+		g.enqueuePtrTarget(v, childCtr)
+	}
+}
+
+// enqueuePtrTarget queues PtrBlocks blocks starting at the block containing
+// addr, as a region-style entry carrying the child pointer counter.
+func (g *GRP) enqueuePtrTarget(addr uint64, ctr uint8) {
+	base := addr &^ uint64(BlockBytes-1)
+	var bits uint64
+	for i := 0; i < g.cfg.PtrBlocks && i < 64; i++ {
+		bits |= 1 << uint(i)
+	}
+	e := regionEntry{base: base, bits: bits, idx: 0, blocks: uint8(g.cfg.PtrBlocks), ptrCtr: ctr}
+	g.q.pushHead(e)
+	g.stats.recordRegion(g.cfg.PtrBlocks)
+}
+
+// Pop implements Engine. Blocks popped from entries with a nonzero pointer
+// counter are registered for scanning when their data arrives.
+func (g *GRP) Pop(present func(uint64) bool) (uint64, bool) {
+	b, ctr, ok := g.q.pop(present)
+	if !ok {
+		return 0, false
+	}
+	g.stats.CandidatesPopped++
+	if ctr > 0 {
+		g.scanCtr[b] = ctr
+	}
+	return b, true
+}
+
+// PopOpenFirst implements OpenPageAware.
+func (g *GRP) PopOpenFirst(present, rowOpen func(uint64) bool) (uint64, bool) {
+	b, ctr, ok := g.q.popOpenFirst(present, rowOpen)
+	if !ok {
+		return 0, false
+	}
+	g.stats.CandidatesPopped++
+	if ctr > 0 {
+		g.scanCtr[b] = ctr
+	}
+	return b, true
+}
+
+// SetBound implements Engine (Sec. 3.3.2).
+func (g *GRP) SetBound(v uint64) { g.bound = v }
+
+// Indirect implements Engine: read the cache block containing the indexing
+// element and, for each 4-byte word, prefetch the block holding
+// base + index<<shift (Sec. 3.3.3, up to 16 prefetches per instruction).
+// Addresses falling in the same region are coalesced into one queue entry.
+func (g *GRP) Indirect(indexElemAddr, base uint64, shift uint) {
+	g.stats.IndirectInstrs++
+	idxBlock := indexElemAddr &^ uint64(BlockBytes-1)
+	// Coalesce targets by region, preserving first-appearance order so the
+	// simulation stays deterministic.
+	groups := make(map[uint64]uint64)
+	var order []uint64
+	const regionSize = uint64(RegionBlocks) * BlockBytes
+	for off := uint64(0); off < BlockBytes; off += 4 {
+		idx := uint64(g.mem.Read32(idxBlock + off))
+		target := base + (idx << shift)
+		g.stats.IndirectPrefetches++
+		rbase := target &^ (regionSize - 1)
+		pos := (target - rbase) / BlockBytes
+		if _, seen := groups[rbase]; !seen {
+			order = append(order, rbase)
+		}
+		groups[rbase] |= 1 << uint(pos)
+	}
+	for _, rbase := range order {
+		bits := groups[rbase]
+		if i := g.q.find(rbase); i >= 0 {
+			g.q.entries[i].bits |= bits
+			g.q.moveToHead(i)
+			continue
+		}
+		g.q.pushHead(regionEntry{base: rbase, bits: bits, blocks: RegionBlocks})
+	}
+}
+
+// Stats implements Engine.
+func (g *GRP) Stats() Stats { return g.stats }

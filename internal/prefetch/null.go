@@ -1,0 +1,32 @@
+package prefetch
+
+// Null is the no-prefetching engine used by the baseline, perfect-L1, and
+// perfect-L2 configurations.
+type Null struct{ stats Stats }
+
+// NewNull returns a no-op engine.
+func NewNull() *Null { return &Null{stats: newStats()} }
+
+// Name implements Engine.
+func (*Null) Name() string { return "none" }
+
+// OnL2DemandMiss implements Engine.
+func (*Null) OnL2DemandMiss(MissEvent) {}
+
+// OnDemandHitPrefetched implements Engine.
+func (*Null) OnDemandHitPrefetched(uint64) {}
+
+// OnArrival implements Engine.
+func (*Null) OnArrival(uint64) {}
+
+// Pop implements Engine.
+func (*Null) Pop(func(uint64) bool) (uint64, bool) { return 0, false }
+
+// SetBound implements Engine.
+func (*Null) SetBound(uint64) {}
+
+// Indirect implements Engine.
+func (*Null) Indirect(uint64, uint64, uint) {}
+
+// Stats implements Engine.
+func (n *Null) Stats() Stats { return n.stats }

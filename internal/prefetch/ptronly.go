@@ -1,0 +1,89 @@
+package prefetch
+
+// PointerOnly is the pure hardware pointer prefetcher of Section 3.2
+// (evaluated in Figure 9): with no compiler information at all, it greedily
+// scans every cache line returned on an L2 miss and prefetches any 8-byte
+// value that passes the heap base-and-bounds test, prefetching two blocks
+// per discovered pointer. Recursion is the generalization mentioned in the
+// paper: prefetched lines are scanned in turn, up to Depth levels.
+type PointerOnly struct {
+	mem     MemReader
+	depth   uint8
+	q       regionQueue
+	scanCtr map[uint64]uint8
+	stats   Stats
+}
+
+// NewPointerOnly builds the engine; depth 0 means the paper's default
+// chase depth of 6.
+func NewPointerOnly(mem MemReader, depth uint8) *PointerOnly {
+	if depth == 0 {
+		depth = 6
+	}
+	return &PointerOnly{mem: mem, depth: depth, scanCtr: make(map[uint64]uint8), stats: newStats()}
+}
+
+// Name implements Engine.
+func (*PointerOnly) Name() string { return "ptr" }
+
+// OnL2DemandMiss implements Engine: every miss block is scanned on arrival.
+func (p *PointerOnly) OnL2DemandMiss(ev MissEvent) {
+	blk := ev.Addr &^ uint64(BlockBytes-1)
+	if ev.Merged {
+		// The merged request shares the MSHR; the counter is already set
+		// unless the line is an in-flight prefetch, in which case arm it.
+		if p.scanCtr[blk] < p.depth {
+			p.scanCtr[blk] = p.depth
+		}
+		return
+	}
+	p.scanCtr[blk] = p.depth
+}
+
+// OnDemandHitPrefetched implements Engine.
+func (*PointerOnly) OnDemandHitPrefetched(uint64) {}
+
+// OnArrival implements Engine.
+func (p *PointerOnly) OnArrival(block uint64) {
+	ctr, ok := p.scanCtr[block]
+	if !ok {
+		return
+	}
+	delete(p.scanCtr, block)
+	if ctr == 0 {
+		return
+	}
+	p.stats.PointerScans++
+	for off := uint64(0); off < BlockBytes; off += 8 {
+		v := p.mem.Read64(block + off)
+		if !p.mem.InHeap(v) {
+			continue
+		}
+		p.stats.PointersFound++
+		base := v &^ uint64(BlockBytes-1)
+		p.q.pushHead(regionEntry{base: base, bits: 0b11, blocks: 2, ptrCtr: ctr - 1})
+		p.stats.recordRegion(2)
+	}
+}
+
+// Pop implements Engine.
+func (p *PointerOnly) Pop(present func(uint64) bool) (uint64, bool) {
+	b, ctr, ok := p.q.pop(present)
+	if !ok {
+		return 0, false
+	}
+	p.stats.CandidatesPopped++
+	if ctr > 0 {
+		p.scanCtr[b] = ctr
+	}
+	return b, true
+}
+
+// SetBound implements Engine; the hardware scheme uses no hints.
+func (*PointerOnly) SetBound(uint64) {}
+
+// Indirect implements Engine; the hardware scheme uses no hints.
+func (*PointerOnly) Indirect(uint64, uint64, uint) {}
+
+// Stats implements Engine.
+func (p *PointerOnly) Stats() Stats { return p.stats }

@@ -1,0 +1,88 @@
+package prefetch
+
+// SRP is scheduled region prefetching (Lin et al., reproduced in the
+// paper's Section 3.1): every L2 demand miss allocates a fixed 4 KB region
+// entry in the LIFO prefetch queue, with a bit vector of the blocks not
+// already cached. It uses no compiler information, which is what makes it
+// consume copious bandwidth on low-locality references.
+type SRP struct {
+	q     regionQueue
+	stats Stats
+
+	// RegionBlocks is the region size in cache blocks (default 64 = 4 KB;
+	// must be a power of two ≤ 64). An ablation knob.
+	RegionBlocks int
+	// FIFO issues from the oldest queue entry instead of the paper's LIFO
+	// scheduling. An ablation knob.
+	FIFO bool
+}
+
+// NewSRP returns an SRP engine with the paper's parameters.
+func NewSRP() *SRP { return &SRP{stats: newStats(), RegionBlocks: RegionBlocks} }
+
+// Name implements Engine.
+func (*SRP) Name() string { return "srp" }
+
+// OnL2DemandMiss implements Engine: allocate or retarget a region entry.
+func (s *SRP) OnL2DemandMiss(ev MissEvent) {
+	if ev.Merged {
+		return // the original miss already allocated the region
+	}
+	blocks := s.RegionBlocks
+	if blocks <= 0 || blocks > RegionBlocks {
+		blocks = RegionBlocks
+	}
+	size := uint64(blocks) * BlockBytes
+	base := ev.Addr &^ (size - 1)
+	if i := s.q.find(base); i >= 0 {
+		s.q.entries[i].retarget(ev.Addr)
+		if !s.FIFO {
+			s.q.moveToHead(i)
+		}
+		s.stats.RegionsRecycled++
+		return
+	}
+	e := makeRegion(ev.Addr, blocks, ev.Present, 0)
+	if e.bits == 0 {
+		return // whole region already cached
+	}
+	if s.FIFO {
+		s.q.pushTail(e)
+	} else {
+		s.q.pushHead(e)
+	}
+	s.stats.recordRegion(blocks)
+}
+
+// OnDemandHitPrefetched implements Engine.
+func (*SRP) OnDemandHitPrefetched(uint64) {}
+
+// OnArrival implements Engine; SRP performs no pointer scanning.
+func (*SRP) OnArrival(uint64) {}
+
+// Pop implements Engine.
+func (s *SRP) Pop(present func(uint64) bool) (uint64, bool) {
+	b, _, ok := s.q.pop(present)
+	if ok {
+		s.stats.CandidatesPopped++
+	}
+	return b, ok
+}
+
+// PopOpenFirst implements OpenPageAware.
+func (s *SRP) PopOpenFirst(present, rowOpen func(uint64) bool) (uint64, bool) {
+	b, _, ok := s.q.popOpenFirst(present, rowOpen)
+	if ok {
+		s.stats.CandidatesPopped++
+	}
+	return b, ok
+}
+
+// SetBound implements Engine; SRP ignores compiler information.
+func (*SRP) SetBound(uint64) {}
+
+// Indirect implements Engine; SRP ignores compiler information.
+func (*SRP) Indirect(uint64, uint64, uint) {}
+
+// Stats implements Engine.
+func (s *SRP) Stats() Stats { return s.stats }

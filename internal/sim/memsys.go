@@ -1,0 +1,380 @@
+// Package sim wires the simulated system together: the out-of-order core
+// drives a two-level cache hierarchy whose L2 misses go to a multi-channel
+// DRAM controller through the SRP/GRP access prioritizer, with a pluggable
+// prefetch engine filling the L2 behind demand traffic (paper Figure 2).
+package sim
+
+import (
+	"container/heap"
+
+	"grp/internal/cache"
+	"grp/internal/dram"
+	"grp/internal/isa"
+	"grp/internal/prefetch"
+)
+
+// MemConfig describes the memory hierarchy.
+type MemConfig struct {
+	L1   cache.Config
+	L2   cache.Config
+	DRAM dram.Config
+
+	// MaxInflightPrefetches bounds prefetch requests concurrently issued
+	// to the memory controller.
+	MaxInflightPrefetches int
+
+	// OpenPageFirst lets the prefetch queue issue candidates whose DRAM
+	// row is already open ahead of index order (the paper's final SRP
+	// optimization), when the engine supports it.
+	OpenPageFirst bool
+}
+
+// DefaultMemConfig returns the paper's Section 5.1 configuration: 64 KB
+// 2-way L1 (3 cycles), 1 MB 4-way unified L2 (12 cycles), 64-byte blocks,
+// 8 MSHRs per cache, 4-channel DRAM.
+func DefaultMemConfig() MemConfig {
+	return MemConfig{
+		L1: cache.Config{
+			Name: "L1D", SizeBytes: 64 << 10, Assoc: 2, BlockBytes: 64,
+			HitLatency: 3, MSHRs: 8,
+		},
+		L2: cache.Config{
+			Name: "L2", SizeBytes: 1 << 20, Assoc: 4, BlockBytes: 64,
+			HitLatency: 12, MSHRs: 8,
+		},
+		DRAM:                  dram.Default(),
+		MaxInflightPrefetches: 8,
+	}
+}
+
+// MemStats aggregates hierarchy-level events beyond the per-cache stats.
+type MemStats struct {
+	Loads  uint64
+	Stores uint64
+	// InflightMerges counts demand accesses that merged with an
+	// outstanding miss (partial hits on in-flight prefetches included).
+	InflightMerges uint64
+	// PrefetchLates counts demand merges with an in-flight *prefetch*:
+	// the prefetch was correct but not timely.
+	PrefetchLates uint64
+	// PrefetchesIssued counts prefetch blocks sent to the controller.
+	PrefetchesIssued uint64
+	// SWPrefetches counts software PREF instructions that reached memory
+	// (misses; hits and duplicates are dropped, as real PREFs are).
+	SWPrefetches uint64
+	// SWPrefetchDrops counts PREFs dropped because the block was already
+	// cached or in flight.
+	SWPrefetchDrops uint64
+}
+
+type inflightLine struct {
+	block    uint64
+	doneAt   uint64
+	prefetch bool
+}
+
+type arrivalHeap []*inflightLine
+
+func (h arrivalHeap) Len() int            { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool  { return h[i].doneAt < h[j].doneAt }
+func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(*inflightLine)) }
+func (h *arrivalHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// MemSystem is the full memory hierarchy with prefetching.
+type MemSystem struct {
+	cfg    MemConfig
+	L1     *cache.Cache
+	L2     *cache.Cache
+	Dram   *dram.Controller
+	Engine prefetch.Engine
+
+	l2MSHR *cache.MSHRFile
+
+	inflight map[uint64]*inflightLine
+	arrivals arrivalHeap
+
+	cursor      uint64 // prefetch pump has run up to this cycle
+	inflightPF  int
+	lastSubmit  uint64 // monotonic clamp for request submission times
+	stats       MemStats
+	prioritizer bool // issue prefetches only into idle channels
+
+	// held is a popped prefetch candidate waiting for an idle channel (the
+	// prioritizer's holding register); heldValid marks it live.
+	held      uint64
+	heldValid bool
+}
+
+// NewMemSystem builds the hierarchy with the given prefetch engine.
+func NewMemSystem(cfg MemConfig, engine prefetch.Engine) *MemSystem {
+	if cfg.MaxInflightPrefetches <= 0 {
+		cfg.MaxInflightPrefetches = 8
+	}
+	ms := &MemSystem{
+		cfg:         cfg,
+		L1:          cache.New(cfg.L1),
+		L2:          cache.New(cfg.L2),
+		Dram:        dram.New(cfg.DRAM),
+		Engine:      engine,
+		l2MSHR:      cache.NewMSHRFile(cfg.L2.MSHRs),
+		inflight:    make(map[uint64]*inflightLine),
+		prioritizer: true,
+	}
+	return ms
+}
+
+// SetPrioritizer enables or disables the access prioritizer; disabling it
+// lets prefetches contend with demand misses (an ablation, not a paper
+// configuration).
+func (ms *MemSystem) SetPrioritizer(on bool) { ms.prioritizer = on }
+
+// Stats returns hierarchy-level statistics.
+func (ms *MemSystem) Stats() MemStats { return ms.stats }
+
+// present reports whether a block is in the L2 or already on its way.
+func (ms *MemSystem) present(block uint64) bool {
+	if ms.L2.Contains(block) {
+		return true
+	}
+	_, inf := ms.inflight[block]
+	return inf
+}
+
+// processArrivals applies all fills whose data has arrived by cycle t.
+func (ms *MemSystem) processArrivals(t uint64) {
+	for len(ms.arrivals) > 0 && ms.arrivals[0].doneAt <= t {
+		ln := heap.Pop(&ms.arrivals).(*inflightLine)
+		delete(ms.inflight, ln.block)
+		if ln.prefetch {
+			ms.inflightPF--
+		}
+		v, evicted := ms.L2.Fill(ln.block, ln.prefetch, false)
+		if evicted && v.Dirty {
+			ms.Dram.Submit(v.Addr, dram.Writeback, ln.doneAt)
+		}
+		// Pointer-scanning engines inspect every arriving line.
+		ms.Engine.OnArrival(ln.block)
+	}
+}
+
+// Advance runs the prefetch pump and arrival processing up to cycle now.
+//
+// The access prioritizer (paper Figure 2) admits a prefetch to the memory
+// controller only when its target channel is idle at that instant, so a
+// prefetch never delays a demand miss that has already been submitted;
+// demand misses "encounter contention only from prefetches the memory
+// controller has already issued, and not from prefetch candidates buffered
+// in the prefetch queue" (Section 3.1). With the prioritizer disabled
+// (ablation), prefetches are submitted unconditionally and contend with
+// demands inside the controller.
+func (ms *MemSystem) Advance(now uint64) {
+	if now <= ms.cursor {
+		ms.processArrivals(ms.cursor)
+		return
+	}
+	t := ms.cursor
+	for t < now {
+		ms.processArrivals(t)
+		if ms.inflightPF >= ms.cfg.MaxInflightPrefetches {
+			// Wait for a prefetch slot to free.
+			if len(ms.arrivals) == 0 {
+				break
+			}
+			next := ms.arrivals[0].doneAt
+			if next >= now {
+				break
+			}
+			t = next
+			continue
+		}
+		var cand uint64
+		if ms.heldValid {
+			cand = ms.held
+			ms.heldValid = false
+			if ms.present(cand) {
+				continue // became cached while held
+			}
+		} else {
+			var ok bool
+			if opa, isOPA := ms.Engine.(prefetch.OpenPageAware); ms.cfg.OpenPageFirst && isOPA {
+				cand, ok = opa.PopOpenFirst(ms.present, ms.Dram.RowOpen)
+			} else {
+				cand, ok = ms.Engine.Pop(ms.present)
+			}
+			if !ok {
+				break
+			}
+		}
+		start := t
+		if ms.prioritizer {
+			ch, _, _ := ms.Dram.Map(cand)
+			if free := ms.Dram.ChannelFreeAt(ch); free > start {
+				start = free
+			}
+			if start >= now {
+				// The channel never goes idle inside this window: hold the
+				// candidate at the prioritizer rather than delay demands.
+				ms.held = cand
+				ms.heldValid = true
+				break
+			}
+		}
+		done := ms.Dram.Submit(cand, dram.Prefetch, start)
+		ln := &inflightLine{block: cand, doneAt: done, prefetch: true}
+		ms.inflight[cand] = ln
+		heap.Push(&ms.arrivals, ln)
+		ms.inflightPF++
+		ms.stats.PrefetchesIssued++
+		t = start + ms.cfg.DRAM.TransferCycles // issue bandwidth pacing
+	}
+	ms.cursor = now
+	ms.processArrivals(now)
+}
+
+// Load performs a demand load issued at cycle now and returns its
+// completion cycle. pc identifies the load instruction (for the stride
+// table); hint and coeff are its compiler hints.
+func (ms *MemSystem) Load(pc, addr uint64, hint isa.Hint, coeff uint8, now uint64) (done uint64) {
+	ms.stats.Loads++
+	return ms.access(pc, addr, false, hint, coeff, now)
+}
+
+// Store performs a demand store issued at cycle now. Stores carry no hints.
+func (ms *MemSystem) Store(pc, addr uint64, now uint64) (done uint64) {
+	ms.stats.Stores++
+	return ms.access(pc, addr, true, isa.HintNone, isa.FixedRegion, now)
+}
+
+func (ms *MemSystem) access(pc, addr uint64, write bool, hint isa.Hint, coeff uint8, now uint64) uint64 {
+	// Submission times must be nondecreasing for the pump bookkeeping;
+	// out-of-order issue jitter from the core is clamped (see DESIGN.md).
+	if now < ms.lastSubmit {
+		now = ms.lastSubmit
+	}
+	ms.lastSubmit = now
+	ms.Advance(now)
+
+	l1lat := uint64(ms.cfg.L1.HitLatency)
+	l2lat := uint64(ms.cfg.L2.HitLatency)
+	block := ms.L2.BlockAddr(addr)
+
+	// Merge with an outstanding miss or in-flight prefetch before probing
+	// the L1: demand misses fill the L1 eagerly (so L1 contents do not
+	// depend on the prefetch scheme), and the in-flight table is what
+	// keeps accesses from hitting that fill before the data arrives. The
+	// merged access still pays at least the L1-miss + L2-lookup time;
+	// without this floor a timely prefetch could beat a perfect L2.
+	if ln, ok := ms.inflight[block]; ok {
+		ms.stats.InflightMerges++
+		if ln.prefetch {
+			ms.stats.PrefetchLates++
+			ms.Engine.OnDemandHitPrefetched(block)
+		}
+		// The merged request's hint bits reach the MSHR (paper Sec. 3.3.1:
+		// the pointer counters live in the L2 MSHRs).
+		ms.Engine.OnL2DemandMiss(prefetch.MissEvent{
+			PC: pc, Addr: addr, Hint: hint, Coeff: coeff, Merged: true,
+			Present: ms.present,
+		})
+		d := ln.doneAt
+		if m := now + l1lat + l2lat; m > d {
+			d = m
+		}
+		return d
+	}
+
+	if hit, _ := ms.L1.Access(addr, write); hit {
+		return now + l1lat
+	}
+
+	if hit, wasPF := ms.L2.Access(addr, write); hit {
+		if wasPF {
+			ms.Engine.OnDemandHitPrefetched(block)
+		}
+		ms.fillL1(addr, write, now+l1lat+l2lat)
+		return now + l1lat + l2lat
+	}
+
+	// Demand L2 miss: notify the prefetch engine, then go to DRAM through
+	// the L2 MSHRs.
+	ms.Engine.OnL2DemandMiss(prefetch.MissEvent{
+		PC: pc, Addr: addr, Hint: hint, Coeff: coeff, Present: ms.present,
+	})
+
+	lookupDone := now + l1lat + l2lat
+	start, slot := ms.l2MSHR.Reserve(lookupDone)
+	dramDone := ms.Dram.Submit(block, dram.Demand, start)
+	ms.l2MSHR.Complete(slot, dramDone)
+
+	ln := &inflightLine{block: block, doneAt: dramDone}
+	ms.inflight[block] = ln
+	heap.Push(&ms.arrivals, ln)
+	// Fill the L1 now; the in-flight entry (checked before the L1 probe)
+	// prevents later accesses from using the fill before the data lands.
+	ms.fillL1(addr, write, dramDone)
+	return dramDone
+}
+
+// fillL1 inserts the block into the L1 (fills are applied eagerly; see
+// DESIGN.md simplifications) and handles the dirty victim.
+func (ms *MemSystem) fillL1(addr uint64, write bool, when uint64) {
+	v, evicted := ms.L1.Fill(ms.L1.BlockAddr(addr), false, write)
+	if evicted && v.Dirty {
+		// Write back into the L2; if the L2 no longer holds the block the
+		// writeback goes to memory.
+		if !ms.L2.MarkDirty(v.Addr) {
+			ms.Dram.Submit(v.Addr, dram.Writeback, when)
+		}
+	}
+}
+
+// SoftwarePrefetch performs a non-binding PREF: if the block is not cached
+// or in flight, it is fetched at demand priority (a PREF allocates an MSHR
+// and contends like a load — the paper's Section 2 overhead) and fills the
+// L2 marked as a prefetch, so accuracy accounting sees it.
+func (ms *MemSystem) SoftwarePrefetch(addr, now uint64) {
+	if now < ms.lastSubmit {
+		now = ms.lastSubmit
+	}
+	ms.lastSubmit = now
+	ms.Advance(now)
+
+	block := ms.L2.BlockAddr(addr)
+	if _, inf := ms.inflight[block]; inf || ms.L1.Contains(addr) || ms.L2.Contains(addr) {
+		ms.stats.SWPrefetchDrops++
+		return
+	}
+	ms.stats.SWPrefetches++
+	ms.stats.PrefetchesIssued++
+	lookupDone := now + uint64(ms.cfg.L1.HitLatency) + uint64(ms.cfg.L2.HitLatency)
+	start, slot := ms.l2MSHR.Reserve(lookupDone)
+	done := ms.Dram.Submit(block, dram.Prefetch, start)
+	ms.l2MSHR.Complete(slot, done)
+	ln := &inflightLine{block: block, doneAt: done, prefetch: true}
+	ms.inflight[block] = ln
+	heap.Push(&ms.arrivals, ln)
+	ms.inflightPF++
+}
+
+// SetBound forwards a SETBOUND instruction to the engine.
+func (ms *MemSystem) SetBound(v uint64) { ms.Engine.SetBound(v) }
+
+// Indirect forwards a PREFI instruction to the engine.
+func (ms *MemSystem) Indirect(indexAddr, base uint64, shift uint) {
+	ms.Engine.Indirect(indexAddr, base, shift)
+}
+
+// Drain lets all outstanding traffic land; call at end of simulation.
+func (ms *MemSystem) Drain() {
+	for len(ms.arrivals) > 0 {
+		ms.Advance(ms.arrivals[0].doneAt)
+	}
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarChart renders grouped horizontal ASCII bars — the closest a terminal
+// gets to the paper's figures. Each row has one bar per series, scaled to
+// the chart's maximum value.
+type BarChart struct {
+	Title  string
+	Series []string // bar names within each group, e.g. schemes
+	Width  int      // bar width in characters (default 40)
+
+	rows []chartRow
+}
+
+type chartRow struct {
+	label  string
+	values []float64
+}
+
+// Add appends a group (e.g. one benchmark) with one value per series.
+func (c *BarChart) Add(label string, values ...float64) {
+	c.rows = append(c.rows, chartRow{label: label, values: values})
+}
+
+// String implements fmt.Stringer.
+func (c *BarChart) String() string {
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	var max float64
+	for _, r := range c.rows {
+		for _, v := range r.values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	labelW, seriesW := 0, 0
+	for _, r := range c.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	for _, s := range c.Series {
+		if len(s) > seriesW {
+			seriesW = len(s)
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for _, r := range c.rows {
+		for i, v := range r.values {
+			label := ""
+			if i == 0 {
+				label = r.label
+			}
+			series := ""
+			if i < len(c.Series) {
+				series = c.Series[i]
+			}
+			n := int(v / max * float64(width))
+			if n < 0 {
+				n = 0
+			}
+			if v > 0 && n == 0 {
+				n = 1
+			}
+			fmt.Fprintf(&b, "%-*s  %-*s |%s %.3g\n",
+				labelW, label, seriesW, series, strings.Repeat("█", n), v)
+		}
+	}
+	return b.String()
+}

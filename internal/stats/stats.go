@@ -1,0 +1,114 @@
+// Package stats provides the derived metrics and table rendering used to
+// reproduce the paper's evaluation: geometric means over benchmark suites,
+// speedups, traffic ratios, coverage and accuracy, and fixed-width ASCII
+// tables mirroring the paper's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Geomean returns the geometric mean of xs, ignoring non-positive values
+// (which would otherwise poison the product); it returns 0 for an empty or
+// all-non-positive input.
+func Geomean(xs []float64) float64 {
+	var sum float64
+	var n int
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Ratio returns a/b, or 0 when b is zero.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Pct returns 100·(a/b − 1), the percentage by which a exceeds b; 0 when b
+// is zero.
+func Pct(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * (a/b - 1)
+}
+
+// Table renders rows of columns in fixed-width ASCII with a header rule.
+// Cells are right-aligned except the first column.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Add appends a row; values are formatted with %v (use Fmt for floats).
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fmt formats a float at the given precision for table cells.
+func Fmt(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// String implements fmt.Stringer.
+func (t *Table) String() string {
+	ncol := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	widths := make([]int, ncol)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < ncol; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "  %*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for i, w := range widths {
+		if i > 0 {
+			total += 2
+		}
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"grp/internal/compiler"
+	"grp/internal/cpu"
+	"grp/internal/isa"
+	"grp/internal/mem"
+	"grp/internal/prefetch"
+	"grp/internal/sim"
+	"grp/internal/workloads"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []Event{
+		{Kind: KindLoad, PC: 12, Addr: 0x1000, Hint: isa.HintSpatial, Coeff: 3},
+		{Kind: KindStore, PC: 13, Addr: 0x2000},
+		{Kind: KindSetBound, Addr: 64},
+		{Kind: KindIndirect, Addr: 0x3000, Aux: 0x4000, Shift: 3},
+		{Kind: KindSWPrefetch, Addr: 0x5000},
+	}
+	for _, e := range events {
+		w.Write(e)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(events)) {
+		t.Errorf("Count = %d", w.Count())
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range events {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("event %d: %+v != %+v", i, got, want)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(kindSeed uint8, pc, addr, aux uint64, hint uint8, coeff, shift uint8) bool {
+		e := Event{
+			Kind: Kind(kindSeed%5) + KindLoad,
+			PC:   pc, Addr: addr, Aux: aux,
+			Hint: isa.Hint(hint), Coeff: coeff, Shift: shift,
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		w.Write(e)
+		if w.Flush() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := r.Read()
+		return err == nil && got == e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadHeaderRejected(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Error("bad magic should be rejected")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream should be rejected")
+	}
+}
+
+func TestTruncatedEvent(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Event{Kind: KindLoad})
+	w.Flush()
+	data := buf.Bytes()[:buf.Len()-5]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err == nil {
+		t.Error("truncated event should error")
+	}
+}
+
+// TestRecordAndReplay records a real workload's reference stream through
+// the recorder, then replays it trace-driven and checks the prefetcher
+// sees the same hinted miss stream (region allocations within a few
+// percent: the replay's timing differs, so fills and thus filtered
+// candidates shift slightly).
+func TestRecordAndReplay(t *testing.T) {
+	spec, err := workloads.ByName("wupwise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := spec.Build(workloads.Test)
+	m := mem.New()
+	prog, lay, _, err := compiler.CompileWorkload(built.Prog, m, compiler.PolicyDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built.Init(m, lay)
+
+	// Execution-driven run with recording.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msExec := sim.NewMemSystem(sim.DefaultMemConfig(), prefetch.NewGRP(prefetch.DefaultGRPConfig(), m))
+	rec := NewRecorder(msExec, w)
+	cfg := cpu.Default()
+	cfg.MaxInstrs = built.MaxInstrs
+	core := cpu.New(cfg, m, rec)
+	cres, err := core.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msExec.Drain()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() == 0 {
+		t.Fatal("no events recorded")
+	}
+	if w.Count() < cres.Loads+cres.Stores {
+		t.Errorf("recorded %d events < %d memory ops", w.Count(), cres.Loads+cres.Stores)
+	}
+
+	// Trace-driven replay into a fresh hierarchy with the same engine.
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engReplay := prefetch.NewGRP(prefetch.DefaultGRPConfig(), m)
+	msReplay := sim.NewMemSystem(sim.DefaultMemConfig(), engReplay)
+	res, err := Replay(r, msReplay, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msReplay.Drain()
+	if res.Events != w.Count() {
+		t.Errorf("replayed %d of %d events", res.Events, w.Count())
+	}
+	if res.Cycles == 0 {
+		t.Error("replay produced no timing")
+	}
+	exec, rep := msExec.Engine.Stats(), engReplay.Stats()
+	if rep.RegionsAllocated == 0 {
+		t.Fatal("replayed engine allocated no regions")
+	}
+	ratio := float64(rep.RegionsAllocated) / float64(exec.RegionsAllocated)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("replay region allocations diverge: exec=%d replay=%d",
+			exec.RegionsAllocated, rep.RegionsAllocated)
+	}
+}

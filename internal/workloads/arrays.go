@@ -1,0 +1,352 @@
+package workloads
+
+import (
+	"grp/internal/compiler"
+	"grp/internal/lang"
+	"grp/internal/mem"
+)
+
+// specGzip proxies 164.gzip: sliding-window copies over large byte
+// buffers, dominated by unit-stride spatial misses.
+func specGzip() *Spec {
+	return &Spec{
+		Name:      "gzip",
+		CBench:    true,
+		MissCause: "sequential window copies",
+		Build: func(f Factor) *Built {
+			n := pick[int64](f, 1<<13, 1<<16, 1<<18) // 64-bit words
+			dist := int64(4096)
+			in := &lang.Array{Name: "in", Elem: lang.I64, Dims: []int64{n + dist}}
+			out := &lang.Array{Name: "out", Elem: lang.I64, Dims: []int64{n}}
+			p := &lang.Program{
+				Name:    "gzip",
+				Arrays:  []*lang.Array{in, out},
+				Scalars: []string{"r", "i", "t"},
+				Body: []lang.Stmt{
+					&lang.For{Var: "r", Lo: lang.C(0), Hi: lang.C(4), Step: 1, Body: []lang.Stmt{
+						&lang.For{Var: "i", Lo: lang.C(0), Hi: lang.C(n), Step: 1, Body: []lang.Stmt{
+							&lang.Assign{Dst: lang.S("t"), Src: lang.B(lang.Add,
+								lang.Ix(in, lang.S("i")),
+								lang.Ix(in, lang.B(lang.Add, lang.S("i"), lang.C(dist))))},
+							&lang.Assign{Dst: lang.Ix(out, lang.S("i")), Src: lang.S("t")},
+						}},
+					}},
+				},
+			}
+			return &Built{
+				Prog: p,
+				Init: func(m *mem.Memory, lay *compiler.Layout) {
+					r := newRNG(1)
+					base := lay.Addr["in"]
+					for i := int64(0); i < n+dist; i++ {
+						m.Write64(base+uint64(i*8), r.next()>>32)
+					}
+				},
+				MaxInstrs: pick[uint64](f, 150_000, 700_000, 2_500_000),
+			}
+		},
+	}
+}
+
+// specWupwise proxies 168.wupwise: dense matrix-vector products with
+// unit-stride rows, purely spatial.
+func specWupwise() *Spec {
+	return &Spec{
+		Name:      "wupwise",
+		FP:        true,
+		MissCause: "dense row streaming",
+		Build: func(f Factor) *Built {
+			rows := pick[int64](f, 64, 256, 1024)
+			cols := pick[int64](f, 512, 1024, 1024)
+			a := &lang.Array{Name: "a", Elem: lang.I64, Dims: []int64{rows, cols}}
+			x := &lang.Array{Name: "x", Elem: lang.I64, Dims: []int64{cols}}
+			y := &lang.Array{Name: "y", Elem: lang.I64, Dims: []int64{rows}}
+			p := &lang.Program{
+				Name:    "wupwise",
+				Arrays:  []*lang.Array{a, x, y},
+				Scalars: []string{"r", "i", "j", "acc"},
+				Body: []lang.Stmt{
+					&lang.For{Var: "r", Lo: lang.C(0), Hi: lang.C(8), Step: 1, Body: []lang.Stmt{
+						&lang.For{Var: "i", Lo: lang.C(0), Hi: lang.C(rows), Step: 1, Body: []lang.Stmt{
+							&lang.Assign{Dst: lang.S("acc"), Src: lang.C(0)},
+							&lang.For{Var: "j", Lo: lang.C(0), Hi: lang.C(cols), Step: 1, Body: []lang.Stmt{
+								&lang.Assign{Dst: lang.S("acc"), Src: lang.B(lang.Add, lang.S("acc"),
+									lang.B(lang.Mul,
+										lang.Ix(a, lang.S("i"), lang.S("j")),
+										lang.Ix(x, lang.S("j"))))},
+							}},
+							&lang.Assign{Dst: lang.Ix(y, lang.S("i")), Src: lang.S("acc")},
+						}},
+					}},
+				},
+			}
+			return &Built{
+				Prog: p,
+				Init: func(m *mem.Memory, lay *compiler.Layout) {
+					r := newRNG(2)
+					fillWords(m, lay.Addr["a"], rows*cols, r)
+					fillWords(m, lay.Addr["x"], cols, r)
+				},
+				MaxInstrs: pick[uint64](f, 150_000, 700_000, 2_500_000),
+			}
+		},
+	}
+}
+
+// specSwim proxies 171.swim: a 2-D relaxation whose dominant sweep walks
+// the arrays in transposed order, so the innermost stride is a full row
+// and the spatial reuse is carried by the outer loop (paper Table 6:
+// "transpose array access", 92% of misses).
+func specSwim() *Spec {
+	return &Spec{
+		Name:      "swim",
+		FP:        true,
+		MissCause: "transpose array access",
+		Build: func(f Factor) *Built {
+			n := pick[int64](f, 96, 320, 768)
+			u := &lang.Array{Name: "u", Elem: lang.I64, Dims: []int64{n, n}}
+			v := &lang.Array{Name: "v", Elem: lang.I64, Dims: []int64{n, n}}
+			p := &lang.Program{
+				Name:    "swim",
+				Arrays:  []*lang.Array{u, v},
+				Scalars: []string{"r", "i", "j", "acc"},
+				Body: []lang.Stmt{
+					&lang.For{Var: "r", Lo: lang.C(0), Hi: lang.C(6), Step: 1, Body: []lang.Stmt{
+						// Transposed sweep: u[j][i] with j innermost.
+						&lang.For{Var: "i", Lo: lang.C(0), Hi: lang.C(n), Step: 1, Body: []lang.Stmt{
+							&lang.Assign{Dst: lang.S("acc"), Src: lang.C(0)},
+							&lang.For{Var: "j", Lo: lang.C(0), Hi: lang.C(n), Step: 1, Body: []lang.Stmt{
+								&lang.Assign{Dst: lang.S("acc"), Src: lang.B(lang.Add, lang.S("acc"),
+									lang.Ix(u, lang.S("j"), lang.S("i")))},
+							}},
+							&lang.Assign{Dst: lang.Ix(v, lang.C(0), lang.S("i")), Src: lang.S("acc")},
+						}},
+					}},
+				},
+			}
+			return &Built{
+				Prog: p,
+				Init: func(m *mem.Memory, lay *compiler.Layout) {
+					fillWords(m, lay.Addr["u"], n*n, newRNG(3))
+				},
+				MaxInstrs: pick[uint64](f, 150_000, 700_000, 2_500_000),
+			}
+		},
+	}
+}
+
+// specMgrid proxies 172.mgrid: 3-D stencil relaxation, unit-stride in the
+// innermost dimension with large neighboring-plane strides.
+func specMgrid() *Spec {
+	return &Spec{
+		Name:      "mgrid",
+		FP:        true,
+		MissCause: "3-D stencil planes",
+		Build: func(f Factor) *Built {
+			d := pick[int64](f, 24, 40, 64)
+			u := &lang.Array{Name: "u", Elem: lang.I64, Dims: []int64{d, d, d}}
+			r3 := &lang.Array{Name: "r3", Elem: lang.I64, Dims: []int64{d, d, d}}
+			idx := func(k, j, i lang.Expr) *lang.Index { return lang.Ix(u, k, j, i) }
+			kv, jv, iv := lang.S("k"), lang.S("j"), lang.S("i")
+			p := &lang.Program{
+				Name:    "mgrid",
+				Arrays:  []*lang.Array{u, r3},
+				Scalars: []string{"rep", "k", "j", "i", "acc"},
+				Body: []lang.Stmt{
+					&lang.For{Var: "rep", Lo: lang.C(0), Hi: lang.C(6), Step: 1, Body: []lang.Stmt{
+						&lang.For{Var: "k", Lo: lang.C(1), Hi: lang.C(d - 1), Step: 1, Body: []lang.Stmt{
+							&lang.For{Var: "j", Lo: lang.C(1), Hi: lang.C(d - 1), Step: 1, Body: []lang.Stmt{
+								&lang.For{Var: "i", Lo: lang.C(1), Hi: lang.C(d - 1), Step: 1, Body: []lang.Stmt{
+									&lang.Assign{Dst: lang.S("acc"), Src: lang.B(lang.Add,
+										lang.B(lang.Add,
+											lang.B(lang.Add, idx(kv, jv, lang.B(lang.Sub, iv, lang.C(1))),
+												idx(kv, jv, lang.B(lang.Add, iv, lang.C(1)))),
+											lang.B(lang.Add, idx(kv, lang.B(lang.Sub, jv, lang.C(1)), iv),
+												idx(kv, lang.B(lang.Add, jv, lang.C(1)), iv))),
+										lang.B(lang.Add, idx(lang.B(lang.Sub, kv, lang.C(1)), jv, iv),
+											idx(lang.B(lang.Add, kv, lang.C(1)), jv, iv)))},
+									&lang.Assign{Dst: lang.Ix(r3, kv, jv, iv), Src: lang.S("acc")},
+								}},
+							}},
+						}},
+					}},
+				},
+			}
+			return &Built{
+				Prog: p,
+				Init: func(m *mem.Memory, lay *compiler.Layout) {
+					fillWords(m, lay.Addr["u"], d*d*d, newRNG(4))
+				},
+				MaxInstrs: pick[uint64](f, 150_000, 700_000, 2_500_000),
+			}
+		},
+	}
+}
+
+// specApplu proxies 173.applu: forward wavefront sweeps over several rank-3
+// arrays with both unit-stride and plane-stride operands.
+func specApplu() *Spec {
+	return &Spec{
+		Name:      "applu",
+		FP:        true,
+		MissCause: "wavefront sweeps",
+		Build: func(f Factor) *Built {
+			d := pick[int64](f, 24, 40, 64)
+			vv := &lang.Array{Name: "v", Elem: lang.I64, Dims: []int64{d, d, d}}
+			w := &lang.Array{Name: "w", Elem: lang.I64, Dims: []int64{d, d, d}}
+			kv, jv, iv := lang.S("k"), lang.S("j"), lang.S("i")
+			p := &lang.Program{
+				Name:    "applu",
+				Arrays:  []*lang.Array{vv, w},
+				Scalars: []string{"rep", "k", "j", "i", "t"},
+				Body: []lang.Stmt{
+					&lang.For{Var: "rep", Lo: lang.C(0), Hi: lang.C(8), Step: 1, Body: []lang.Stmt{
+						&lang.For{Var: "k", Lo: lang.C(1), Hi: lang.C(d), Step: 1, Body: []lang.Stmt{
+							&lang.For{Var: "j", Lo: lang.C(0), Hi: lang.C(d), Step: 1, Body: []lang.Stmt{
+								&lang.For{Var: "i", Lo: lang.C(0), Hi: lang.C(d), Step: 1, Body: []lang.Stmt{
+									&lang.Assign{Dst: lang.S("t"), Src: lang.B(lang.Sub,
+										lang.Ix(vv, kv, jv, iv),
+										lang.B(lang.Mul,
+											lang.Ix(w, kv, jv, iv),
+											lang.Ix(vv, lang.B(lang.Sub, kv, lang.C(1)), jv, iv)))},
+									&lang.Assign{Dst: lang.Ix(vv, kv, jv, iv), Src: lang.S("t")},
+								}},
+							}},
+						}},
+					}},
+				},
+			}
+			return &Built{
+				Prog: p,
+				Init: func(m *mem.Memory, lay *compiler.Layout) {
+					r := newRNG(5)
+					fillWords(m, lay.Addr["v"], d*d*d, r)
+					fillWords(m, lay.Addr["w"], d*d*d, r)
+				},
+				MaxInstrs: pick[uint64](f, 150_000, 700_000, 2_500_000),
+			}
+		},
+	}
+}
+
+// specArt proxies 179.art: repeated full passes over f32 arrays larger
+// than the L2, plus a transposed weight sweep; it is bandwidth-bound, the
+// one benchmark the paper says "simply requires more memory bandwidth".
+func specArt() *Spec {
+	return &Spec{
+		Name:      "art",
+		FP:        true,
+		CBench:    true,
+		MissCause: "bandwidth / transpose heap array access",
+		Build: func(f Factor) *Built {
+			f1 := pick[int64](f, 128, 400, 1024) // neurons
+			f2 := pick[int64](f, 256, 640, 2048) // features
+			w := &lang.Array{Name: "w", Elem: lang.I32, Dims: []int64{f1, f2}, Heap: true}
+			feat := &lang.Array{Name: "feat", Elem: lang.I32, Dims: []int64{f2}, Heap: true}
+			out := &lang.Array{Name: "outv", Elem: lang.I32, Dims: []int64{f1}, Heap: true}
+			iv, jv := lang.S("i"), lang.S("j")
+			p := &lang.Program{
+				Name:    "art",
+				Arrays:  []*lang.Array{w, feat, out},
+				Scalars: []string{"e", "i", "j", "acc"},
+				Body: []lang.Stmt{
+					&lang.For{Var: "e", Lo: lang.C(0), Hi: lang.C(6), Step: 1, Body: []lang.Stmt{
+						// Forward pass: row-major streaming.
+						&lang.For{Var: "i", Lo: lang.C(0), Hi: lang.C(f1), Step: 1, Body: []lang.Stmt{
+							&lang.Assign{Dst: lang.S("acc"), Src: lang.C(0)},
+							&lang.For{Var: "j", Lo: lang.C(0), Hi: lang.C(f2), Step: 1, Body: []lang.Stmt{
+								&lang.Assign{Dst: lang.S("acc"), Src: lang.B(lang.Add, lang.S("acc"),
+									lang.B(lang.Mul, lang.Ix(w, iv, jv), lang.Ix(feat, jv)))},
+							}},
+							&lang.Assign{Dst: lang.Ix(out, iv), Src: lang.S("acc")},
+						}},
+						// Weight update: transposed (column-major) sweep.
+						&lang.For{Var: "j", Lo: lang.C(0), Hi: lang.C(f2), Step: 1, Body: []lang.Stmt{
+							&lang.For{Var: "i", Lo: lang.C(0), Hi: lang.C(f1), Step: 1, Body: []lang.Stmt{
+								&lang.Assign{Dst: lang.Ix(w, iv, jv), Src: lang.B(lang.Add,
+									lang.Ix(w, iv, jv), lang.Ix(out, iv))},
+							}},
+						}},
+					}},
+				},
+			}
+			return &Built{
+				Prog: p,
+				Init: func(m *mem.Memory, lay *compiler.Layout) {
+					r := newRNG(6)
+					fillWords32(m, lay.Addr["w"], f1*f2, r)
+					fillWords32(m, lay.Addr["feat"], f2, r)
+				},
+				MaxInstrs: pick[uint64](f, 150_000, 700_000, 2_500_000),
+			}
+		},
+	}
+}
+
+// specApsi proxies 301.apsi: rank-3 Fortran-style sweeps where one phase
+// runs along the spatial dimension and another crosses it with a plane
+// stride whose reuse still fits in the L2.
+func specApsi() *Spec {
+	return &Spec{
+		Name:      "apsi",
+		FP:        true,
+		MissCause: "mixed-stride rank-3 sweeps",
+		Build: func(f Factor) *Built {
+			d := pick[int64](f, 24, 40, 56)
+			t := &lang.Array{Name: "t", Elem: lang.I64, Dims: []int64{d, d, d}}
+			q := &lang.Array{Name: "q", Elem: lang.I64, Dims: []int64{d, d, d}}
+			kv, jv, iv := lang.S("k"), lang.S("j"), lang.S("i")
+			p := &lang.Program{
+				Name:    "apsi",
+				Arrays:  []*lang.Array{t, q},
+				Scalars: []string{"rep", "k", "j", "i", "acc"},
+				Body: []lang.Stmt{
+					&lang.For{Var: "rep", Lo: lang.C(0), Hi: lang.C(8), Step: 1, Body: []lang.Stmt{
+						// Phase 1: unit stride.
+						&lang.For{Var: "k", Lo: lang.C(0), Hi: lang.C(d), Step: 1, Body: []lang.Stmt{
+							&lang.For{Var: "j", Lo: lang.C(0), Hi: lang.C(d), Step: 1, Body: []lang.Stmt{
+								&lang.For{Var: "i", Lo: lang.C(0), Hi: lang.C(d), Step: 1, Body: []lang.Stmt{
+									&lang.Assign{Dst: lang.Ix(t, kv, jv, iv), Src: lang.B(lang.Add,
+										lang.Ix(t, kv, jv, iv), lang.Ix(q, kv, jv, iv))},
+								}},
+							}},
+						}},
+						// Phase 2: middle-dimension crossing (stride d
+						// elements), spatial reuse carried by loop i.
+						&lang.For{Var: "k", Lo: lang.C(0), Hi: lang.C(d), Step: 1, Body: []lang.Stmt{
+							&lang.For{Var: "i", Lo: lang.C(0), Hi: lang.C(d), Step: 1, Body: []lang.Stmt{
+								&lang.Assign{Dst: lang.S("acc"), Src: lang.C(0)},
+								&lang.For{Var: "j", Lo: lang.C(0), Hi: lang.C(d), Step: 1, Body: []lang.Stmt{
+									&lang.Assign{Dst: lang.S("acc"), Src: lang.B(lang.Add, lang.S("acc"),
+										lang.Ix(q, kv, jv, iv))},
+								}},
+								&lang.Assign{Dst: lang.Ix(t, kv, lang.C(0), iv), Src: lang.S("acc")},
+							}},
+						}},
+					}},
+				},
+			}
+			return &Built{
+				Prog: p,
+				Init: func(m *mem.Memory, lay *compiler.Layout) {
+					r := newRNG(7)
+					fillWords(m, lay.Addr["t"], d*d*d, r)
+					fillWords(m, lay.Addr["q"], d*d*d, r)
+				},
+				MaxInstrs: pick[uint64](f, 150_000, 700_000, 2_500_000),
+			}
+		},
+	}
+}
+
+func fillWords(m *mem.Memory, base uint64, n int64, r *rng) {
+	for i := int64(0); i < n; i++ {
+		m.Write64(base+uint64(i*8), r.next()>>40)
+	}
+}
+
+func fillWords32(m *mem.Memory, base uint64, n int64, r *rng) {
+	for i := int64(0); i < n; i++ {
+		m.Write32(base+uint64(i*4), uint32(r.next()>>48))
+	}
+}

@@ -1,0 +1,426 @@
+package workloads
+
+import (
+	"grp/internal/compiler"
+	"grp/internal/lang"
+	"grp/internal/mem"
+)
+
+// specMcf proxies 181.mcf: a sequential reset of a field in every object
+// of a heap arc array (the loop the paper notes pointer prefetching
+// accelerates), followed by repeated root-to-leaf searches of a binary
+// tree whose nodes sit at shuffled addresses (Table 6: "tree traversal").
+func specMcf() *Spec {
+	return &Spec{
+		Name:      "mcf",
+		CBench:    true,
+		MissCause: "tree traversal",
+		Build: func(f Factor) *Built {
+			nArcs := pick[int64](f, 1<<11, 1<<14, 1<<16)
+			nNodes := pick(f, 1<<11, 1<<14, 1<<16)
+			nQueries := pick[int64](f, 256, 1024, 8192)
+
+			arc := lang.NewStruct("arc",
+				lang.Field{Name: "cost", Type: lang.I64},
+				lang.Field{Name: "flow", Type: lang.I64},
+				lang.Field{Name: "tail", Type: lang.PtrT{Elem: lang.I64}},
+			)
+			node := lang.NewStruct("node",
+				lang.Field{Name: "key", Type: lang.I64},
+			)
+			// The l/r fields must reference the node type itself; patch
+			// them in after construction.
+			node.Fields = append(node.Fields,
+				lang.Field{Name: "l", Type: lang.PtrT{Elem: node}, Offset: 8},
+				lang.Field{Name: "r", Type: lang.PtrT{Elem: node}, Offset: 16},
+			)
+			setStructSize(node, 24)
+
+			arcs := &lang.Array{Name: "arcs", Elem: lang.PtrT{Elem: arc}, Dims: []int64{nArcs}, Heap: true}
+			rootA := &lang.Array{Name: "root", Elem: lang.PtrT{Elem: node}, Dims: []int64{1}, Heap: true}
+			keys := &lang.Array{Name: "keys", Elem: lang.I64, Dims: []int64{nQueries}}
+
+			p := &lang.Program{
+				Name:    "mcf",
+				Arrays:  []*lang.Array{arcs, rootA, keys},
+				Scalars: []string{"i", "q", "a", "p", "key", "k", "acc"},
+				Body: []lang.Stmt{
+					// Phase 1: reset flow in every arc through the pointer
+					// array (spatial + pointer hints on arcs[i]).
+					&lang.For{Var: "i", Lo: lang.C(0), Hi: lang.C(nArcs), Step: 1, Body: []lang.Stmt{
+						&lang.Assign{Dst: lang.S("a"), Src: lang.Ix(arcs, lang.S("i"))},
+						&lang.Assign{
+							Dst: &lang.FieldRef{Ptr: lang.S("a"), Struct: arc, Field: "flow"},
+							Src: lang.C(0),
+						},
+					}},
+					// Phase 2: repeated tree searches (recursive pointer
+					// hints on p = p->l / p = p->r).
+					&lang.For{Var: "q", Lo: lang.C(0), Hi: lang.C(nQueries), Step: 1, Body: []lang.Stmt{
+						&lang.Assign{Dst: lang.S("key"), Src: lang.Ix(keys, lang.S("q"))},
+						&lang.Assign{Dst: lang.S("p"), Src: lang.Ix(rootA, lang.C(0))},
+						&lang.While{Cond: lang.B(lang.Ne, lang.S("p"), lang.C(0)), Body: []lang.Stmt{
+							&lang.Assign{Dst: lang.S("k"), Src: &lang.FieldRef{Ptr: lang.S("p"), Struct: node, Field: "key"}},
+							&lang.Assign{Dst: lang.S("acc"), Src: lang.B(lang.Add, lang.S("acc"), lang.S("k"))},
+							&lang.If{
+								Cond: lang.B(lang.Lt, lang.S("key"), lang.S("k")),
+								Then: []lang.Stmt{&lang.Assign{Dst: lang.S("p"),
+									Src: &lang.FieldRef{Ptr: lang.S("p"), Struct: node, Field: "l"}}},
+								Else: []lang.Stmt{&lang.Assign{Dst: lang.S("p"),
+									Src: &lang.FieldRef{Ptr: lang.S("p"), Struct: node, Field: "r"}}},
+							},
+						}},
+					}},
+				},
+			}
+			return &Built{
+				Prog: p,
+				Init: func(m *mem.Memory, lay *compiler.Layout) {
+					r := newRNG(11)
+					// Arc objects in allocation order (contiguous heap).
+					arcAddrs := allocNodes(m, arc, int(nArcs), false, 0, r)
+					for i, a := range arcAddrs {
+						m.Write64(lay.Addr["arcs"]+uint64(i*8), a)
+						m.Write64(a, uint64(r.intn(1000))) // cost
+					}
+					// Balanced BST over shuffled node placements.
+					nodeAddrs := allocNodes(m, node, nNodes, true, 40, r)
+					keysSorted := make([]int64, nNodes)
+					for i := range keysSorted {
+						keysSorted[i] = int64(i) * 7
+					}
+					root := buildBST(m, node, nodeAddrs, keysSorted, 0, nNodes-1)
+					m.Write64(lay.Addr["root"], root)
+					for q := int64(0); q < nQueries; q++ {
+						m.Write64(lay.Addr["keys"]+uint64(q*8), int64ToU64(keysSorted[r.intn(nNodes)]))
+					}
+				},
+				MaxInstrs: pick[uint64](f, 150_000, 700_000, 2_500_000),
+			}
+		},
+	}
+}
+
+// buildBST writes a balanced tree over keys[lo..hi] into the next unused
+// node addresses (consumed depth-first) and returns the subtree root.
+func buildBST(m *mem.Memory, node *lang.StructT, addrs []uint64, keys []int64, lo, hi int) uint64 {
+	_ = node
+	var next int
+	var rec func(lo, hi int) uint64
+	rec = func(lo, hi int) uint64 {
+		if lo > hi {
+			return 0
+		}
+		mid := (lo + hi) / 2
+		a := addrs[next]
+		next++
+		m.Write64(a+0, int64ToU64(keys[mid]))
+		l := rec(lo, mid-1)
+		r := rec(mid+1, hi)
+		m.Write64(a+8, l)
+		m.Write64(a+16, r)
+		return a
+	}
+	return rec(lo, hi)
+}
+
+func int64ToU64(v int64) uint64 { return uint64(v) }
+
+// setStructSize force-sets a struct's size after manual field patching.
+func setStructSize(s *lang.StructT, size int64) { lang.SetStructSize(s, size) }
+
+// specEquake proxies 183.equake: heap arrays of row pointers accessed
+// buf[i][j] (paper Figure 4); the row-pointer loads earn both spatial and
+// pointer hints, which is exactly where the paper says equake's pointer-
+// prefetching gain comes from.
+func specEquake() *Spec {
+	return &Spec{
+		Name:      "equake",
+		FP:        true,
+		CBench:    true,
+		MissCause: "heap arrays of row pointers",
+		Build: func(f Factor) *Built {
+			rows := pick[int64](f, 1<<9, 1<<11, 1<<13)
+			cols := int64(512)
+			buf := &lang.Array{Name: "buf", Elem: lang.PtrT{Elem: lang.I64}, Dims: []int64{rows}, Heap: true}
+			p := &lang.Program{
+				Name:    "equake",
+				Arrays:  []*lang.Array{buf},
+				Scalars: []string{"r", "i", "j", "row", "acc"},
+				Body: []lang.Stmt{
+					&lang.For{Var: "r", Lo: lang.C(0), Hi: lang.C(6), Step: 1, Body: []lang.Stmt{
+						&lang.For{Var: "i", Lo: lang.C(0), Hi: lang.C(rows), Step: 1, Body: []lang.Stmt{
+							&lang.Assign{Dst: lang.S("row"), Src: lang.Ix(buf, lang.S("i"))},
+							&lang.For{Var: "j", Lo: lang.C(0), Hi: lang.C(cols), Step: 1, Body: []lang.Stmt{
+								&lang.Assign{Dst: lang.S("acc"), Src: lang.B(lang.Add, lang.S("acc"),
+									&lang.PtrIndex{Ptr: lang.S("row"), Elem: lang.I64, Idx: lang.S("j")})},
+							}},
+						}},
+					}},
+				},
+			}
+			return &Built{
+				Prog: p,
+				Init: func(m *mem.Memory, lay *compiler.Layout) {
+					r := newRNG(12)
+					for i := int64(0); i < rows; i++ {
+						rowAddr := m.Alloc(uint64(cols*8), 64)
+						m.Write64(lay.Addr["buf"]+uint64(i*8), rowAddr)
+						for j := int64(0); j < cols; j++ {
+							m.Write64(rowAddr+uint64(j*8), r.next()>>40)
+						}
+					}
+				},
+				MaxInstrs: pick[uint64](f, 150_000, 700_000, 2_500_000),
+			}
+		},
+	}
+}
+
+// specAmmp proxies 188.ammp: repeated traversal of a linked list of atom
+// records scattered through a fragmented heap (Table 6: "linked list
+// traversal"). Each atom carries a neighbor list — forward pointers to the
+// next few atoms in traversal order, as molecular-dynamics neighbor lists
+// do — so GRP's recursive pointer scanning fans out several nodes ahead
+// per miss, while SRP's 4 KB regions fetch mostly unrelated heap (the
+// paper measures SRP at 14x ammp's baseline traffic with *negative*
+// coverage).
+func specAmmp() *Spec {
+	return &Spec{
+		Name:      "ammp",
+		FP:        true,
+		CBench:    true,
+		MissCause: "linked list traversal",
+		Build: func(f Factor) *Built {
+			n := pick(f, 1<<11, 1<<14, 1<<16)
+			atom := lang.NewStruct("atom",
+				lang.Field{Name: "x", Type: lang.I64},
+				lang.Field{Name: "y", Type: lang.I64},
+				lang.Field{Name: "z", Type: lang.I64},
+				lang.Field{Name: "q", Type: lang.I64},
+			)
+			atom.Fields = append(atom.Fields,
+				lang.Field{Name: "next", Type: lang.PtrT{Elem: atom}, Offset: 32},
+				lang.Field{Name: "nb1", Type: lang.PtrT{Elem: atom}, Offset: 40},
+				lang.Field{Name: "nb2", Type: lang.PtrT{Elem: atom}, Offset: 48},
+				lang.Field{Name: "nb3", Type: lang.PtrT{Elem: atom}, Offset: 56},
+				lang.Field{Name: "nb4", Type: lang.PtrT{Elem: atom}, Offset: 64},
+			)
+			setStructSize(atom, 72)
+			headA := &lang.Array{Name: "head", Elem: lang.PtrT{Elem: atom}, Dims: []int64{1}, Heap: true}
+			p := &lang.Program{
+				Name:    "ammp",
+				Arrays:  []*lang.Array{headA},
+				Scalars: []string{"r", "a", "acc"},
+				Body: []lang.Stmt{
+					&lang.For{Var: "r", Lo: lang.C(0), Hi: lang.C(8), Step: 1, Body: []lang.Stmt{
+						&lang.Assign{Dst: lang.S("a"), Src: lang.Ix(headA, lang.C(0))},
+						&lang.While{Cond: lang.B(lang.Ne, lang.S("a"), lang.C(0)), Body: []lang.Stmt{
+							&lang.Assign{Dst: lang.S("acc"), Src: lang.B(lang.Add, lang.S("acc"),
+								lang.B(lang.Add,
+									&lang.FieldRef{Ptr: lang.S("a"), Struct: atom, Field: "x"},
+									&lang.FieldRef{Ptr: lang.S("a"), Struct: atom, Field: "q"}))},
+							&lang.Assign{Dst: lang.S("a"),
+								Src: &lang.FieldRef{Ptr: lang.S("a"), Struct: atom, Field: "next"}},
+						}},
+					}},
+				},
+			}
+			return &Built{
+				Prog: p,
+				Init: func(m *mem.Memory, lay *compiler.Layout) {
+					r := newRNG(13)
+					// Scattered atoms in a fragmented heap.
+					nodes := allocNodes(m, atom, n, true, 56, r)
+					for i, a := range nodes {
+						m.Write64(a, r.next()>>40)
+						m.Write64(a+24, r.next()>>40)
+						// Neighbor list: forward pointers along the
+						// traversal order.
+						for k := 1; k <= 4; k++ {
+							var nb uint64
+							if i+1+k < n {
+								nb = nodes[i+1+k]
+							}
+							m.Write64(a+uint64(32+8*k), nb)
+						}
+					}
+					linkList(m, nodes, 32)
+					m.Write64(lay.Addr["head"], nodes[0])
+				},
+				MaxInstrs: pick[uint64](f, 150_000, 700_000, 2_500_000),
+			}
+		},
+	}
+}
+
+// specParser proxies 197.parser: many short linked lists at shuffled
+// addresses reached through a sequentially scanned head array, a mix of
+// spatial head loads and low-locality recursive chases.
+func specParser() *Spec {
+	return &Spec{
+		Name:      "parser",
+		CBench:    true,
+		MissCause: "short shuffled linked lists",
+		Build: func(f Factor) *Built {
+			lists := pick[int64](f, 1<<8, 1<<10, 1<<12)
+			perList := pick(f, 8, 12, 16)
+			word := lang.NewStruct("word",
+				lang.Field{Name: "val", Type: lang.I64},
+			)
+			word.Fields = append(word.Fields, lang.Field{Name: "next", Type: lang.PtrT{Elem: word}, Offset: 8})
+			setStructSize(word, 16)
+			heads := &lang.Array{Name: "heads", Elem: lang.PtrT{Elem: word}, Dims: []int64{lists}, Heap: true}
+			p := &lang.Program{
+				Name:    "parser",
+				Arrays:  []*lang.Array{heads},
+				Scalars: []string{"r", "q", "p", "acc"},
+				Body: []lang.Stmt{
+					&lang.For{Var: "r", Lo: lang.C(0), Hi: lang.C(6), Step: 1, Body: []lang.Stmt{
+						&lang.For{Var: "q", Lo: lang.C(0), Hi: lang.C(lists), Step: 1, Body: []lang.Stmt{
+							&lang.Assign{Dst: lang.S("p"), Src: lang.Ix(heads, lang.S("q"))},
+							&lang.While{Cond: lang.B(lang.Ne, lang.S("p"), lang.C(0)), Body: []lang.Stmt{
+								&lang.Assign{Dst: lang.S("acc"), Src: lang.B(lang.Add, lang.S("acc"),
+									&lang.FieldRef{Ptr: lang.S("p"), Struct: word, Field: "val"})},
+								&lang.Assign{Dst: lang.S("p"),
+									Src: &lang.FieldRef{Ptr: lang.S("p"), Struct: word, Field: "next"}},
+							}},
+						}},
+					}},
+				},
+			}
+			return &Built{
+				Prog: p,
+				Init: func(m *mem.Memory, lay *compiler.Layout) {
+					r := newRNG(14)
+					all := allocNodes(m, word, int(lists)*perList, true, 48, r)
+					for i, a := range all {
+						m.Write64(a, uint64(i))
+					}
+					for li := int64(0); li < lists; li++ {
+						chunk := all[li*int64(perList) : (li+1)*int64(perList)]
+						linkList(m, chunk, 8)
+						m.Write64(lay.Addr["heads"]+uint64(li*8), chunk[0])
+					}
+				},
+				MaxInstrs: pick[uint64](f, 150_000, 700_000, 2_500_000),
+			}
+		},
+	}
+}
+
+// specGap proxies 254.gap: an arena of records walked with an induction
+// pointer (paper Figure 5), with an embedded pointer hop per record; the
+// arena scan earns spatial hints, the hop targets earn pointer hints.
+func specGap() *Spec {
+	return &Spec{
+		Name:      "gap",
+		CBench:    true,
+		MissCause: "arena scan with pointer hops",
+		Build: func(f Factor) *Built {
+			n := pick(f, 1<<11, 1<<14, 1<<16)
+			rec := lang.NewStruct("rec",
+				lang.Field{Name: "a", Type: lang.I64},
+				lang.Field{Name: "b", Type: lang.I64},
+			)
+			rec.Fields = append(rec.Fields, lang.Field{Name: "ptr", Type: lang.PtrT{Elem: rec}, Offset: 16})
+			setStructSize(rec, 24)
+			bounds := &lang.Array{Name: "bounds", Elem: lang.PtrT{Elem: rec}, Dims: []int64{2}, Heap: true}
+			p := &lang.Program{
+				Name:    "gap",
+				Arrays:  []*lang.Array{bounds},
+				Scalars: []string{"r", "rp", "end", "q", "acc"},
+				Body: []lang.Stmt{
+					&lang.For{Var: "r", Lo: lang.C(0), Hi: lang.C(8), Step: 1, Body: []lang.Stmt{
+						&lang.Assign{Dst: lang.S("rp"), Src: lang.Ix(bounds, lang.C(0))},
+						&lang.Assign{Dst: lang.S("end"), Src: lang.Ix(bounds, lang.C(1))},
+						&lang.While{Cond: lang.B(lang.Lt, lang.S("rp"), lang.S("end")), Body: []lang.Stmt{
+							&lang.Assign{Dst: lang.S("acc"), Src: lang.B(lang.Add, lang.S("acc"),
+								&lang.FieldRef{Ptr: lang.S("rp"), Struct: rec, Field: "a"})},
+							&lang.Assign{Dst: lang.S("q"),
+								Src: &lang.FieldRef{Ptr: lang.S("rp"), Struct: rec, Field: "ptr"}},
+							&lang.Assign{Dst: lang.S("acc"), Src: lang.B(lang.Add, lang.S("acc"),
+								&lang.FieldRef{Ptr: lang.S("q"), Struct: rec, Field: "b"})},
+							&lang.Assign{Dst: lang.S("rp"), Src: lang.B(lang.Add, lang.S("rp"), lang.C(24))},
+						}},
+					}},
+				},
+			}
+			return &Built{
+				Prog: p,
+				Init: func(m *mem.Memory, lay *compiler.Layout) {
+					r := newRNG(15)
+					nodes := allocNodes(m, rec, n, false, 0, r)
+					for _, a := range nodes {
+						m.Write64(a, r.next()>>40)
+						m.Write64(a+8, r.next()>>40)
+						// Pointer hop to a nearby record: gap's workspace
+						// pointers mostly reference recently created data.
+						m.Write64(a+16, nodes[r.intn(n)])
+					}
+					m.Write64(lay.Addr["bounds"], nodes[0])
+					m.Write64(lay.Addr["bounds"]+8, nodes[n-1]+24)
+				},
+				MaxInstrs: pick[uint64](f, 150_000, 700_000, 2_500_000),
+			}
+		},
+	}
+}
+
+// specTwolf proxies 300.twolf: long linked lists at shuffled addresses
+// plus a random pointer hop per node (Table 6: "linked list and random
+// pointers"); spatial schemes find nothing here and SRP's regions are pure
+// waste.
+func specTwolf() *Spec {
+	return &Spec{
+		Name:      "twolf",
+		CBench:    true,
+		MissCause: "linked list and random pointers",
+		Build: func(f Factor) *Built {
+			// The touched set must decisively exceed the 1 MB L2 so reuse
+			// misses persist across traversals.
+			n := pick(f, 1<<11, 3<<13, 1<<16)
+			cell := lang.NewStruct("cell",
+				lang.Field{Name: "x", Type: lang.I64},
+			)
+			cell.Fields = append(cell.Fields,
+				lang.Field{Name: "next", Type: lang.PtrT{Elem: cell}, Offset: 8},
+				lang.Field{Name: "buddy", Type: lang.PtrT{Elem: cell}, Offset: 16},
+			)
+			setStructSize(cell, 24)
+			headA := &lang.Array{Name: "head", Elem: lang.PtrT{Elem: cell}, Dims: []int64{1}, Heap: true}
+			p := &lang.Program{
+				Name:    "twolf",
+				Arrays:  []*lang.Array{headA},
+				Scalars: []string{"r", "p", "b", "acc"},
+				Body: []lang.Stmt{
+					&lang.For{Var: "r", Lo: lang.C(0), Hi: lang.C(8), Step: 1, Body: []lang.Stmt{
+						&lang.Assign{Dst: lang.S("p"), Src: lang.Ix(headA, lang.C(0))},
+						&lang.While{Cond: lang.B(lang.Ne, lang.S("p"), lang.C(0)), Body: []lang.Stmt{
+							&lang.Assign{Dst: lang.S("b"),
+								Src: &lang.FieldRef{Ptr: lang.S("p"), Struct: cell, Field: "buddy"}},
+							&lang.Assign{Dst: lang.S("acc"), Src: lang.B(lang.Add, lang.S("acc"),
+								&lang.FieldRef{Ptr: lang.S("b"), Struct: cell, Field: "x"})},
+							&lang.Assign{Dst: lang.S("p"),
+								Src: &lang.FieldRef{Ptr: lang.S("p"), Struct: cell, Field: "next"}},
+						}},
+					}},
+				},
+			}
+			return &Built{
+				Prog: p,
+				Init: func(m *mem.Memory, lay *compiler.Layout) {
+					r := newRNG(16)
+					nodes := allocNodes(m, cell, n, true, 72, r)
+					for _, a := range nodes {
+						m.Write64(a, r.next()>>40)
+						m.Write64(a+16, nodes[r.intn(n)]) // buddy: random hop
+					}
+					linkList(m, nodes, 8)
+					m.Write64(lay.Addr["head"], nodes[0])
+				},
+				MaxInstrs: pick[uint64](f, 150_000, 700_000, 2_500_000),
+			}
+		},
+	}
+}

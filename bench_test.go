@@ -366,3 +366,22 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim-instrs/s")
 }
+
+// BenchmarkSimulatorThroughputTelemetry is the same run with the metrics
+// registry and sampler attached, bounding the cost of observability.
+func BenchmarkSimulatorThroughputTelemetry(b *testing.B) {
+	spec, err := workloads.ByName("wupwise")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := core.Options{Factor: benchFactor(), Metrics: true}
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		r, err := core.Run(spec, core.GRPVar, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += r.CPU.Instrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim-instrs/s")
+}

@@ -4,17 +4,24 @@
 // Usage:
 //
 //	grpsim -bench mcf -scheme grp/var [-factor full] [-policy default]
+//
+// Telemetry: -metrics collects the run's counter/gauge/histogram registry
+// and cycle-sampled time series (latency percentiles join the report);
+// -metrics-out dumps the full snapshot as JSON; -perfetto writes a Chrome
+// trace-event timeline loadable at ui.perfetto.dev.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
 
 	"grp/internal/compiler"
 	"grp/internal/core"
+	"grp/internal/trace"
 	"grp/internal/workloads"
 )
 
@@ -22,11 +29,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("grpsim: ")
 	var (
-		bench   = flag.String("bench", "wupwise", "benchmark name ("+strings.Join(workloads.Names(), ", ")+")")
-		scheme  = flag.String("scheme", "grp/var", "scheme (base, perfectL1, perfectL2, stride, srp, grp/fix, grp/var, ptr, swpf)")
-		factor  = flag.String("factor", "small", "workload scale: test, small, full")
-		policy  = flag.String("policy", "default", "compiler spatial policy: default, conservative, aggressive")
-		compare = flag.Bool("compare", false, "also run the no-prefetch baseline and report speedup/traffic")
+		bench      = flag.String("bench", "wupwise", "benchmark name ("+strings.Join(workloads.Names(), ", ")+")")
+		scheme     = flag.String("scheme", "grp/var", "scheme (base, perfectL1, perfectL2, stride, srp, grp/fix, grp/var, ptr, swpf)")
+		factor     = flag.String("factor", "small", "workload scale: test, small, full")
+		policy     = flag.String("policy", "default", "compiler spatial policy: default, conservative, aggressive")
+		compare    = flag.Bool("compare", false, "also run the no-prefetch baseline and report speedup/traffic")
+		metricsOn  = flag.Bool("metrics", false, "collect the telemetry registry and sampled time series")
+		metricsOut = flag.String("metrics-out", "", "write the metrics snapshot as JSON to this file (\"-\" for stdout; implies -metrics)")
+		sampleInt  = flag.Uint64("sample-interval", 0, "sampler period in cycles (0 = default 4096)")
+		perfetto   = flag.String("perfetto", "", "write a Chrome trace-event timeline JSON to this file")
 	)
 	flag.Parse()
 
@@ -38,39 +49,65 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt := core.Options{Factor: parseFactor(*factor), Policy: parsePolicy(*policy)}
+	opt := core.Options{
+		Factor:         parseFactor(*factor),
+		Policy:         parsePolicy(*policy),
+		Metrics:        *metricsOn || *metricsOut != "",
+		SampleInterval: *sampleInt,
+	}
+	var tl *trace.Timeline
+	if *perfetto != "" {
+		tl = trace.NewTimeline()
+		opt.Timeline = tl
+	}
 
 	r, err := core.Run(spec, sc, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	printResult(r)
+	core.FprintResult(os.Stdout, r)
 
 	if *compare && sc != core.NoPrefetch {
-		base, err := core.Run(spec, core.NoPrefetch, opt)
+		// The baseline run must not append to the main run's timeline or
+		// pay for metrics nobody reads.
+		baseOpt := opt
+		baseOpt.Timeline = nil
+		baseOpt.Metrics = false
+		base, err := core.Run(spec, core.NoPrefetch, baseOpt)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\nvs no prefetching:\n")
-		fmt.Printf("  speedup          %.3f\n", core.Speedup(r, base))
-		fmt.Printf("  traffic increase %.2fx\n", core.TrafficIncrease(r, base))
-		fmt.Printf("  coverage         %.1f%%\n", core.Coverage(r, base))
+		core.FprintCompare(os.Stdout, r, base)
+	}
+
+	if *metricsOut != "" {
+		writeOut(*metricsOut, r.Metrics.WriteJSON)
+	}
+	if *perfetto != "" {
+		writeOut(*perfetto, tl.WriteJSON)
+		fmt.Printf("wrote %d timeline events to %s\n", tl.Len(), *perfetto)
 	}
 }
 
-func printResult(r *core.Result) {
-	fmt.Printf("benchmark %s  scheme %s\n", r.Bench, r.Scheme)
-	fmt.Printf("  instructions     %d\n", r.CPU.Instrs)
-	fmt.Printf("  cycles           %d\n", r.CPU.Cycles)
-	fmt.Printf("  IPC              %.3f\n", r.IPC())
-	fmt.Printf("  branches         %d (%d mispredicted)\n", r.CPU.Branches, r.CPU.Mispredicts)
-	fmt.Printf("  L1: %d accesses, %.1f%% miss\n", r.L1.Accesses, r.L1.MissRate())
-	fmt.Printf("  L2: %d accesses, %.1f%% miss\n", r.L2.Accesses, r.L2.MissRate())
-	fmt.Printf("  memory traffic   %d bytes (%d blocks)\n", r.TrafficBytes, r.TrafficBytes/64)
-	fmt.Printf("  prefetches       %d issued, %d useful, %d late, accuracy %.1f%%\n",
-		r.Mem.PrefetchesIssued, r.L2.UsefulPrefetches, r.Mem.PrefetchLates, r.Accuracy())
-	fmt.Printf("  hints            %d/%d mem instructions hinted (%.1f%%)\n",
-		r.Hints.Hinted(), r.Hints.MemInsts, r.Hints.HintRatio())
+// writeOut streams a JSON dump to path, with "-" meaning stdout.
+func writeOut(path string, write func(io.Writer) error) {
+	if path == "-" {
+		if err := write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func parseFactor(s string) workloads.Factor {

@@ -1,21 +1,32 @@
 // Command grptables regenerates every table and figure of the paper's
-// evaluation section from fresh simulations and prints them in order.
+// evaluation section from fresh simulations and prints them in order,
+// either as fixed-width ASCII or as a JSON array of exhibits.
 //
 // Usage:
 //
-//	grptables [-factor small|full] [-bench a,b,c] [-skip-sensitivity]
+//	grptables [-factor small|full] [-bench a,b,c] [-skip-sensitivity] [-format ascii|json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
 	"grp/internal/core"
+	"grp/internal/stats"
 	"grp/internal/workloads"
 )
+
+// exhibit pairs a stable machine key with one rendered table so the JSON
+// output preserves presentation order.
+type exhibit struct {
+	Key   string       `json:"key"`
+	Table *stats.Table `json:"table"`
+}
 
 func main() {
 	log.SetFlags(0)
@@ -24,9 +35,13 @@ func main() {
 		factor   = flag.String("factor", "small", "workload scale: test, small, full")
 		benches  = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
 		skipSens = flag.Bool("skip-sensitivity", false, "skip the Section 5.4 policy sweep (3x extra simulation)")
-		charts   = flag.Bool("charts", false, "also render Figures 1 and 12 as ASCII bar charts")
+		charts   = flag.Bool("charts", false, "also render Figures 1 and 12 as ASCII bar charts (ascii format only)")
+		format   = flag.String("format", "ascii", "output format: ascii, json")
 	)
 	flag.Parse()
+	if *format != "ascii" && *format != "json" {
+		log.Fatalf("unknown format %q (want ascii or json)", *format)
+	}
 
 	var f workloads.Factor
 	switch *factor {
@@ -53,61 +68,78 @@ func main() {
 	}
 	log.Printf("suite done in %v", time.Since(start).Round(time.Millisecond))
 
+	var exhibits []exhibit
+	add := func(key string, t *stats.Table) {
+		exhibits = append(exhibits, exhibit{Key: key, Table: t})
+	}
+
 	fig1, err := suite.Figure1()
 	fatal(err)
-	fmt.Println(fig1)
-	if *charts {
-		c, err := suite.Figure1Chart()
-		fatal(err)
-		fmt.Println(c)
-	}
+	add("figure1", fig1)
 
 	_, t1, err := suite.Table1()
 	fatal(err)
-	fmt.Println(t1)
+	add("table1", t1)
 
 	t3, err := suite.Table3()
 	fatal(err)
-	fmt.Println(t3)
+	add("table3", t3)
 
 	fig9, err := suite.Figure9()
 	fatal(err)
-	fmt.Println(fig9)
+	add("figure9", fig9)
 
 	fig10, err := suite.Figure10()
 	fatal(err)
-	fmt.Println(fig10)
+	add("figure10", fig10)
 
 	fig11, err := suite.Figure11()
 	fatal(err)
-	fmt.Println(fig11)
+	add("figure11", fig11)
 
 	t4, err := suite.Table4(nil)
 	fatal(err)
-	fmt.Println(t4)
+	add("table4", t4)
 
 	fig12, err := suite.Figure12()
 	fatal(err)
-	fmt.Println(fig12)
-	if *charts {
-		c, err := suite.Figure12Chart()
-		fatal(err)
-		fmt.Println(c)
-	}
+	add("figure12", fig12)
 
 	t5, err := suite.Table5()
 	fatal(err)
-	fmt.Println(t5)
+	add("table5", t5)
 
 	t6, err := suite.Table6()
 	fatal(err)
-	fmt.Println(t6)
+	add("table6", t6)
 
 	if !*skipSens {
 		log.Printf("running Section 5.4 policy sweep...")
 		_, ts, err := core.RunSensitivity(names, opt)
 		fatal(err)
-		fmt.Println(ts)
+		add("sensitivity", ts)
+	}
+
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fatal(enc.Encode(exhibits))
+		return
+	}
+	for _, e := range exhibits {
+		fmt.Println(e.Table)
+		if *charts {
+			switch e.Key {
+			case "figure1":
+				c, err := suite.Figure1Chart()
+				fatal(err)
+				fmt.Println(c)
+			case "figure12":
+				c, err := suite.Figure12Chart()
+				fatal(err)
+				fmt.Println(c)
+			}
+		}
 	}
 }
 

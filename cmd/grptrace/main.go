@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"grp/internal/compiler"
+	"grp/internal/core"
 	"grp/internal/cpu"
 	"grp/internal/mem"
 	"grp/internal/prefetch"
@@ -128,9 +129,7 @@ func replay(args []string) {
 	}
 	ms.Drain()
 	fmt.Printf("replayed %d events in %d cycles under %s\n", res.Events, res.Cycles, *scheme)
-	fmt.Printf("  L2: %d accesses, %.1f%% miss\n", ms.L2.Stats().Accesses, ms.L2.Stats().MissRate())
-	fmt.Printf("  traffic %d bytes; %d prefetches issued, %d useful\n",
-		ms.Dram.TrafficBytes(), ms.Stats().PrefetchesIssued, ms.L2.Stats().UsefulPrefetches)
+	core.FprintMemSummary(os.Stdout, ms.L2.Stats(), ms.Stats(), ms.Dram.TrafficBytes())
 }
 
 func parseFactor(s string) workloads.Factor {

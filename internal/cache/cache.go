@@ -6,7 +6,12 @@
 // to MRU only when the CPU references it explicitly.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+
+	"grp/internal/metrics"
+)
 
 // Config describes one cache.
 type Config struct {
@@ -112,6 +117,23 @@ func New(cfg Config) *Cache {
 
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
+
+// RegisterMetrics registers this cache's event counts as probe-backed
+// gauges under "<name>." (the lowercased config name), so a registry
+// snapshot taken at any point reports live cumulative state. It costs
+// nothing on the access path: the probes read the stats struct only when
+// sampled or snapshotted.
+func (c *Cache) RegisterMetrics(reg *metrics.Registry) {
+	p := strings.ToLower(c.cfg.Name) + "."
+	reg.MustGauge(p+"accesses", func() float64 { return float64(c.stats.Accesses) })
+	reg.MustGauge(p+"misses", func() float64 { return float64(c.stats.Misses) })
+	reg.MustGauge(p+"miss_rate", func() float64 { return c.stats.MissRate() })
+	reg.MustGauge(p+"demand_fills", func() float64 { return float64(c.stats.DemandFills) })
+	reg.MustGauge(p+"prefetch_fills", func() float64 { return float64(c.stats.PrefetchFills) })
+	reg.MustGauge(p+"useful_prefetches", func() float64 { return float64(c.stats.UsefulPrefetches) })
+	reg.MustGauge(p+"useless_prefetches", func() float64 { return float64(c.stats.UselessPrefetches) })
+	reg.MustGauge(p+"writebacks", func() float64 { return float64(c.stats.Writebacks) })
+}
 
 // Stats returns a snapshot of the accumulated statistics.
 func (c *Cache) Stats() Stats { return c.stats }

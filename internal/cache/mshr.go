@@ -56,3 +56,18 @@ func (m *MSHRFile) Complete(idx int, done uint64) {
 
 // Peak returns the maximum number of simultaneously busy slots observed.
 func (m *MSHRFile) Peak() int { return m.peak }
+
+// BusyAt returns how many slots are still busy at cycle now; the telemetry
+// sampler probes it for the MSHR-occupancy time series.
+func (m *MSHRFile) BusyAt(now uint64) int {
+	busy := 0
+	for _, f := range m.freeAt {
+		if f > now {
+			busy++
+		}
+	}
+	return busy
+}
+
+// Size returns the number of slots (0 = unlimited).
+func (m *MSHRFile) Size() int { return len(m.freeAt) }

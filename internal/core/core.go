@@ -13,8 +13,10 @@ import (
 	"grp/internal/dram"
 	"grp/internal/isa"
 	"grp/internal/mem"
+	"grp/internal/metrics"
 	"grp/internal/prefetch"
 	"grp/internal/sim"
+	"grp/internal/trace"
 	"grp/internal/workloads"
 )
 
@@ -105,6 +107,17 @@ type Options struct {
 	// OpenPageFirst enables the paper's open-page-first prefetch issue
 	// optimization (off by default, matching the main evaluation).
 	OpenPageFirst bool
+	// Metrics enables the telemetry layer: a per-run registry of
+	// counters/gauges/latency histograms plus the cycle-driven sampler,
+	// snapshotted into Result.Metrics after the run. Off by default; a
+	// run without it pays no instrumentation cost.
+	Metrics bool
+	// SampleInterval is the sampler period in cycles when Metrics is set
+	// (0 uses the sampler default of 4096).
+	SampleInterval uint64
+	// Timeline, when non-nil, receives per-event spans (demand misses,
+	// prefetch lifetimes, DRAM bank activity) for Perfetto export.
+	Timeline *trace.Timeline
 }
 
 // Result captures everything measured in one run.
@@ -124,6 +137,9 @@ type Result struct {
 	TrafficBytes uint64
 	// Hints is the static hint census of the compiled binary (Table 3).
 	Hints isa.HintCounts
+	// Metrics is the end-of-run telemetry snapshot (nil unless
+	// Options.Metrics was set).
+	Metrics *metrics.Snapshot
 }
 
 // IPC returns committed instructions per cycle.
@@ -132,16 +148,7 @@ func (r *Result) IPC() float64 { return r.CPU.IPC() }
 // Accuracy returns the fraction (percent) of issued prefetches that were
 // demand-referenced, counting late (in-flight) references as useful, as
 // the paper's Table 5 accuracy metric does.
-func (r *Result) Accuracy() float64 {
-	if r.Mem.PrefetchesIssued == 0 {
-		return 0
-	}
-	useful := r.L2.UsefulPrefetches + r.Mem.PrefetchLates
-	if useful > r.Mem.PrefetchesIssued {
-		useful = r.Mem.PrefetchesIssued
-	}
-	return 100 * float64(useful) / float64(r.Mem.PrefetchesIssued)
-}
+func (r *Result) Accuracy() float64 { return accuracy(r.L2, r.Mem) }
 
 // Run simulates one benchmark under one scheme.
 func Run(spec *workloads.Spec, scheme Scheme, opt Options) (*Result, error) {
@@ -181,6 +188,16 @@ func Run(spec *workloads.Spec, scheme Scheme, opt Options) (*Result, error) {
 		ms.SetPrioritizer(false)
 	}
 
+	var reg *metrics.Registry
+	var smp *metrics.Sampler
+	if opt.Metrics {
+		reg = metrics.NewRegistry()
+		smp = metrics.NewSampler(opt.SampleInterval)
+	}
+	if reg != nil || opt.Timeline != nil {
+		ms.AttachTelemetry(reg, smp, opt.Timeline)
+	}
+
 	cpuCfg := cpu.Default()
 	if opt.CPU != nil {
 		cpuCfg = *opt.CPU
@@ -191,11 +208,28 @@ func Run(spec *workloads.Spec, scheme Scheme, opt Options) (*Result, error) {
 	}
 
 	c := cpu.New(cpuCfg, m, ms)
+	if reg != nil {
+		c.RegisterMetrics(reg)
+		// IPC joins the sampler's series; the probes fire from inside the
+		// memory system, so they see the core's live commit progress.
+		smp.Watch("cpu.ipc", func() float64 {
+			i, cy := c.Progress()
+			if cy == 0 {
+				return 0
+			}
+			return float64(i) / float64(cy)
+		})
+	}
 	cres, err := c.Run(prog)
 	if err != nil {
 		return nil, fmt.Errorf("core: running %s/%s: %w", spec.Name, scheme, err)
 	}
 	ms.Drain()
+
+	var snap *metrics.Snapshot
+	if reg != nil {
+		snap = metrics.Snap(reg, smp)
+	}
 
 	return &Result{
 		Bench:        spec.Name,
@@ -208,6 +242,7 @@ func Run(spec *workloads.Spec, scheme Scheme, opt Options) (*Result, error) {
 		PF:           engine.Stats(),
 		TrafficBytes: ms.Dram.TrafficBytes(),
 		Hints:        prog.CountHints(),
+		Metrics:      snap,
 	}, nil
 }
 

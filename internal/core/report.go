@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"grp/internal/cache"
+	"grp/internal/metrics"
+	"grp/internal/sim"
+)
+
+// This file holds the human-readable run reporting shared by the grpsim
+// and grptrace commands, so the two tools describe the memory system in
+// the same vocabulary and stay in sync as stats are added.
+
+// FprintResult writes the standard per-run report: core progress, cache
+// behavior, memory traffic, prefetch effectiveness, hint census, and —
+// when the run collected telemetry — miss-latency percentiles.
+func FprintResult(w io.Writer, r *Result) {
+	fmt.Fprintf(w, "benchmark %s  scheme %s\n", r.Bench, r.Scheme)
+	fmt.Fprintf(w, "  instructions     %d\n", r.CPU.Instrs)
+	fmt.Fprintf(w, "  cycles           %d\n", r.CPU.Cycles)
+	fmt.Fprintf(w, "  IPC              %.3f\n", r.IPC())
+	fmt.Fprintf(w, "  branches         %d (%d mispredicted)\n", r.CPU.Branches, r.CPU.Mispredicts)
+	fmt.Fprintf(w, "  L1: %d accesses, %.1f%% miss\n", r.L1.Accesses, r.L1.MissRate())
+	FprintMemSummary(w, r.L2, r.Mem, r.TrafficBytes)
+	fmt.Fprintf(w, "  hints            %d/%d mem instructions hinted (%.1f%%)\n",
+		r.Hints.Hinted(), r.Hints.MemInsts, r.Hints.HintRatio())
+	FprintLatencies(w, r.Metrics)
+}
+
+// FprintMemSummary writes the L2/traffic/prefetch block of the report
+// from raw memory-system stats, usable by trace-driven replays that have
+// no full Result.
+func FprintMemSummary(w io.Writer, l2 cache.Stats, mem sim.MemStats, trafficBytes uint64) {
+	fmt.Fprintf(w, "  L2: %d accesses, %.1f%% miss\n", l2.Accesses, l2.MissRate())
+	fmt.Fprintf(w, "  memory traffic   %d bytes (%d blocks)\n", trafficBytes, trafficBytes/64)
+	fmt.Fprintf(w, "  prefetches       %d issued, %d useful, %d late, accuracy %.1f%%\n",
+		mem.PrefetchesIssued, l2.UsefulPrefetches, mem.PrefetchLates, accuracy(l2, mem))
+}
+
+// FprintCompare writes the speedup/traffic/coverage block comparing a run
+// against its no-prefetch baseline.
+func FprintCompare(w io.Writer, r, base *Result) {
+	fmt.Fprintf(w, "\nvs no prefetching:\n")
+	fmt.Fprintf(w, "  speedup          %.3f\n", Speedup(r, base))
+	fmt.Fprintf(w, "  traffic increase %.2fx\n", TrafficIncrease(r, base))
+	fmt.Fprintf(w, "  coverage         %.1f%%\n", Coverage(r, base))
+}
+
+// FprintLatencies writes demand- and prefetch-latency percentiles from a
+// telemetry snapshot; it is a no-op when snap is nil or the histograms
+// are absent or empty.
+func FprintLatencies(w io.Writer, snap *metrics.Snapshot) {
+	if snap == nil {
+		return
+	}
+	line := func(label, name string) {
+		h := snap.Histogram(name)
+		if h == nil || h.Count == 0 {
+			return
+		}
+		fmt.Fprintf(w, "  %-16s p50 %.0f  p90 %.0f  p99 %.0f cycles (n=%d)\n",
+			label, h.P50, h.P90, h.P99, h.Count)
+	}
+	line("demand latency", sim.HistDemandMissLatency)
+	line("prefetch latency", sim.HistPrefetchLatency)
+}
+
+// accuracy is the paper's Table 5 accuracy metric: the fraction (percent)
+// of issued prefetches that were demand-referenced, counting late
+// (in-flight) references as useful.
+func accuracy(l2 cache.Stats, mem sim.MemStats) float64 {
+	if mem.PrefetchesIssued == 0 {
+		return 0
+	}
+	useful := l2.UsefulPrefetches + mem.PrefetchLates
+	if useful > mem.PrefetchesIssued {
+		useful = mem.PrefetchesIssued
+	}
+	return 100 * float64(useful) / float64(mem.PrefetchesIssued)
+}

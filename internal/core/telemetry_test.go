@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"grp/internal/sim"
+	"grp/internal/trace"
+	"grp/internal/workloads"
+)
+
+// TestRunWithTelemetry is the acceptance check for the telemetry layer: a
+// metrics-enabled run must produce the five headline time series with at
+// least two samples each, populated latency histograms, and a timeline
+// that exports as valid trace-event JSON.
+func TestRunWithTelemetry(t *testing.T) {
+	spec, err := workloads.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := trace.NewTimeline()
+	r, err := Run(spec, GRPVar, Options{
+		Factor:         workloads.Test,
+		Metrics:        true,
+		SampleInterval: 1024,
+		Timeline:       tl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Metrics
+	if snap == nil {
+		t.Fatal("Metrics run returned nil snapshot")
+	}
+
+	for _, name := range []string{
+		sim.SeriesL2MissRate,
+		sim.SeriesPFQueueOcc,
+		sim.SeriesMSHROcc,
+		sim.SeriesDramUtil,
+		"cpu.ipc",
+	} {
+		s := snap.GetSeries(name)
+		if s == nil {
+			t.Errorf("series %q missing from snapshot", name)
+			continue
+		}
+		if len(s.Samples) < 2 {
+			t.Errorf("series %q has %d samples, want >= 2", name, len(s.Samples))
+		}
+	}
+	if snap.SampleInterval != 1024 {
+		t.Errorf("SampleInterval = %d, want 1024", snap.SampleInterval)
+	}
+
+	for _, name := range []string{sim.HistDemandMissLatency, sim.HistPrefetchLatency} {
+		h := snap.Histogram(name)
+		if h == nil || h.Count == 0 {
+			t.Errorf("histogram %q absent or empty", name)
+			continue
+		}
+		if !(h.P50 <= h.P90 && h.P90 <= h.P99) {
+			t.Errorf("%s percentiles not monotone: p50=%g p90=%g p99=%g", name, h.P50, h.P90, h.P99)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v", err)
+	}
+
+	if tl.Len() == 0 {
+		t.Fatal("timeline recorded no events")
+	}
+	buf.Reset()
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("timeline JSON invalid: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Error("timeline JSON has no traceEvents")
+	}
+}
+
+// TestRunWithoutTelemetry checks the default path stays telemetry-free.
+func TestRunWithoutTelemetry(t *testing.T) {
+	spec, err := workloads.ByName("wupwise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(spec, SRP, Options{Factor: workloads.Test})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics != nil {
+		t.Error("Metrics snapshot present on a run that did not ask for it")
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"grp/internal/isa"
 	"grp/internal/mem"
+	"grp/internal/metrics"
 )
 
 // MemoryTiming is the interface the core drives; *sim.MemSystem implements
@@ -141,6 +142,30 @@ type Core struct {
 
 	regs    [isa.NumRegs]uint64 // functional register file
 	predict []uint8             // 2-bit bimodal counters
+
+	// progInstrs/progCycles mirror the in-flight run's committed
+	// instruction count and last commit cycle, so telemetry probes (which
+	// fire from inside the memory system, i.e. mid-Run) can compute live
+	// IPC. Two plain stores per instruction; the simulation is
+	// single-goroutine.
+	progInstrs uint64
+	progCycles uint64
+}
+
+// Progress returns the committed instruction count and last commit cycle
+// of the run in progress (or of the finished run after Run returns).
+func (c *Core) Progress() (instrs, cycles uint64) { return c.progInstrs, c.progCycles }
+
+// RegisterMetrics registers live core-progress gauges under "cpu.".
+func (c *Core) RegisterMetrics(reg *metrics.Registry) {
+	reg.MustGauge("cpu.instrs", func() float64 { return float64(c.progInstrs) })
+	reg.MustGauge("cpu.cycles", func() float64 { return float64(c.progCycles) })
+	reg.MustGauge("cpu.ipc", func() float64 {
+		if c.progCycles == 0 {
+			return 0
+		}
+		return float64(c.progInstrs) / float64(c.progCycles)
+	})
 }
 
 // New builds a core over functional memory m and timing model msys.
@@ -410,6 +435,8 @@ func (c *Core) Run(p *isa.Program) (Result, error) {
 		robCommit[slot] = cAt
 		res.Instrs++
 		res.Cycles = cAt
+		c.progInstrs = res.Instrs
+		c.progCycles = cAt
 
 		if i%(1<<16) == 0 {
 			issueSlots.pruneBelow(fetchCycle)

@@ -11,7 +11,11 @@
 // prefetching cheap when the bus is otherwise idle.
 package dram
 
-import "fmt"
+import (
+	"fmt"
+
+	"grp/internal/metrics"
+)
 
 // Config describes the memory system. All times are CPU cycles.
 type Config struct {
@@ -73,6 +77,11 @@ type bank struct {
 	freeAt  uint64
 }
 
+// SubmitHook observes every scheduled transfer; the telemetry timeline
+// uses it to record bank busy spans. rowHit reports whether the access hit
+// an open row; busyUntil is when the bank's row cycle completes.
+type SubmitHook func(ch, bk int, kind Kind, start, busyUntil uint64, rowHit bool)
+
 // Controller is the memory controller plus channel/bank state.
 type Controller struct {
 	cfg       Config
@@ -80,6 +89,11 @@ type Controller struct {
 	banks     [][]bank
 	stats     Stats
 	rowBlocks uint64
+
+	// chanBusy accumulates data-bus occupancy per channel, the numerator
+	// of the utilization telemetry series. One add per transfer.
+	chanBusy []uint64
+	onSubmit SubmitHook
 }
 
 // New builds a controller; it panics on an invalid configuration.
@@ -92,6 +106,7 @@ func New(cfg Config) *Controller {
 		chanFree:  make([]uint64, cfg.Channels),
 		banks:     make([][]bank, cfg.Channels),
 		rowBlocks: uint64(cfg.RowBytes / cfg.BlockBytes),
+		chanBusy:  make([]uint64, cfg.Channels),
 	}
 	for i := range c.banks {
 		c.banks[i] = make([]bank, cfg.BanksPerChannel)
@@ -125,6 +140,54 @@ func (c *Controller) Map(addr uint64) (ch, bk int, row int64) {
 // The prioritizer uses it to issue prefetches only into idle channels.
 func (c *Controller) ChannelFreeAt(ch int) uint64 { return c.chanFree[ch] }
 
+// SetSubmitHook installs a per-transfer observer (nil to remove). The hook
+// runs inside Submit, so it must be cheap and must not call back into the
+// controller.
+func (c *Controller) SetSubmitHook(h SubmitHook) { c.onSubmit = h }
+
+// Utilization returns channel ch's data-bus utilization over [0, now] as
+// a fraction in [0, 1].
+func (c *Controller) Utilization(ch int, now uint64) float64 {
+	if now == 0 {
+		return 0
+	}
+	u := float64(c.chanBusy[ch]) / float64(now)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// RegisterMetrics registers controller counters and per-channel
+// utilization gauges under "dram.". clock supplies the current simulated
+// cycle (the utilization denominator); the hierarchy passes its pump
+// cursor.
+func (c *Controller) RegisterMetrics(reg *metrics.Registry, clock func() uint64) {
+	reg.MustGauge("dram.demand_reads", func() float64 { return float64(c.stats.DemandReads) })
+	reg.MustGauge("dram.prefetch_reads", func() float64 { return float64(c.stats.PrefetchReads) })
+	reg.MustGauge("dram.writebacks", func() float64 { return float64(c.stats.Writebacks) })
+	reg.MustGauge("dram.row_hits", func() float64 { return float64(c.stats.RowHits) })
+	reg.MustGauge("dram.row_misses", func() float64 { return float64(c.stats.RowMisses) })
+	reg.MustGauge("dram.traffic_bytes", func() float64 { return float64(c.TrafficBytes()) })
+	for ch := 0; ch < c.cfg.Channels; ch++ {
+		ch := ch
+		reg.MustGauge(fmt.Sprintf("dram.chan%d.utilization", ch), func() float64 {
+			return c.Utilization(ch, clock())
+		})
+	}
+	reg.MustGauge("dram.utilization", func() float64 {
+		now := clock()
+		if now == 0 {
+			return 0
+		}
+		var sum float64
+		for ch := range c.chanBusy {
+			sum += c.Utilization(ch, now)
+		}
+		return sum / float64(len(c.chanBusy))
+	})
+}
+
 // RowOpen reports whether addr's row is currently open in its bank, which
 // the prefetch queue may use to prefer open-page candidates.
 func (c *Controller) RowOpen(addr uint64) bool {
@@ -142,6 +205,19 @@ const (
 	Writeback
 )
 
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Demand:
+		return "demand"
+	case Prefetch:
+		return "prefetch"
+	case Writeback:
+		return "writeback"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
 // Submit schedules a block transfer beginning no earlier than cycle now and
 // returns the cycle at which the data has fully arrived (for reads) or been
 // accepted (for writebacks). It updates channel, bank, and row state.
@@ -158,7 +234,8 @@ func (c *Controller) Submit(addr uint64, kind Kind, now uint64) (done uint64) {
 	}
 
 	var lat, busy uint64
-	if b.openRow == row {
+	rowHit := b.openRow == row
+	if rowHit {
 		lat = c.cfg.RowHitCycles
 		busy = c.cfg.BankBusyHit
 		c.stats.RowHits++
@@ -177,6 +254,10 @@ func (c *Controller) Submit(addr uint64, kind Kind, now uint64) (done uint64) {
 	// cycle; the rest of the latency overlaps with other requests.
 	c.chanFree[ch] = start + c.cfg.TransferCycles
 	b.freeAt = start + busy
+	c.chanBusy[ch] += c.cfg.TransferCycles
+	if c.onSubmit != nil {
+		c.onSubmit(ch, bk, kind, start, b.freeAt, rowHit)
+	}
 
 	switch kind {
 	case Demand:

@@ -254,3 +254,6 @@ func (g *GRP) Indirect(indexElemAddr, base uint64, shift uint) {
 
 // Stats implements Engine.
 func (g *GRP) Stats() Stats { return g.stats }
+
+// QueueLen implements QueueLenner.
+func (g *GRP) QueueLen() int { return g.q.len() }

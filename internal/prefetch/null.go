@@ -22,6 +22,9 @@ func (*Null) OnArrival(uint64) {}
 // Pop implements Engine.
 func (*Null) Pop(func(uint64) bool) (uint64, bool) { return 0, false }
 
+// QueueLen implements QueueLenner.
+func (*Null) QueueLen() int { return 0 }
+
 // SetBound implements Engine.
 func (*Null) SetBound(uint64) {}
 

@@ -69,6 +69,17 @@ type Engine interface {
 	Stats() Stats
 }
 
+// QueueLenner is an optional Engine capability: engines that buffer
+// prefetch candidates report their current queue occupancy, which the
+// telemetry sampler turns into the prefetch-queue time series. All engines
+// in this package implement it.
+type QueueLenner interface {
+	// QueueLen returns the number of buffered prefetch-queue entries
+	// (region entries for region engines, pending blocks for stream
+	// buffers).
+	QueueLen() int
+}
+
 // OpenPageAware is an optional Engine capability: the prefetch queue
 // prefers candidates whose DRAM row is already open (the paper's final
 // SRP optimization in Section 3.1). The memory system type-asserts for it

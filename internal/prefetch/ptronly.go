@@ -87,3 +87,6 @@ func (*PointerOnly) Indirect(uint64, uint64, uint) {}
 
 // Stats implements Engine.
 func (p *PointerOnly) Stats() Stats { return p.stats }
+
+// QueueLen implements QueueLenner.
+func (p *PointerOnly) QueueLen() int { return p.q.len() }

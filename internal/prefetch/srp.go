@@ -78,6 +78,9 @@ func (s *SRP) PopOpenFirst(present, rowOpen func(uint64) bool) (uint64, bool) {
 	return b, ok
 }
 
+// QueueLen implements QueueLenner.
+func (s *SRP) QueueLen() int { return s.q.len() }
+
 // SetBound implements Engine; SRP ignores compiler information.
 func (*SRP) SetBound(uint64) {}
 

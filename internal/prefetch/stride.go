@@ -258,3 +258,15 @@ func (*Stride) Indirect(uint64, uint64, uint) {}
 
 // Stats implements Engine.
 func (s *Stride) Stats() Stats { return s.stats }
+
+// QueueLen implements QueueLenner: the total pending (not yet popped)
+// blocks across all live stream buffers.
+func (s *Stride) QueueLen() int {
+	n := 0
+	for i := range s.buffers {
+		if s.buffers[i].valid {
+			n += len(s.buffers[i].pending)
+		}
+	}
+	return n
+}

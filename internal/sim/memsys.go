@@ -6,11 +6,14 @@ package sim
 
 import (
 	"container/heap"
+	"fmt"
 
 	"grp/internal/cache"
 	"grp/internal/dram"
 	"grp/internal/isa"
+	"grp/internal/metrics"
 	"grp/internal/prefetch"
+	"grp/internal/trace"
 )
 
 // MemConfig describes the memory hierarchy.
@@ -65,6 +68,10 @@ type MemStats struct {
 	// SWPrefetchDrops counts PREFs dropped because the block was already
 	// cached or in flight.
 	SWPrefetchDrops uint64
+	// PrioritizerHolds counts prefetch candidates parked in the access
+	// prioritizer's holding register because no channel went idle inside
+	// the pump window.
+	PrioritizerHolds uint64
 }
 
 type inflightLine struct {
@@ -111,6 +118,88 @@ type MemSystem struct {
 	// prioritizer's holding register); heldValid marks it live.
 	held      uint64
 	heldValid bool
+
+	// Telemetry sinks; all nil when no telemetry is attached, so the hot
+	// path pays one predictable branch per sink and nothing else.
+	sampler    *metrics.Sampler
+	timeline   *trace.Timeline
+	histDemand *metrics.Histogram // demand L2-miss service latency
+	histPF     *metrics.Histogram // prefetch issue→fill latency
+}
+
+// Histogram and series names the hierarchy registers; exported so drivers
+// and tests can look them up in a metrics snapshot.
+const (
+	HistDemandMissLatency = "mem.demand_miss_latency"
+	HistPrefetchLatency   = "mem.prefetch_latency"
+	SeriesL2MissRate      = "l2.miss_rate"
+	SeriesPFQueueOcc      = "pf.queue_occupancy"
+	SeriesMSHROcc         = "mshr.l2.occupancy"
+	SeriesDramUtil        = "dram.utilization"
+	SeriesInflightPF      = "mem.inflight_prefetches"
+)
+
+// AttachTelemetry connects the hierarchy to the telemetry layer. Any of
+// the sinks may be nil: a registry alone gives end-of-run counters and
+// latency histograms, a sampler adds the cycle-driven time series, and a
+// timeline records per-event spans for Perfetto export. Call it once,
+// before simulation starts.
+func (ms *MemSystem) AttachTelemetry(reg *metrics.Registry, smp *metrics.Sampler, tl *trace.Timeline) {
+	ms.sampler = smp
+	ms.timeline = tl
+	clock := func() uint64 { return ms.cursor }
+
+	if reg != nil {
+		ms.L1.RegisterMetrics(reg)
+		ms.L2.RegisterMetrics(reg)
+		ms.Dram.RegisterMetrics(reg, clock)
+		reg.MustGauge("mem.loads", func() float64 { return float64(ms.stats.Loads) })
+		reg.MustGauge("mem.stores", func() float64 { return float64(ms.stats.Stores) })
+		reg.MustGauge("mem.inflight_merges", func() float64 { return float64(ms.stats.InflightMerges) })
+		reg.MustGauge("mem.prefetch_lates", func() float64 { return float64(ms.stats.PrefetchLates) })
+		reg.MustGauge("mem.prefetches_issued", func() float64 { return float64(ms.stats.PrefetchesIssued) })
+		reg.MustGauge("mem.sw_prefetches", func() float64 { return float64(ms.stats.SWPrefetches) })
+		reg.MustGauge("mem.prioritizer_holds", func() float64 { return float64(ms.stats.PrioritizerHolds) })
+		reg.MustGauge(SeriesInflightPF, func() float64 { return float64(ms.inflightPF) })
+		reg.MustGauge(SeriesMSHROcc, func() float64 { return float64(ms.l2MSHR.BusyAt(ms.cursor)) })
+		if ql, ok := ms.Engine.(prefetch.QueueLenner); ok {
+			reg.MustGauge(SeriesPFQueueOcc, func() float64 { return float64(ql.QueueLen()) })
+		}
+		// Latency buckets: 16 cycles up to ~170k, covering an L2 hit floor
+		// through heavy queueing; the memory round trip is ~160-220.
+		bounds := metrics.ExponentialBuckets(16, 1.5, 24)
+		ms.histDemand = reg.MustHistogram(HistDemandMissLatency, bounds)
+		ms.histPF = reg.MustHistogram(HistPrefetchLatency, bounds)
+	}
+
+	if smp != nil {
+		smp.Watch(SeriesL2MissRate, func() float64 { return ms.L2.Stats().MissRate() })
+		if ql, ok := ms.Engine.(prefetch.QueueLenner); ok {
+			smp.Watch(SeriesPFQueueOcc, func() float64 { return float64(ql.QueueLen()) })
+		}
+		smp.Watch(SeriesMSHROcc, func() float64 { return float64(ms.l2MSHR.BusyAt(ms.cursor)) })
+		smp.Watch(SeriesDramUtil, func() float64 {
+			now := clock()
+			var sum float64
+			for ch := 0; ch < ms.cfg.DRAM.Channels; ch++ {
+				sum += ms.Dram.Utilization(ch, now)
+			}
+			return sum / float64(ms.cfg.DRAM.Channels)
+		})
+		for ch := 0; ch < ms.cfg.DRAM.Channels; ch++ {
+			ch := ch
+			smp.Watch(fmt.Sprintf("dram.chan%d.utilization", ch), func() float64 {
+				return ms.Dram.Utilization(ch, clock())
+			})
+		}
+		smp.Watch(SeriesInflightPF, func() float64 { return float64(ms.inflightPF) })
+	}
+
+	if tl != nil {
+		ms.Dram.SetSubmitHook(func(ch, bk int, kind dram.Kind, start, busyUntil uint64, rowHit bool) {
+			tl.BankBusy(ch, bk, start, busyUntil, rowHit, kind.String())
+		})
+	}
 }
 
 // NewMemSystem builds the hierarchy with the given prefetch engine.
@@ -224,10 +313,15 @@ func (ms *MemSystem) Advance(now uint64) {
 				// candidate at the prioritizer rather than delay demands.
 				ms.held = cand
 				ms.heldValid = true
+				ms.stats.PrioritizerHolds++
 				break
 			}
 		}
 		done := ms.Dram.Submit(cand, dram.Prefetch, start)
+		ms.histPF.Observe(float64(done - start))
+		if ms.timeline != nil {
+			ms.timeline.PrefetchIssue(cand, start, done, false)
+		}
 		ln := &inflightLine{block: cand, doneAt: done, prefetch: true}
 		ms.inflight[cand] = ln
 		heap.Push(&ms.arrivals, ln)
@@ -261,6 +355,9 @@ func (ms *MemSystem) access(pc, addr uint64, write bool, hint isa.Hint, coeff ui
 	}
 	ms.lastSubmit = now
 	ms.Advance(now)
+	if ms.sampler != nil {
+		ms.sampler.Tick(now)
+	}
 
 	l1lat := uint64(ms.cfg.L1.HitLatency)
 	l2lat := uint64(ms.cfg.L2.HitLatency)
@@ -277,6 +374,9 @@ func (ms *MemSystem) access(pc, addr uint64, write bool, hint isa.Hint, coeff ui
 		if ln.prefetch {
 			ms.stats.PrefetchLates++
 			ms.Engine.OnDemandHitPrefetched(block)
+			if ms.timeline != nil {
+				ms.timeline.PrefetchOutcome(block, "late")
+			}
 		}
 		// The merged request's hint bits reach the MSHR (paper Sec. 3.3.1:
 		// the pointer counters live in the L2 MSHRs).
@@ -298,6 +398,9 @@ func (ms *MemSystem) access(pc, addr uint64, write bool, hint isa.Hint, coeff ui
 	if hit, wasPF := ms.L2.Access(addr, write); hit {
 		if wasPF {
 			ms.Engine.OnDemandHitPrefetched(block)
+			if ms.timeline != nil {
+				ms.timeline.PrefetchOutcome(block, "useful")
+			}
 		}
 		ms.fillL1(addr, write, now+l1lat+l2lat)
 		return now + l1lat + l2lat
@@ -313,6 +416,10 @@ func (ms *MemSystem) access(pc, addr uint64, write bool, hint isa.Hint, coeff ui
 	start, slot := ms.l2MSHR.Reserve(lookupDone)
 	dramDone := ms.Dram.Submit(block, dram.Demand, start)
 	ms.l2MSHR.Complete(slot, dramDone)
+	ms.histDemand.Observe(float64(dramDone - now))
+	if ms.timeline != nil {
+		ms.timeline.DemandMiss(pc, block, now, dramDone)
+	}
 
 	ln := &inflightLine{block: block, doneAt: dramDone}
 	ms.inflight[block] = ln
@@ -358,6 +465,10 @@ func (ms *MemSystem) SoftwarePrefetch(addr, now uint64) {
 	start, slot := ms.l2MSHR.Reserve(lookupDone)
 	done := ms.Dram.Submit(block, dram.Prefetch, start)
 	ms.l2MSHR.Complete(slot, done)
+	ms.histPF.Observe(float64(done - start))
+	if ms.timeline != nil {
+		ms.timeline.PrefetchIssue(block, start, done, true)
+	}
 	ln := &inflightLine{block: block, doneAt: done, prefetch: true}
 	ms.inflight[block] = ln
 	heap.Push(&ms.arrivals, ln)

@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
@@ -58,6 +59,24 @@ func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
 
 // Fmt formats a float at the given precision for table cells.
 func Fmt(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// MarshalJSON implements json.Marshaler so the paper's exhibits can be
+// emitted machine-readable (grptables -format json). Nil headers and rows
+// marshal as empty arrays, never null.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	headers, rows := t.Headers, t.Rows
+	if headers == nil {
+		headers = []string{}
+	}
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}{t.Title, headers, rows})
+}
 
 // String implements fmt.Stringer.
 func (t *Table) String() string {

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildTimeline constructs a small deterministic timeline exercising every
+// event kind and outcome transition.
+func buildTimeline() *Timeline {
+	tl := NewTimeline()
+	tl.DemandMiss(0x40, 0x1000, 100, 300)
+	tl.PrefetchIssue(0x2000, 120, 340, false)
+	tl.PrefetchIssue(0x3000, 150, 400, false)
+	tl.PrefetchIssue(0x4000, 160, 500, true)
+	tl.BankBusy(0, 3, 100, 164, false, "demand")
+	tl.BankBusy(1, 0, 120, 144, true, "prefetch")
+	tl.PrefetchOutcome(0x2000, "useful")
+	tl.PrefetchOutcome(0x3000, "late")
+	tl.PrefetchOutcome(0x3000, "useful")  // no downgrade/overwrite
+	tl.PrefetchOutcome(0x9999, "useful")  // unknown block: ignored
+	tl.DemandMiss(0x44, 0x5000, 350, 350) // zero-length span clamps to dur 1
+	return tl
+}
+
+func TestPerfettoGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTimeline().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "perfetto_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("perfetto output diverged from golden file:\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+// traceDoc mirrors the trace-event JSON object format for validation.
+type traceDoc struct {
+	TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	DisplayUnit string                       `json:"displayTimeUnit"`
+}
+
+// validateTraceEvents checks the trace-event schema constraints Perfetto
+// relies on: every event has a ph from the supported set, a numeric ts,
+// and complete ("X") events carry a positive dur.
+func validateTraceEvents(t *testing.T, raw []byte) traceDoc {
+	t.Helper()
+	var doc traceDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no traceEvents")
+	}
+	for i, ev := range doc.TraceEvents {
+		var ph string
+		if err := json.Unmarshal(ev["ph"], &ph); err != nil {
+			t.Fatalf("event %d: bad ph: %v", i, err)
+		}
+		switch ph {
+		case "X":
+			var ts, dur float64
+			if err := json.Unmarshal(ev["ts"], &ts); err != nil {
+				t.Fatalf("event %d: X event without numeric ts: %v", i, err)
+			}
+			if err := json.Unmarshal(ev["dur"], &dur); err != nil {
+				t.Fatalf("event %d: X event without numeric dur: %v", i, err)
+			}
+			if ts < 0 || dur <= 0 {
+				t.Errorf("event %d: ts=%g dur=%g out of range", i, ts, dur)
+			}
+			var name string
+			if err := json.Unmarshal(ev["name"], &name); err != nil || name == "" {
+				t.Errorf("event %d: missing name", i)
+			}
+		case "M":
+			// Metadata events need a name and args.name.
+			if _, ok := ev["args"]; !ok {
+				t.Errorf("event %d: metadata without args", i)
+			}
+		default:
+			t.Errorf("event %d: unexpected ph %q", i, ph)
+		}
+	}
+	return doc
+}
+
+func TestPerfettoSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTimeline().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := validateTraceEvents(t, buf.Bytes())
+
+	// Outcome transitions: 0x2000 useful, 0x3000 late (not overwritten),
+	// 0x4000 unused.
+	outcomes := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		var args struct {
+			Outcome string `json:"outcome"`
+		}
+		if raw, ok := ev["args"]; ok {
+			_ = json.Unmarshal(raw, &args)
+			if args.Outcome != "" {
+				outcomes[args.Outcome]++
+			}
+		}
+	}
+	if outcomes["useful"] != 1 || outcomes["late"] != 1 || outcomes["unused"] != 1 {
+		t.Errorf("outcome distribution = %v, want useful:1 late:1 unused:1", outcomes)
+	}
+}
+
+func TestTimelineLimit(t *testing.T) {
+	tl := NewTimeline()
+	tl.SetLimit(2)
+	tl.DemandMiss(1, 0x100, 10, 20)
+	tl.DemandMiss(2, 0x200, 20, 30)
+	tl.DemandMiss(3, 0x300, 30, 40)
+	tl.PrefetchIssue(0x400, 40, 50, false)
+	if tl.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (capped)", tl.Len())
+	}
+	if tl.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", tl.Dropped())
+	}
+	// Outcome for a dropped prefetch span must be a no-op, not a panic.
+	tl.PrefetchOutcome(0x400, "useful")
+}
+
+func TestTimelineNilSafe(t *testing.T) {
+	var tl *Timeline
+	tl.DemandMiss(0, 0, 0, 1)
+	tl.PrefetchIssue(0, 0, 1, false)
+	tl.PrefetchOutcome(0, "useful")
+	tl.BankBusy(0, 0, 0, 1, false, "demand")
+}

@@ -1,4 +1,7 @@
-package trace
+// The round-trip tests live in an external test package: they drive the
+// recorder through the real memory hierarchy, and internal/sim itself
+// imports this package for the telemetry timeline.
+package trace_test
 
 import (
 	"bytes"
@@ -12,6 +15,7 @@ import (
 	"grp/internal/mem"
 	"grp/internal/prefetch"
 	"grp/internal/sim"
+	. "grp/internal/trace"
 	"grp/internal/workloads"
 )
 

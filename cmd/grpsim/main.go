@@ -9,6 +9,11 @@
 // and cycle-sampled time series (latency percentiles join the report);
 // -metrics-out dumps the full snapshot as JSON; -perfetto writes a Chrome
 // trace-event timeline loadable at ui.perfetto.dev.
+//
+// Robustness: -faults arms deterministic fault injection (see
+// internal/faults for the spec grammar; presets light, heavy, chaos) and
+// -check-invariants audits the memory hierarchy as it runs. Faults perturb
+// timing only — architectural results are identical to a fault-free run.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 
 	"grp/internal/compiler"
 	"grp/internal/core"
+	"grp/internal/faults"
 	"grp/internal/trace"
 	"grp/internal/workloads"
 )
@@ -36,11 +42,16 @@ func main() {
 		compare    = flag.Bool("compare", false, "also run the no-prefetch baseline and report speedup/traffic")
 		metricsOn  = flag.Bool("metrics", false, "collect the telemetry registry and sampled time series")
 		metricsOut = flag.String("metrics-out", "", "write the metrics snapshot as JSON to this file (\"-\" for stdout; implies -metrics)")
-		sampleInt  = flag.Uint64("sample-interval", 0, "sampler period in cycles (0 = default 4096)")
+		sampleInt  = flag.Int64("sample-interval", 4096, "sampler period in cycles when -metrics is on (must be positive)")
 		perfetto   = flag.String("perfetto", "", "write a Chrome trace-event timeline JSON to this file")
+		faultSpec  = flag.String("faults", "", "fault plan: preset[,key=value,...] (presets "+strings.Join(faults.PresetNames(), ", ")+"); empty = no faults")
+		checkInv   = flag.Bool("check-invariants", false, "audit memory-hierarchy invariants during the run")
 	)
 	flag.Parse()
 
+	// Validate everything up front: a bad flag must be a clear error and a
+	// non-zero exit before the run starts, not a mid-run panic or a
+	// simulation wasted on an unwritable output path.
 	spec, err := workloads.ByName(*bench)
 	if err != nil {
 		log.Fatal(err)
@@ -49,23 +60,43 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *sampleInt <= 0 {
+		log.Fatalf("-sample-interval must be positive, got %d", *sampleInt)
+	}
+	plan, err := faults.Parse(*faultSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
 	opt := core.Options{
-		Factor:         parseFactor(*factor),
-		Policy:         parsePolicy(*policy),
-		Metrics:        *metricsOn || *metricsOut != "",
-		SampleInterval: *sampleInt,
+		Factor:          parseFactor(*factor),
+		Policy:          parsePolicy(*policy),
+		Metrics:         *metricsOn || *metricsOut != "",
+		SampleInterval:  uint64(*sampleInt),
+		CheckInvariants: *checkInv,
+	}
+	if plan.Active() {
+		opt.Faults = &plan
+	}
+	if err := opt.Validate(); err != nil {
+		log.Fatal(err)
 	}
 	var tl *trace.Timeline
 	if *perfetto != "" {
 		tl = trace.NewTimeline()
 		opt.Timeline = tl
 	}
+	metricsFile := openOut(*metricsOut)
+	perfettoFile := openOut(*perfetto)
 
 	r, err := core.Run(spec, sc, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
 	core.FprintResult(os.Stdout, r)
+	if opt.Faults != nil {
+		fmt.Printf("faults injected: %v, cancelled=%d (arch digest %#016x)\n",
+			r.FaultCounts, r.Mem.PrefetchesCancelled, r.ArchDigest)
+	}
 
 	if *compare && sc != core.NoPrefetch {
 		// The baseline run must not append to the main run's timeline or
@@ -80,33 +111,40 @@ func main() {
 		core.FprintCompare(os.Stdout, r, base)
 	}
 
-	if *metricsOut != "" {
-		writeOut(*metricsOut, r.Metrics.WriteJSON)
+	if metricsFile != nil {
+		writeOut(metricsFile, r.Metrics.WriteJSON)
 	}
-	if *perfetto != "" {
-		writeOut(*perfetto, tl.WriteJSON)
+	if perfettoFile != nil {
+		writeOut(perfettoFile, tl.WriteJSON)
 		fmt.Printf("wrote %d timeline events to %s\n", tl.Len(), *perfetto)
 	}
 }
 
-// writeOut streams a JSON dump to path, with "-" meaning stdout.
-func writeOut(path string, write func(io.Writer) error) {
-	if path == "-" {
-		if err := write(os.Stdout); err != nil {
-			log.Fatal(err)
-		}
-		return
+// openOut opens an output path before the run so an unwritable path fails
+// fast. "" means no output (nil); "-" means stdout.
+func openOut(path string) *os.File {
+	switch path {
+	case "":
+		return nil
+	case "-":
+		return os.Stdout
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		log.Fatal(err)
 	}
+	return f
+}
+
+// writeOut streams a JSON dump to an already-open file.
+func writeOut(f *os.File, write func(io.Writer) error) {
 	if err := write(f); err != nil {
-		f.Close()
 		log.Fatal(err)
 	}
-	if err := f.Close(); err != nil {
-		log.Fatal(err)
+	if f != os.Stdout {
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

@@ -75,10 +75,16 @@ func record(args []string) {
 		log.Fatal(err)
 	}
 
-	ms := sim.NewMemSystem(sim.DefaultMemConfig(), prefetch.NewNull())
+	ms, err := sim.NewMemSystem(sim.DefaultMemConfig(), prefetch.NewNull())
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := cpu.Default()
 	cfg.MaxInstrs = built.MaxInstrs
-	core := cpu.New(cfg, m, trace.NewRecorder(ms, w))
+	core, err := cpu.New(cfg, m, trace.NewRecorder(ms, w))
+	if err != nil {
+		log.Fatal(err)
+	}
 	res, err := core.Run(prog)
 	if err != nil {
 		log.Fatal(err)
@@ -94,10 +100,13 @@ func replay(args []string) {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	in := fs.String("i", "", "input trace file (required)")
 	scheme := fs.String("scheme", "srp", "prefetching scheme: base, stride, srp")
-	gap := fs.Uint64("gap", 1, "cycles between trace references")
+	gap := fs.Uint64("gap", 1, "cycles between trace references (>= 1)")
 	_ = fs.Parse(args)
 	if *in == "" {
 		log.Fatal("replay: -i is required")
+	}
+	if *gap == 0 {
+		log.Fatal("replay: -gap must be at least 1 cycle")
 	}
 	file, err := os.Open(*in)
 	if err != nil {
@@ -122,7 +131,10 @@ func replay(args []string) {
 	default:
 		log.Fatalf("replay: scheme %q not replayable (want base, stride, srp)", *scheme)
 	}
-	ms := sim.NewMemSystem(sim.DefaultMemConfig(), engine)
+	ms, err := sim.NewMemSystem(sim.DefaultMemConfig(), engine)
+	if err != nil {
+		log.Fatal(err)
+	}
 	res, err := trace.Replay(r, ms, *gap)
 	if err != nil {
 		log.Fatal(err)

@@ -112,10 +112,16 @@ func main() {
 		}
 		initData(m, lay)
 
-		ms := sim.NewMemSystem(sim.DefaultMemConfig(), sc.engine(m))
+		ms, err := sim.NewMemSystem(sim.DefaultMemConfig(), sc.engine(m))
+		if err != nil {
+			log.Fatal(err)
+		}
 		cfg := cpu.Default()
 		cfg.MaxInstrs = 600_000
-		c := cpu.New(cfg, m, ms)
+		c, err := cpu.New(cfg, m, ms)
+		if err != nil {
+			log.Fatal(err)
+		}
 		res, err := c.Run(compiled)
 		if err != nil {
 			log.Fatal(err)

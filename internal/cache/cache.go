@@ -94,11 +94,11 @@ type Cache struct {
 	stats    Stats
 }
 
-// New builds a cache from cfg; it panics on an invalid configuration (a
-// configuration bug is a programming error, not a runtime condition).
-func New(cfg Config) *Cache {
+// New builds a cache from cfg, or reports why the configuration is
+// invalid.
+func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	nsets := cfg.SizeBytes / (cfg.Assoc * cfg.BlockBytes)
 	c := &Cache{
@@ -112,7 +112,7 @@ func New(cfg Config) *Cache {
 	for b := cfg.BlockBytes; b > 1; b >>= 1 {
 		c.blkShift++
 	}
-	return c
+	return c, nil
 }
 
 // Config returns the cache's configuration.

@@ -30,7 +30,7 @@ func TestValidateConfig(t *testing.T) {
 }
 
 func TestHitMissFill(t *testing.T) {
-	c := New(testConfig())
+	c := mustNew(t, testConfig())
 	if hit, _ := c.Access(0x1000, false); hit {
 		t.Fatal("cold cache should miss")
 	}
@@ -56,7 +56,7 @@ func addrForSet(c *Cache, set, i int) uint64 {
 }
 
 func TestLRUReplacement(t *testing.T) {
-	c := New(testConfig()) // 4-way
+	c := mustNew(t, testConfig()) // 4-way
 	// Fill 4 ways of set 0.
 	for i := 0; i < 4; i++ {
 		c.Fill(addrForSet(c, 0, i), false, false)
@@ -77,7 +77,7 @@ func TestLRUReplacement(t *testing.T) {
 }
 
 func TestPrefetchInsertsAtLRU(t *testing.T) {
-	c := New(testConfig())
+	c := mustNew(t, testConfig())
 	// Fill 4 demand blocks.
 	for i := 0; i < 4; i++ {
 		c.Fill(addrForSet(c, 0, i), false, false)
@@ -105,7 +105,7 @@ func TestPrefetchInsertsAtLRU(t *testing.T) {
 }
 
 func TestPrefetchPromotionOnDemandHit(t *testing.T) {
-	c := New(testConfig())
+	c := mustNew(t, testConfig())
 	c.Fill(0x2000, true, false)
 	hit, wasPF := c.Access(0x2000, false)
 	if !hit || !wasPF {
@@ -121,7 +121,7 @@ func TestPrefetchPromotionOnDemandHit(t *testing.T) {
 }
 
 func TestDirtyWriteback(t *testing.T) {
-	c := New(testConfig())
+	c := mustNew(t, testConfig())
 	c.Fill(addrForSet(c, 3, 0), false, true) // dirty fill
 	for i := 1; i <= 4; i++ {
 		c.Fill(addrForSet(c, 3, i), false, false)
@@ -132,7 +132,7 @@ func TestDirtyWriteback(t *testing.T) {
 }
 
 func TestWriteSetsDirty(t *testing.T) {
-	c := New(testConfig())
+	c := mustNew(t, testConfig())
 	c.Fill(addrForSet(c, 2, 0), false, false)
 	c.Access(addrForSet(c, 2, 0), true) // write hit dirties the line
 	for i := 1; i <= 4; i++ {
@@ -144,7 +144,7 @@ func TestWriteSetsDirty(t *testing.T) {
 }
 
 func TestMarkDirty(t *testing.T) {
-	c := New(testConfig())
+	c := mustNew(t, testConfig())
 	if c.MarkDirty(0x3000) {
 		t.Error("MarkDirty on absent block should report false")
 	}
@@ -162,7 +162,7 @@ func TestMarkDirty(t *testing.T) {
 }
 
 func TestInvalidate(t *testing.T) {
-	c := New(testConfig())
+	c := mustNew(t, testConfig())
 	c.Fill(0x4000, false, true)
 	dirty, present := c.Invalidate(0x4000)
 	if !present || !dirty {
@@ -177,7 +177,7 @@ func TestInvalidate(t *testing.T) {
 }
 
 func TestContainsDoesNotPerturb(t *testing.T) {
-	c := New(testConfig())
+	c := mustNew(t, testConfig())
 	for i := 0; i < 4; i++ {
 		c.Fill(addrForSet(c, 1, i), false, false)
 	}
@@ -198,7 +198,7 @@ func TestContainsDoesNotPerturb(t *testing.T) {
 func TestPerfectCache(t *testing.T) {
 	cfg := testConfig()
 	cfg.Perfect = true
-	c := New(cfg)
+	c := mustNew(t, cfg)
 	if hit, _ := c.Access(0xabcdef, false); !hit {
 		t.Error("perfect cache must always hit")
 	}
@@ -224,7 +224,7 @@ func TestMissRate(t *testing.T) {
 // TestQuickFillThenContains: any filled block is Contains-visible until
 // evicted; eviction victims are reconstructed correctly.
 func TestQuickFillThenContains(t *testing.T) {
-	c := New(testConfig())
+	c := mustNew(t, testConfig())
 	live := map[uint64]bool{}
 	f := func(blockSeed uint16, prefetch bool) bool {
 		addr := uint64(blockSeed) * 64
@@ -287,7 +287,7 @@ func TestMSHRFileUnlimited(t *testing.T) {
 func TestPrefetchInsertMRUAblation(t *testing.T) {
 	cfg := testConfig()
 	cfg.PrefetchInsertMRU = true
-	c := New(cfg)
+	c := mustNew(t, cfg)
 	for i := 0; i < 4; i++ {
 		c.Fill(addrForSet(c, 0, i), false, false)
 	}
@@ -299,4 +299,14 @@ func TestPrefetchInsertMRUAblation(t *testing.T) {
 	if !ev || v.Addr == addrForSet(c, 0, 10) {
 		t.Errorf("MRU-inserted prefetches should displace demand data, evicted %#x", v.Addr)
 	}
+}
+
+// mustNew builds a cache from a config the test knows is valid.
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }

@@ -9,6 +9,10 @@ package cache
 type MSHRFile struct {
 	freeAt []uint64
 	peak   int
+	// stolen slots are virtually occupied by fault-injection pressure:
+	// Reserve refuses to hand them out, shrinking the effective file and
+	// turning MSHR exhaustion into added latency sooner. Timing-only.
+	stolen int
 }
 
 // NewMSHRFile returns a file with n slots. n == 0 means unlimited (used by
@@ -25,8 +29,8 @@ func (m *MSHRFile) Reserve(now uint64) (start uint64, idx int) {
 	if len(m.freeAt) == 0 {
 		return now, -1
 	}
-	best := 0
-	for i := 1; i < len(m.freeAt); i++ {
+	best := m.stolen
+	for i := best + 1; i < len(m.freeAt); i++ {
 		if m.freeAt[i] < m.freeAt[best] {
 			best = i
 		}
@@ -56,6 +60,21 @@ func (m *MSHRFile) Complete(idx int, done uint64) {
 
 // Peak returns the maximum number of simultaneously busy slots observed.
 func (m *MSHRFile) Peak() int { return m.peak }
+
+// SetPressure virtually occupies n slots (fault injection). At least one
+// slot always stays usable; an unlimited file (0 slots) ignores pressure.
+func (m *MSHRFile) SetPressure(n int) {
+	if len(m.freeAt) == 0 || n < 0 {
+		n = 0
+	}
+	if n >= len(m.freeAt) && len(m.freeAt) > 0 {
+		n = len(m.freeAt) - 1
+	}
+	m.stolen = n
+}
+
+// Pressure returns the number of slots currently stolen by fault pressure.
+func (m *MSHRFile) Pressure() int { return m.stolen }
 
 // BusyAt returns how many slots are still busy at cycle now; the telemetry
 // sampler probes it for the MSHR-occupancy time series.

@@ -49,7 +49,10 @@ func runBoth(t *testing.T, p *lang.Program, init func(m *mem.Memory, lay *Layout
 	if init != nil {
 		init(mc, layC)
 	}
-	core := cpu.New(cpu.Default(), mc, &perfectMem{})
+	core, err := cpu.New(cpu.Default(), mc, &perfectMem{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := core.Run(prog)
 	if err != nil {
 		t.Fatalf("cpu run: %v", err)
@@ -217,7 +220,10 @@ func TestCodegenSetBoundEmitted(t *testing.T) {
 		t.Fatal(err)
 	}
 	pm := &perfectMem{}
-	core := cpu.New(cpu.Default(), m, pm)
+	core, err := cpu.New(cpu.Default(), m, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := core.Run(prog); err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +247,10 @@ func TestCodegenPrefiGuarded(t *testing.T) {
 		t.Fatal(err)
 	}
 	pm := &perfectMem{}
-	core := cpu.New(cpu.Default(), m, pm)
+	core, err := cpu.New(cpu.Default(), m, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := core.Run(prog); err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 	"grp/internal/compiler"
 	"grp/internal/cpu"
 	"grp/internal/dram"
+	"grp/internal/faults"
 	"grp/internal/isa"
 	"grp/internal/mem"
 	"grp/internal/metrics"
@@ -118,6 +119,47 @@ type Options struct {
 	// Timeline, when non-nil, receives per-event spans (demand misses,
 	// prefetch lifetimes, DRAM bank activity) for Perfetto export.
 	Timeline *trace.Timeline
+	// Faults, when non-nil and active, arms deterministic fault injection
+	// across the hierarchy (see internal/faults). Faults perturb timing
+	// only; Result.ArchDigest is identical to the fault-free run.
+	Faults *faults.Plan
+	// CheckInvariants turns on the periodic memory-system invariant
+	// checker (every InvariantEvery accesses, default 4096, plus once at
+	// drain). A violation aborts the run with a diagnostic dump.
+	CheckInvariants bool
+	// InvariantEvery is the checker period in accesses (0 = default).
+	InvariantEvery uint64
+	// Watchdog overrides the forward-progress watchdog thresholds; nil
+	// uses the defaults. The watchdog is always armed.
+	Watchdog *sim.WatchdogConfig
+}
+
+// Validate checks the run options: any overridden CPU, cache, or DRAM
+// configuration and the fault plan must be internally consistent. Run
+// calls it; drivers may call it earlier for friendlier errors.
+func (o *Options) Validate() error {
+	if o.CPU != nil {
+		if err := o.CPU.Validate(); err != nil {
+			return err
+		}
+	}
+	if o.Mem != nil {
+		if err := o.Mem.L1.Validate(); err != nil {
+			return err
+		}
+		if err := o.Mem.L2.Validate(); err != nil {
+			return err
+		}
+		if err := o.Mem.DRAM.Validate(); err != nil {
+			return err
+		}
+	}
+	if o.Faults != nil {
+		if err := o.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Result captures everything measured in one run.
@@ -140,6 +182,14 @@ type Result struct {
 	// Metrics is the end-of-run telemetry snapshot (nil unless
 	// Options.Metrics was set).
 	Metrics *metrics.Snapshot
+	// ArchDigest fingerprints the run's architectural results: final
+	// registers, functional memory contents, and timing-independent
+	// instruction counts. Prefetching is purely speculative, so the
+	// digest must not vary across schemes' timing behavior under fault
+	// injection — the metamorphic property the fault harness checks.
+	ArchDigest uint64
+	// FaultCounts reports injected faults (zero without a fault plan).
+	FaultCounts faults.Counts
 }
 
 // IPC returns committed instructions per cycle.
@@ -152,6 +202,9 @@ func (r *Result) Accuracy() float64 { return accuracy(r.L2, r.Mem) }
 
 // Run simulates one benchmark under one scheme.
 func Run(spec *workloads.Spec, scheme Scheme, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	built := spec.Build(opt.Factor)
 	m := mem.New()
 
@@ -183,9 +236,26 @@ func Run(spec *workloads.Spec, scheme Scheme, opt Options) (*Result, error) {
 	}
 
 	engine := engineFor(scheme, spec, m, opt)
-	ms := sim.NewMemSystem(memCfg, engine)
+	ms, err := sim.NewMemSystem(memCfg, engine)
+	if err != nil {
+		return nil, fmt.Errorf("core: building memory system: %w", err)
+	}
 	if opt.DisablePrioritizer {
 		ms.SetPrioritizer(false)
+	}
+	// Faults are armed before telemetry so the sinks observe the wrapped
+	// engine; the watchdog is always on (its defaults never fire on a
+	// healthy run).
+	if opt.Faults.Active() {
+		ms.SetFaults(faults.NewInjector(opt.Faults))
+	}
+	wdCfg := sim.WatchdogConfig{}
+	if opt.Watchdog != nil {
+		wdCfg = *opt.Watchdog
+	}
+	ms.SetWatchdog(wdCfg)
+	if opt.CheckInvariants {
+		ms.EnableInvariantChecks(opt.InvariantEvery)
 	}
 
 	var reg *metrics.Registry
@@ -207,7 +277,10 @@ func Run(spec *workloads.Spec, scheme Scheme, opt Options) (*Result, error) {
 		cpuCfg.MaxInstrs = opt.MaxInstrs
 	}
 
-	c := cpu.New(cpuCfg, m, ms)
+	c, err := cpu.New(cpuCfg, m, ms)
+	if err != nil {
+		return nil, fmt.Errorf("core: building core: %w", err)
+	}
 	if reg != nil {
 		c.RegisterMetrics(reg)
 		// IPC joins the sampler's series; the probes fire from inside the
@@ -220,11 +293,19 @@ func Run(spec *workloads.Spec, scheme Scheme, opt Options) (*Result, error) {
 			return float64(i) / float64(cy)
 		})
 	}
-	cres, err := c.Run(prog)
+	// Watchdog and invariant aborts surface from deep inside the timing
+	// pump as typed panics; convert them back into errors here.
+	cres, err := func() (r cpu.Result, err error) {
+		defer sim.RecoverAbort(&err)
+		r, err = c.Run(prog)
+		if err == nil {
+			ms.Drain()
+		}
+		return r, err
+	}()
 	if err != nil {
 		return nil, fmt.Errorf("core: running %s/%s: %w", spec.Name, scheme, err)
 	}
-	ms.Drain()
 
 	var snap *metrics.Snapshot
 	if reg != nil {
@@ -243,7 +324,43 @@ func Run(spec *workloads.Spec, scheme Scheme, opt Options) (*Result, error) {
 		TrafficBytes: ms.Dram.TrafficBytes(),
 		Hints:        prog.CountHints(),
 		Metrics:      snap,
+		ArchDigest:   archDigest(c, cres, m),
+		FaultCounts:  ms.FaultCounts(),
 	}, nil
+}
+
+// archDigest fingerprints the architectural outcome of a run: the final
+// register file, the functional memory digest, and the timing-independent
+// instruction counts. Cycle counts and cache/DRAM statistics are
+// deliberately excluded — they are exactly what faults may perturb.
+func archDigest(c *cpu.Core, cres cpu.Result, m *mem.Memory) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, r := range c.Regs() {
+		mix(r)
+	}
+	mix(m.Digest())
+	mix(cres.Instrs)
+	mix(cres.Loads)
+	mix(cres.Stores)
+	mix(cres.Branches)
+	mix(cres.Mispredicts)
+	if cres.Halted {
+		mix(1)
+	} else {
+		mix(0)
+	}
+	return h
 }
 
 func engineFor(scheme Scheme, spec *workloads.Spec, m *mem.Memory, opt Options) prefetch.Engine {

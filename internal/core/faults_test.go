@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"grp/internal/faults"
+	"grp/internal/sim"
+	"grp/internal/workloads"
+)
+
+// TestFaultMetamorphic is the headline robustness property: faults perturb
+// timing only, so every scheme under every fault plan must produce
+// bit-identical architectural results (registers, memory, instruction
+// counts) to its fault-free run. mcf mixes pointer chasing with array
+// resets, exercising GRP's recursive path alongside the spatial one.
+func TestFaultMetamorphic(t *testing.T) {
+	spec, err := workloads.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []string{"light,seed=7", "heavy,seed=11", "chaos,seed=13"}
+	schemes := append(AllSchemes(), SoftwarePF)
+	var injected uint64
+	for _, sc := range schemes {
+		clean, err := Run(spec, sc, Options{Factor: workloads.Test, CheckInvariants: true})
+		if err != nil {
+			t.Fatalf("%s fault-free: %v", sc, err)
+		}
+		for _, ps := range plans {
+			plan, err := faults.Parse(ps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := Run(spec, sc, Options{
+				Factor: workloads.Test, Faults: &plan, CheckInvariants: true,
+			})
+			if err != nil {
+				t.Fatalf("%s under %q: %v", sc, ps, err)
+			}
+			if r.ArchDigest != clean.ArchDigest {
+				t.Errorf("%s under %q: ArchDigest %#x != fault-free %#x",
+					sc, ps, r.ArchDigest, clean.ArchDigest)
+			}
+			if r.CPU.Instrs != clean.CPU.Instrs || r.CPU.Loads != clean.CPU.Loads ||
+				r.CPU.Stores != clean.CPU.Stores || r.CPU.Branches != clean.CPU.Branches ||
+				r.CPU.Mispredicts != clean.CPU.Mispredicts || r.CPU.Halted != clean.CPU.Halted {
+				t.Errorf("%s under %q: timing-independent counts diverged:\n faulty %+v\n clean  %+v",
+					sc, ps, r.CPU, clean.CPU)
+			}
+			injected += r.FaultCounts.Total() + r.Mem.PrefetchesCancelled
+		}
+	}
+	if injected == 0 {
+		t.Fatal("no faults injected across any scheme/plan: the harness is not armed")
+	}
+	t.Logf("injected %d faults across %d scheme runs", injected, len(schemes)*len(plans))
+}
+
+// TestFaultsPerturbTiming guards against the injector silently becoming a
+// no-op: under the chaos plan a prefetching scheme must show different
+// timing (and some injected-fault count) than the fault-free run.
+func TestFaultsPerturbTiming(t *testing.T) {
+	spec, err := workloads.ByName("wupwise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Run(spec, SRP, Options{Factor: workloads.Test})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := faults.Parse("chaos,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := Run(spec, SRP, Options{Factor: workloads.Test, Faults: &plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.FaultCounts.Total() == 0 && faulty.Mem.PrefetchesCancelled == 0 {
+		t.Fatalf("chaos plan injected nothing: %+v", faulty.FaultCounts)
+	}
+	if faulty.CPU.Cycles == clean.CPU.Cycles {
+		t.Errorf("chaos plan did not perturb timing (both %d cycles)", clean.CPU.Cycles)
+	}
+	if faulty.ArchDigest != clean.ArchDigest {
+		t.Errorf("ArchDigest changed under faults: %#x vs %#x", faulty.ArchDigest, clean.ArchDigest)
+	}
+}
+
+// TestWatchdogStallAborts wedges the memory system (every fill delayed by
+// ~2^31 cycles) and checks the run aborts with a structured livelock
+// diagnostic instead of silently spinning for billions of cycles.
+func TestWatchdogStallAborts(t *testing.T) {
+	spec, err := workloads.ByName("wupwise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.Plan{Seed: 3, DelayFill: 1, DelayFillCycles: 1 << 31}
+	r, err := Run(spec, NoPrefetch, Options{
+		Factor:   workloads.Test,
+		Faults:   &plan,
+		Watchdog: &sim.WatchdogConfig{StallCycles: 100_000},
+	})
+	if err == nil {
+		t.Fatalf("expected livelock abort, run completed: %+v", r.CPU)
+	}
+	var ll *sim.LivelockError
+	if !errors.As(err, &ll) {
+		t.Fatalf("error is not a LivelockError: %v", err)
+	}
+	if ll.Dump == "" || !strings.Contains(ll.Dump, "inflight") {
+		t.Errorf("diagnostic dump missing or empty:\n%s", ll.Dump)
+	}
+	t.Logf("watchdog fired at cycle %d:\n%s", ll.Cycle, ll.Dump)
+}
+
+// TestOptionsValidateRejectsBadConfigs: invalid overrides surface as
+// errors from Run instead of panics from deep inside a constructor.
+func TestOptionsValidateRejectsBadConfigs(t *testing.T) {
+	spec, err := workloads.ByName("wupwise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	badMem := sim.DefaultMemConfig()
+	badMem.L2.Assoc = 0
+	badPlan := faults.Plan{DropIssue: 2}
+	cases := []Options{
+		{Factor: workloads.Test, Mem: &badMem},
+		{Factor: workloads.Test, Faults: &badPlan},
+	}
+	for i, opt := range cases {
+		if _, err := Run(spec, NoPrefetch, opt); err == nil {
+			t.Errorf("case %d: bad options accepted", i)
+		}
+	}
+}

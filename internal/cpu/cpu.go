@@ -34,6 +34,20 @@ type MemoryTiming interface {
 	SoftwarePrefetch(addr, now uint64)
 }
 
+// ProgressMonitor is an optional MemoryTiming capability: a memory system
+// with a forward-progress watchdog receives retirement notifications and
+// may abort a livelocked run from CheckProgress. The core calls
+// CheckProgress before NoteRetire at each commit, so a pathological jump
+// in completion cycles is detected rather than absorbed.
+type ProgressMonitor interface {
+	// NoteRetire records an instruction retirement at cycle now.
+	NoteRetire(now uint64)
+	// CheckProgress may abort the run (sim panics with a structured
+	// error; see sim.RecoverAbort) when no progress has been observed for
+	// the watchdog's threshold.
+	CheckProgress(now uint64)
+}
+
 // Config describes the core.
 type Config struct {
 	FetchWidth  int
@@ -50,6 +64,18 @@ type Config struct {
 	// MaxInstrs bounds simulated instruction count; 0 means unlimited
 	// (run to HALT).
 	MaxInstrs uint64
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.FetchWidth <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0 ||
+		c.ROBSize <= 0 || c.MemPorts <= 0 {
+		return fmt.Errorf("cpu: nonpositive width in config")
+	}
+	if n := c.PredictorEntries; n != 0 && n&(n-1) != 0 {
+		return fmt.Errorf("cpu: predictor entries %d not a power of two", n)
+	}
+	return nil
 }
 
 // Default returns the paper's core: 4-way, 64-entry window.
@@ -142,6 +168,7 @@ type Core struct {
 
 	regs    [isa.NumRegs]uint64 // functional register file
 	predict []uint8             // 2-bit bimodal counters
+	monitor ProgressMonitor     // non-nil when msys watches progress
 
 	// progInstrs/progCycles mirror the in-flight run's committed
 	// instruction count and last commit cycle, so telemetry probes (which
@@ -168,20 +195,19 @@ func (c *Core) RegisterMetrics(reg *metrics.Registry) {
 	})
 }
 
-// New builds a core over functional memory m and timing model msys.
-func New(cfg Config, m *mem.Memory, msys MemoryTiming) *Core {
-	if cfg.FetchWidth <= 0 || cfg.IssueWidth <= 0 || cfg.CommitWidth <= 0 ||
-		cfg.ROBSize <= 0 || cfg.MemPorts <= 0 {
-		panic("cpu: nonpositive width in config")
+// New builds a core over functional memory m and timing model msys, or
+// reports why the configuration is invalid.
+func New(cfg Config, m *mem.Memory, msys MemoryTiming) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	n := cfg.PredictorEntries
 	if n == 0 {
 		n = 4096
 	}
-	if n&(n-1) != 0 {
-		panic("cpu: predictor entries must be a power of two")
-	}
-	return &Core{cfg: cfg, mem: m, msys: msys, predict: make([]uint8, n)}
+	c := &Core{cfg: cfg, mem: m, msys: msys, predict: make([]uint8, n)}
+	c.monitor, _ = msys.(ProgressMonitor)
+	return c, nil
 }
 
 // Run executes the program to HALT or the instruction budget and returns
@@ -432,6 +458,13 @@ func (c *Core) Run(p *isa.Program) (Result, error) {
 			commitsThisCycle = 0
 		}
 		commitsThisCycle++
+		if c.monitor != nil {
+			// Check precedes the retirement note: an instruction whose
+			// completion cycle leapt past the stall threshold must trip the
+			// watchdog, not silently refresh it.
+			c.monitor.CheckProgress(cAt)
+			c.monitor.NoteRetire(cAt)
+		}
 		robCommit[slot] = cAt
 		res.Instrs++
 		res.Cycles = cAt

@@ -76,8 +76,11 @@ func itoa(v uint64) string {
 
 func TestSmokeSumNoPrefetch(t *testing.T) {
 	p, m, want := buildSum(t, 4096)
-	ms := sim.NewMemSystem(sim.DefaultMemConfig(), prefetch.NewNull())
-	core := New(Default(), m, ms)
+	ms, err := sim.NewMemSystem(sim.DefaultMemConfig(), prefetch.NewNull())
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := mustNew(t, Default(), m, ms)
 	res, err := core.Run(p)
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -99,8 +102,11 @@ func TestSmokeSumSRPFasterAndMoreTraffic(t *testing.T) {
 	run := func(eng func(msCfg sim.MemConfig) prefetch.Engine) (Result, *sim.MemSystem) {
 		p, m, _ := buildSum(t, 1<<16) // 512 KB stream, misses throughout
 		cfg := sim.DefaultMemConfig()
-		ms := sim.NewMemSystem(cfg, eng(cfg))
-		core := New(Default(), m, ms)
+		ms, err := sim.NewMemSystem(cfg, eng(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		core := mustNew(t, Default(), m, ms)
 		res, err := core.Run(p)
 		if err != nil {
 			t.Fatalf("run: %v", err)

@@ -28,7 +28,7 @@ func run(t *testing.T, src string, m *mem.Memory) (*Core, Result) {
 	if m == nil {
 		m = mem.New()
 	}
-	c := New(Default(), m, &flatMem{lat: 3})
+	c := mustNew(t, Default(), m, &flatMem{lat: 3})
 	res, err := c.Run(p)
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -248,7 +248,7 @@ loop:
 	runWith := func(rob int) uint64 {
 		cfg := Default()
 		cfg.ROBSize = rob
-		c := New(cfg, mem.New(), &flatMem{lat: 200})
+		c := mustNew(t, cfg, mem.New(), &flatMem{lat: 200})
 		res, err := c.Run(p)
 		if err != nil {
 			t.Fatal(err)
@@ -270,7 +270,7 @@ func TestSetBoundReachesMemory(t *testing.T) {
 `
 	p, _ := isa.Assemble("sb", src)
 	fm := &flatMem{lat: 3}
-	c := New(Default(), mem.New(), fm)
+	c := mustNew(t, Default(), mem.New(), fm)
 	if _, err := c.Run(p); err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +288,7 @@ loop:
 	p, _ := isa.Assemble("inf", src)
 	cfg := Default()
 	cfg.MaxInstrs = 1000
-	c := New(cfg, mem.New(), &flatMem{lat: 3})
+	c := mustNew(t, cfg, mem.New(), &flatMem{lat: 3})
 	res, err := c.Run(p)
 	if err != nil {
 		t.Fatal(err)
@@ -317,7 +317,7 @@ loop:
 	p, _ := isa.Assemble("det", src)
 	var prev Result
 	for i := 0; i < 3; i++ {
-		c := New(Default(), mem.New(), &flatMem{lat: 50})
+		c := mustNew(t, Default(), mem.New(), &flatMem{lat: 50})
 		res, err := c.Run(p)
 		if err != nil {
 			t.Fatal(err)
@@ -341,8 +341,18 @@ func TestIPC(t *testing.T) {
 }
 
 func TestBadProgramRejected(t *testing.T) {
-	c := New(Default(), mem.New(), &flatMem{lat: 3})
+	c := mustNew(t, Default(), mem.New(), &flatMem{lat: 3})
 	if _, err := c.Run(&isa.Program{Name: "empty"}); err == nil {
 		t.Error("empty program should error")
 	}
+}
+
+// mustNew constructs a Core and fails the test on a config error.
+func mustNew(t *testing.T, cfg Config, m *mem.Memory, msys MemoryTiming) *Core {
+	t.Helper()
+	c, err := New(cfg, m, msys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }

@@ -82,6 +82,12 @@ type bank struct {
 // an open row; busyUntil is when the bank's row cycle completes.
 type SubmitHook func(ch, bk int, kind Kind, start, busyUntil uint64, rowHit bool)
 
+// FaultHook lets a fault injector perturb the timing of one access: the
+// returned extraLatency stretches the end-to-end latency (a degraded
+// channel) and extraBankBusy extends the bank's row cycle (a stuck-busy
+// bank). Faults are timing-only; they never change what data arrives.
+type FaultHook func(kind Kind) (extraLatency, extraBankBusy uint64)
+
 // Controller is the memory controller plus channel/bank state.
 type Controller struct {
 	cfg       Config
@@ -94,12 +100,13 @@ type Controller struct {
 	// of the utilization telemetry series. One add per transfer.
 	chanBusy []uint64
 	onSubmit SubmitHook
+	onFault  FaultHook
 }
 
-// New builds a controller; it panics on an invalid configuration.
-func New(cfg Config) *Controller {
+// New builds a controller, or reports why the configuration is invalid.
+func New(cfg Config) (*Controller, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	c := &Controller{
 		cfg:       cfg,
@@ -114,7 +121,7 @@ func New(cfg Config) *Controller {
 			c.banks[i][j].openRow = -1
 		}
 	}
-	return c
+	return c, nil
 }
 
 // Stats returns a snapshot of the accumulated statistics.
@@ -144,6 +151,11 @@ func (c *Controller) ChannelFreeAt(ch int) uint64 { return c.chanFree[ch] }
 // runs inside Submit, so it must be cheap and must not call back into the
 // controller.
 func (c *Controller) SetSubmitHook(h SubmitHook) { c.onSubmit = h }
+
+// SetFaultHook installs a timing fault injector (nil to remove). The hook
+// runs inside Submit before channel/bank state is updated and must not
+// call back into the controller.
+func (c *Controller) SetFaultHook(h FaultHook) { c.onFault = h }
 
 // Utilization returns channel ch's data-bus utilization over [0, now] as
 // a fraction in [0, 1].
@@ -247,6 +259,11 @@ func (c *Controller) Submit(addr uint64, kind Kind, now uint64) (done uint64) {
 	}
 	if busy == 0 {
 		busy = lat // uninitialized config: fall back to full serialization
+	}
+	if c.onFault != nil {
+		extraLat, extraBusy := c.onFault(kind)
+		lat += extraLat
+		busy += extraBusy
 	}
 
 	done = start + lat + c.cfg.TransferCycles

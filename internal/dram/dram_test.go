@@ -20,7 +20,7 @@ func TestValidate(t *testing.T) {
 }
 
 func TestMapChannelInterleave(t *testing.T) {
-	c := New(Default())
+	c := mustNew(t, Default())
 	// Consecutive blocks round-robin across channels.
 	for i := 0; i < 8; i++ {
 		ch, _, _ := c.Map(uint64(i * 64))
@@ -44,7 +44,7 @@ func TestMapChannelInterleave(t *testing.T) {
 
 func TestRowHitFasterThanMiss(t *testing.T) {
 	cfg := Default()
-	c := New(cfg)
+	c := mustNew(t, cfg)
 	d1 := c.Submit(0, Demand, 0)          // row miss
 	d2 := c.Submit(4*64, Demand, d1+1000) // same row, after quiet period: row hit
 	lat1 := d1 - 0
@@ -59,7 +59,7 @@ func TestRowHitFasterThanMiss(t *testing.T) {
 }
 
 func TestRowOpen(t *testing.T) {
-	c := New(Default())
+	c := mustNew(t, Default())
 	if c.RowOpen(0) {
 		t.Error("no row open initially")
 	}
@@ -74,7 +74,7 @@ func TestRowOpen(t *testing.T) {
 
 func TestChannelOccupancy(t *testing.T) {
 	cfg := Default()
-	c := New(cfg)
+	c := mustNew(t, cfg)
 	c.Submit(0, Prefetch, 0)
 	free := c.ChannelFreeAt(0)
 	if free == 0 {
@@ -93,7 +93,7 @@ func TestChannelOccupancy(t *testing.T) {
 }
 
 func TestKindsCounted(t *testing.T) {
-	c := New(Default())
+	c := mustNew(t, Default())
 	c.Submit(0, Demand, 0)
 	c.Submit(64, Prefetch, 0)
 	c.Submit(128, Writeback, 0)
@@ -111,7 +111,7 @@ func TestKindsCounted(t *testing.T) {
 
 func TestBankBusyShorterThanLatency(t *testing.T) {
 	cfg := Default()
-	c := New(cfg)
+	c := mustNew(t, cfg)
 	done := c.Submit(0, Demand, 0)
 	// Another access to the same bank, different row: may start before the
 	// first's data arrives (bank busy < full latency) but not before the
@@ -131,7 +131,7 @@ func TestBankBusyShorterThanLatency(t *testing.T) {
 // TestQuickSubmitMonotonic: a request never completes before it is
 // submitted plus the minimum service time, and never before `now`.
 func TestQuickSubmitMonotonic(t *testing.T) {
-	c := New(Default())
+	c := mustNew(t, Default())
 	minService := Default().RowHitCycles + Default().TransferCycles
 	var now uint64
 	f := func(blockSeed uint16, dn uint8, kind uint8) bool {
@@ -148,9 +148,19 @@ func TestQuickSubmitMonotonic(t *testing.T) {
 func TestZeroBankBusyFallsBack(t *testing.T) {
 	cfg := Default()
 	cfg.BankBusyHit, cfg.BankBusyMiss = 0, 0
-	c := New(cfg)
+	c := mustNew(t, cfg)
 	done := c.Submit(0, Demand, 0)
 	if done == 0 {
 		t.Error("submit should take time")
 	}
+}
+
+// mustNew builds a controller from a config the test knows is valid.
+func mustNew(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }

@@ -1,0 +1,248 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"grp/internal/isa"
+)
+
+func TestZeroPlanInactive(t *testing.T) {
+	var p Plan
+	if p.Active() {
+		t.Fatal("zero plan reports active")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("zero plan invalid: %v", err)
+	}
+	in := NewInjector(&p)
+	for i := 0; i < 1000; i++ {
+		if in.DropIssue() || in.CancelInflight() {
+			t.Fatal("zero plan injected a fault")
+		}
+		if h := in.CorruptHint(isa.HintSpatial); h != isa.HintSpatial {
+			t.Fatal("zero plan corrupted a hint")
+		}
+		if c := in.TruncateCoeff(5); c != 5 {
+			t.Fatal("zero plan truncated a coefficient")
+		}
+		if lat, busy := in.DramFault(); lat != 0 || busy != 0 {
+			t.Fatal("zero plan injected a DRAM fault")
+		}
+		if in.FillDelay() != 0 {
+			t.Fatal("zero plan delayed a fill")
+		}
+	}
+	if got := in.Counts().Total(); got != 0 {
+		t.Fatalf("zero plan counted %d faults", got)
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	p, err := Parse("heavy,seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() ([]bool, Counts) {
+		in := NewInjector(&p)
+		var drops []bool
+		for i := 0; i < 5000; i++ {
+			drops = append(drops, in.DropIssue())
+			in.CorruptHint(isa.HintSpatial)
+			in.TruncateCoeff(uint8(i % 8))
+			in.DramFault()
+			in.FillDelay()
+		}
+		return drops, in.Counts()
+	}
+	d1, c1 := run()
+	d2, c2 := run()
+	if c1 != c2 {
+		t.Fatalf("counts differ across identical runs: %v vs %v", c1, c2)
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("drop decision %d differs across identical runs", i)
+		}
+	}
+	if c1.Total() == 0 {
+		t.Fatal("heavy plan injected nothing over 5000 opportunities")
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	stream := func(seed uint64) uint64 {
+		in := NewInjector(&Plan{Seed: seed, DropIssue: 0.5})
+		var n uint64
+		for i := 0; i < 1000; i++ {
+			if in.DropIssue() {
+				n++
+			}
+		}
+		return n
+	}
+	// Different seeds should (overwhelmingly) disagree on at least the
+	// drop count; identical seeds must agree exactly.
+	if stream(7) != stream(7) {
+		t.Fatal("same seed produced different drop counts")
+	}
+	a, b := stream(7), stream(8)
+	if a == 0 || a == 1000 {
+		t.Fatalf("p=0.5 drop count degenerate: %d/1000", a)
+	}
+	_ = b // streams may coincide in count; determinism is the contract
+}
+
+func TestRollProbabilityBounds(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 3, DropIssue: 1.0})
+	for i := 0; i < 100; i++ {
+		if !in.DropIssue() {
+			t.Fatal("p=1 failed to fire")
+		}
+	}
+	in = NewInjector(&Plan{Seed: 3, DropIssue: 0.5})
+	fired := 0
+	for i := 0; i < 10000; i++ {
+		if in.DropIssue() {
+			fired++
+		}
+	}
+	if fired < 4000 || fired > 6000 {
+		t.Fatalf("p=0.5 fired %d/10000, far from expectation", fired)
+	}
+}
+
+func TestTruncateCoeffShrinks(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 9, TruncateRegion: 1.0})
+	for c := uint8(0); c <= 7; c++ {
+		got := in.TruncateCoeff(c)
+		if c == 0 {
+			if got != 0 {
+				t.Fatalf("truncate(0) = %d", got)
+			}
+			continue
+		}
+		if got >= c {
+			t.Fatalf("truncate(%d) = %d, not strictly smaller", c, got)
+		}
+	}
+}
+
+func TestCorruptHintFlipsKnownBits(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 11, CorruptHint: 1.0})
+	known := isa.HintSpatial | isa.HintPointer | isa.HintRecursive
+	for i := 0; i < 200; i++ {
+		h := in.CorruptHint(isa.HintSpatial)
+		if h == isa.HintSpatial {
+			t.Fatal("p=1 corruption left hint unchanged")
+		}
+		if h&^(known|isa.HintSpatial) != 0 {
+			t.Fatalf("corruption introduced unknown bits: %#x", h)
+		}
+	}
+}
+
+func TestStolenSlotsLeavesOne(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 1, MSHRSteal: 100})
+	if got := in.StolenSlots(8); got != 7 {
+		t.Fatalf("StolenSlots(8) with steal=100: got %d, want 7", got)
+	}
+	in = NewInjector(&Plan{Seed: 1, MSHRSteal: 3})
+	if got := in.StolenSlots(8); got != 3 {
+		t.Fatalf("StolenSlots(8) with steal=3: got %d, want 3", got)
+	}
+	if got := in.StolenSlots(1); got != 0 {
+		t.Fatalf("StolenSlots(1): got %d, want 0", got)
+	}
+}
+
+func TestParsePresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		p, err := Parse(name)
+		if err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+		if !p.Active() {
+			t.Fatalf("preset %s is inactive", name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("preset %s invalid: %v", name, err)
+		}
+	}
+	p, err := Parse("heavy,seed=99,drop=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 99 || p.DropIssue != 0.5 {
+		t.Fatalf("preset refinement ignored: %+v", p)
+	}
+	if p.StuckBank != Presets()["heavy"].StuckBank {
+		t.Fatal("preset refinement clobbered unrelated field")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"nonsense",
+		"drop",            // not key=value
+		"drop=2",          // probability out of range
+		"drop=-0.1",       // negative
+		"drop=NaN",        // NaN
+		"seed=abc",        // not a number
+		"wat=1",           // unknown key
+		"degrade=0.5:0",   // zero fault cycles
+		"mshr-steal=-2",   // negative steal
+		"delay-fill=x:10", // bad probability
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestParseEmptyAndWhitespace(t *testing.T) {
+	for _, spec := range []string{"", "  ", " drop=0.1 , seed=3 "} {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if strings.TrimSpace(spec) == "" && p.Active() {
+			t.Fatalf("Parse(%q) active", spec)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	specs := []string{
+		"heavy", "light", "chaos",
+		"drop=0.25,seed=17",
+		"degrade=0.1:250,stuck-bank=0.05:500,mshr-steal=6",
+		"delay-fill=0.2:80,corrupt-hint=0.01,cancel=0.3,truncate=0.5",
+	}
+	for _, spec := range specs {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		q, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (canonical %q): %v", spec, p.String(), err)
+		}
+		if q.String() != p.String() {
+			t.Fatalf("round trip diverged: %q -> %q -> %q", spec, p.String(), q.String())
+		}
+		// Seed 0 and 1 are equivalent to the injector; normalize.
+		p.Seed, q.Seed = max64(p.Seed, 1), max64(q.Seed, 1)
+		if p != q {
+			t.Fatalf("round trip plan differs: %+v vs %+v", p, q)
+		}
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,35 @@
+package faults
+
+import "testing"
+
+// FuzzParsePlan checks that any spec Parse accepts renders to a canonical
+// string that re-parses to the same canonical string (idempotent
+// canonicalization), and that Parse never accepts an invalid plan.
+func FuzzParsePlan(f *testing.F) {
+	f.Add("")
+	f.Add("light")
+	f.Add("heavy,seed=42")
+	f.Add("chaos,drop=0.9")
+	f.Add("drop=0.25,truncate=0.1,corrupt-hint=0.05")
+	f.Add("degrade=0.5:200,stuck-bank=0.25:400,mshr-steal=6,delay-fill=0.1:80")
+	f.Add("seed=18446744073709551615")
+	f.Add("cancel=1")
+	f.Add("drop=1e-3")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil {
+			return // rejected specs are out of scope
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted invalid plan: %v", spec, verr)
+		}
+		canon := p.String()
+		q, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, spec, err)
+		}
+		if q.String() != canon {
+			t.Fatalf("canonicalization not idempotent: %q -> %q -> %q", spec, canon, q.String())
+		}
+	})
+}

@@ -1,0 +1,211 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Plan spec grammar (the -faults flag):
+//
+//	spec    := preset | assigns
+//	preset  := "light" | "heavy" | "chaos"  [ "," assigns ]
+//	assigns := assign { "," assign }
+//	assign  := key "=" value
+//
+// Keys:
+//
+//	seed=N              PRNG seed (default 1)
+//	drop=P              drop prefetch issues with probability P
+//	truncate=P          truncate region coefficients with probability P
+//	corrupt-hint=P      corrupt hint kinds with probability P
+//	cancel=P            cancel one in-flight prefetch per pump step with P
+//	degrade=P:C         degrade DRAM channel: probability P, +C cycles
+//	stuck-bank=P:C      stick a DRAM bank busy: probability P, +C cycles
+//	mshr-steal=N        virtually occupy N L2 MSHR slots
+//	delay-fill=P:C      delay fills: probability P, +C cycles
+//
+// A preset may be refined by trailing assignments, e.g. "heavy,seed=7".
+
+// Presets returns the named preset plans, most gentle first.
+func Presets() map[string]Plan {
+	return map[string]Plan{
+		"light": {
+			Seed:      1,
+			DropIssue: 0.01,
+			DelayFill: 0.02, DelayFillCycles: 40,
+			DegradeChannel: 0.01, DegradeCycles: 60,
+		},
+		"heavy": {
+			Seed:      1,
+			DropIssue: 0.10, TruncateRegion: 0.10, CorruptHint: 0.05,
+			CancelInflight: 0.05,
+			DegradeChannel: 0.10, DegradeCycles: 200,
+			StuckBank: 0.05, StuckCycles: 400,
+			MSHRSteal: 4,
+			DelayFill: 0.10, DelayFillCycles: 120,
+		},
+		"chaos": {
+			Seed:      1,
+			DropIssue: 0.40, TruncateRegion: 0.40, CorruptHint: 0.30,
+			CancelInflight: 0.30,
+			DegradeChannel: 0.35, DegradeCycles: 900,
+			StuckBank: 0.25, StuckCycles: 1500,
+			MSHRSteal: 7,
+			DelayFill: 0.35, DelayFillCycles: 700,
+		},
+	}
+}
+
+// PresetNames returns the preset names in deterministic order.
+func PresetNames() []string {
+	m := Presets()
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Parse builds a Plan from a spec string. An empty spec yields the inactive
+// zero plan.
+func Parse(spec string) (Plan, error) {
+	var p Plan
+	p.Seed = 1
+	rest := strings.TrimSpace(spec)
+	if rest == "" {
+		return Plan{}, nil
+	}
+	// Optional leading preset.
+	head := rest
+	if i := strings.IndexByte(rest, ','); i >= 0 {
+		head = rest[:i]
+	}
+	if preset, ok := Presets()[strings.TrimSpace(head)]; ok {
+		p = preset
+		rest = rest[len(head):]
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	for _, field := range strings.Split(rest, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("faults: %q is not key=value (and not a preset: %s)",
+				field, strings.Join(PresetNames(), ", "))
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = strconv.ParseUint(val, 0, 64)
+		case "drop":
+			p.DropIssue, err = parseProb(val)
+		case "truncate":
+			p.TruncateRegion, err = parseProb(val)
+		case "corrupt-hint":
+			p.CorruptHint, err = parseProb(val)
+		case "cancel":
+			p.CancelInflight, err = parseProb(val)
+		case "degrade":
+			p.DegradeChannel, p.DegradeCycles, err = parseProbCycles(val)
+		case "stuck-bank":
+			p.StuckBank, p.StuckCycles, err = parseProbCycles(val)
+		case "mshr-steal":
+			var n int64
+			n, err = strconv.ParseInt(val, 10, 32)
+			p.MSHRSteal = int(n)
+		case "delay-fill":
+			p.DelayFill, p.DelayFillCycles, err = parseProbCycles(val)
+		default:
+			return Plan{}, fmt.Errorf("faults: unknown key %q (want seed, drop, truncate, corrupt-hint, cancel, degrade, stuck-bank, mshr-steal, delay-fill)", key)
+		}
+		if err != nil {
+			return Plan{}, fmt.Errorf("faults: bad value for %s: %v", key, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// String renders the plan in the spec grammar; Parse(p.String()) rebuilds
+// an equal plan. The inactive zero plan renders as "".
+func (p Plan) String() string {
+	if !p.Active() {
+		return ""
+	}
+	var parts []string
+	add := func(s string) { parts = append(parts, s) }
+	if p.Seed != 0 && p.Seed != 1 {
+		add(fmt.Sprintf("seed=%d", p.Seed))
+	}
+	if p.DropIssue > 0 {
+		add("drop=" + formatProb(p.DropIssue))
+	}
+	if p.TruncateRegion > 0 {
+		add("truncate=" + formatProb(p.TruncateRegion))
+	}
+	if p.CorruptHint > 0 {
+		add("corrupt-hint=" + formatProb(p.CorruptHint))
+	}
+	if p.CancelInflight > 0 {
+		add("cancel=" + formatProb(p.CancelInflight))
+	}
+	if p.DegradeChannel > 0 {
+		add(fmt.Sprintf("degrade=%s:%d", formatProb(p.DegradeChannel), p.DegradeCycles))
+	}
+	if p.StuckBank > 0 {
+		add(fmt.Sprintf("stuck-bank=%s:%d", formatProb(p.StuckBank), p.StuckCycles))
+	}
+	if p.MSHRSteal > 0 {
+		add(fmt.Sprintf("mshr-steal=%d", p.MSHRSteal))
+	}
+	if p.DelayFill > 0 {
+		add(fmt.Sprintf("delay-fill=%s:%d", formatProb(p.DelayFill), p.DelayFillCycles))
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseProb(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || v < 0 || v > 1 {
+		return 0, fmt.Errorf("probability %v outside [0,1]", v)
+	}
+	return v, nil
+}
+
+// parseProbCycles parses "P:C" (probability, extra cycles) or a bare "P"
+// with a default of 100 extra cycles.
+func parseProbCycles(s string) (float64, uint64, error) {
+	probStr, cycStr, hasCycles := strings.Cut(s, ":")
+	prob, err := parseProb(probStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	cycles := uint64(100)
+	if hasCycles {
+		cycles, err = strconv.ParseUint(strings.TrimSpace(cycStr), 10, 33)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	if prob > 0 && cycles == 0 {
+		return 0, 0, fmt.Errorf("zero fault cycles with probability %v", prob)
+	}
+	return prob, cycles, nil
+}
+
+func formatProb(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -9,6 +9,7 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 )
 
 // PageSize is the allocation granularity of the sparse backing store. It is
@@ -173,3 +174,43 @@ func (m *Memory) Write32(addr uint64, val uint32) { m.Write(addr, 4, uint64(val)
 // PagesTouched returns how many distinct pages have been materialized;
 // useful in tests asserting sparseness.
 func (m *Memory) PagesTouched() int { return len(m.pages) }
+
+// Digest returns an FNV-1a hash of memory contents plus the heap bounds.
+// All-zero pages are excluded: reads materialize pages too (the GRP
+// pointer scanner reads speculatively), so which zero pages exist depends
+// on timing-layer behavior, while the *contents* of memory do not. The
+// digest therefore captures exactly the architectural state, making it
+// the memory half of the metamorphic fault-injection check.
+func (m *Memory) Digest() uint64 {
+	// Hash pages in page-number order for a deterministic result.
+	pns := make([]uint64, 0, len(m.pages))
+	for pn, p := range m.pages {
+		if *p == ([PageSize]byte{}) {
+			continue
+		}
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h1 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	h1(m.heapStart)
+	h1(m.heapBrk)
+	for _, pn := range pns {
+		h1(pn)
+		for _, b := range m.pages[pn] {
+			h ^= uint64(b)
+			h *= prime64
+		}
+	}
+	return h
+}

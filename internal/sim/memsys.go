@@ -7,9 +7,11 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"strings"
 
 	"grp/internal/cache"
 	"grp/internal/dram"
+	"grp/internal/faults"
 	"grp/internal/isa"
 	"grp/internal/metrics"
 	"grp/internal/prefetch"
@@ -72,12 +74,22 @@ type MemStats struct {
 	// prioritizer's holding register because no channel went idle inside
 	// the pump window.
 	PrioritizerHolds uint64
+	// PrefetchesCancelled counts in-flight prefetches cancelled by fault
+	// injection before their data landed.
+	PrefetchesCancelled uint64
 }
 
 type inflightLine struct {
 	block    uint64
 	doneAt   uint64
 	prefetch bool
+	// merged marks a prefetch a demand access has since merged with: the
+	// demand's completion depends on doneAt, so the line is no longer
+	// cancellable.
+	merged bool
+	// cancelled marks a fault-cancelled prefetch: it has already been
+	// removed from the inflight map and the pump skips its arrival.
+	cancelled bool
 }
 
 type arrivalHeap []*inflightLine
@@ -125,6 +137,14 @@ type MemSystem struct {
 	timeline   *trace.Timeline
 	histDemand *metrics.Histogram // demand L2-miss service latency
 	histPF     *metrics.Histogram // prefetch issue→fill latency
+
+	// Robustness layer; all optional and nil/false by default.
+	faults    *faults.Injector
+	watchdog  *Watchdog
+	checkInv  bool
+	checkGap  uint64 // accesses between periodic invariant checks
+	sinceInv  uint64
+	cancelled int // cancelled entries still parked in the arrivals heap
 }
 
 // Histogram and series names the hierarchy registers; exported so drivers
@@ -202,22 +222,81 @@ func (ms *MemSystem) AttachTelemetry(reg *metrics.Registry, smp *metrics.Sampler
 	}
 }
 
-// NewMemSystem builds the hierarchy with the given prefetch engine.
-func NewMemSystem(cfg MemConfig, engine prefetch.Engine) *MemSystem {
+// NewMemSystem builds the hierarchy with the given prefetch engine, or
+// reports why a cache or DRAM configuration is invalid.
+func NewMemSystem(cfg MemConfig, engine prefetch.Engine) (*MemSystem, error) {
 	if cfg.MaxInflightPrefetches <= 0 {
 		cfg.MaxInflightPrefetches = 8
 	}
+	l1, err := cache.New(cfg.L1)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := cache.New(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	dc, err := dram.New(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
 	ms := &MemSystem{
 		cfg:         cfg,
-		L1:          cache.New(cfg.L1),
-		L2:          cache.New(cfg.L2),
-		Dram:        dram.New(cfg.DRAM),
+		L1:          l1,
+		L2:          l2,
+		Dram:        dc,
 		Engine:      engine,
 		l2MSHR:      cache.NewMSHRFile(cfg.L2.MSHRs),
 		inflight:    make(map[uint64]*inflightLine),
 		prioritizer: true,
 	}
-	return ms
+	return ms, nil
+}
+
+// SetFaults arms fault injection on every hook point of the hierarchy:
+// the DRAM controller (channel degradation, stuck banks), the L2 MSHR
+// file (slot pressure), the prefetch engine (dropped issues, corrupted
+// hints, truncated regions — ms.Engine is wrapped in place), and the pump
+// itself (cancelled in-flight prefetches, delayed fills). Call it once,
+// right after NewMemSystem and before AttachTelemetry, so telemetry
+// observes the wrapped engine. A nil injector is a no-op.
+func (ms *MemSystem) SetFaults(inj *faults.Injector) {
+	if inj == nil {
+		return
+	}
+	ms.faults = inj
+	ms.Engine = prefetch.WithFaults(ms.Engine, inj)
+	ms.Dram.SetFaultHook(func(dram.Kind) (uint64, uint64) { return inj.DramFault() })
+	ms.l2MSHR.SetPressure(inj.StolenSlots(ms.l2MSHR.Size()))
+}
+
+// FaultCounts reports the faults injected so far (zero when no fault plan
+// is armed). The cancelled count lives in MemStats.PrefetchesCancelled.
+func (ms *MemSystem) FaultCounts() faults.Counts {
+	if ms.faults == nil {
+		return faults.Counts{}
+	}
+	return ms.faults.Counts()
+}
+
+// SetWatchdog arms the forward-progress watchdog. Zero config fields take
+// the package defaults. The watchdog aborts the run via a *LivelockError
+// panic (see RecoverAbort).
+func (ms *MemSystem) SetWatchdog(cfg WatchdogConfig) *Watchdog {
+	ms.watchdog = &Watchdog{cfg: cfg.withDefaults()}
+	return ms.watchdog
+}
+
+// EnableInvariantChecks turns on the periodic invariant checker: every
+// `every` demand accesses (default 4096 when 0) and once at Drain, the
+// hierarchy audits itself and aborts via an *InvariantError panic on any
+// violation.
+func (ms *MemSystem) EnableInvariantChecks(every uint64) {
+	ms.checkInv = true
+	if every == 0 {
+		every = 4096
+	}
+	ms.checkGap = every
 }
 
 // SetPrioritizer enables or disables the access prioritizer; disabling it
@@ -241,9 +320,19 @@ func (ms *MemSystem) present(block uint64) bool {
 func (ms *MemSystem) processArrivals(t uint64) {
 	for len(ms.arrivals) > 0 && ms.arrivals[0].doneAt <= t {
 		ln := heap.Pop(&ms.arrivals).(*inflightLine)
+		if ln.cancelled {
+			// A fault-cancelled prefetch: its map entry and inflightPF slot
+			// were released at cancellation time, and its block may since
+			// have been re-fetched under a fresh line — touch nothing.
+			ms.cancelled--
+			continue
+		}
 		delete(ms.inflight, ln.block)
 		if ln.prefetch {
 			ms.inflightPF--
+		}
+		if ms.watchdog != nil {
+			ms.watchdog.NoteMem(ln.doneAt)
 		}
 		v, evicted := ms.L2.Fill(ln.block, ln.prefetch, false)
 		if evicted && v.Dirty {
@@ -251,6 +340,29 @@ func (ms *MemSystem) processArrivals(t uint64) {
 		}
 		// Pointer-scanning engines inspect every arriving line.
 		ms.Engine.OnArrival(ln.block)
+	}
+}
+
+// cancelOnePrefetch cancels the first cancellable in-flight prefetch (a
+// prefetch line no demand has merged with): the line leaves the inflight
+// map and releases its pump slot immediately, and its heap entry is
+// marked to be skipped on arrival. Cancelling is always architecturally
+// safe — the block simply is not filled, exactly as if the prioritizer
+// had starved the issue.
+func (ms *MemSystem) cancelOnePrefetch() {
+	for _, ln := range ms.arrivals {
+		if !ln.prefetch || ln.merged || ln.cancelled {
+			continue
+		}
+		ln.cancelled = true
+		delete(ms.inflight, ln.block)
+		ms.inflightPF--
+		ms.cancelled++
+		ms.stats.PrefetchesCancelled++
+		if ms.timeline != nil {
+			ms.timeline.PrefetchOutcome(ln.block, "cancelled")
+		}
+		return
 	}
 }
 
@@ -269,8 +381,18 @@ func (ms *MemSystem) Advance(now uint64) {
 		ms.processArrivals(ms.cursor)
 		return
 	}
+	if ms.faults != nil && ms.faults.CancelInflight() {
+		ms.cancelOnePrefetch()
+	}
 	t := ms.cursor
 	for t < now {
+		if ms.watchdog != nil && ms.watchdog.noteSpin(t) {
+			panic(&LivelockError{
+				Cycle: t, LastRetire: ms.watchdog.lastRetire,
+				LastMem: ms.watchdog.lastMem, Spin: true,
+				Dump: ms.DiagnosticDump(t),
+			})
+		}
 		ms.processArrivals(t)
 		if ms.inflightPF >= ms.cfg.MaxInflightPrefetches {
 			// Wait for a prefetch slot to free.
@@ -318,6 +440,9 @@ func (ms *MemSystem) Advance(now uint64) {
 			}
 		}
 		done := ms.Dram.Submit(cand, dram.Prefetch, start)
+		if ms.faults != nil {
+			done += ms.faults.FillDelay()
+		}
 		ms.histPF.Observe(float64(done - start))
 		if ms.timeline != nil {
 			ms.timeline.PrefetchIssue(cand, start, done, false)
@@ -358,6 +483,13 @@ func (ms *MemSystem) access(pc, addr uint64, write bool, hint isa.Hint, coeff ui
 	if ms.sampler != nil {
 		ms.sampler.Tick(now)
 	}
+	if ms.checkInv {
+		ms.sinceInv++
+		if ms.sinceInv >= ms.checkGap {
+			ms.sinceInv = 0
+			ms.mustHoldInvariants(now)
+		}
+	}
 
 	l1lat := uint64(ms.cfg.L1.HitLatency)
 	l2lat := uint64(ms.cfg.L2.HitLatency)
@@ -371,6 +503,9 @@ func (ms *MemSystem) access(pc, addr uint64, write bool, hint isa.Hint, coeff ui
 	// without this floor a timely prefetch could beat a perfect L2.
 	if ln, ok := ms.inflight[block]; ok {
 		ms.stats.InflightMerges++
+		// The demand now depends on this line's arrival; fault injection
+		// must no longer cancel it.
+		ln.merged = true
 		if ln.prefetch {
 			ms.stats.PrefetchLates++
 			ms.Engine.OnDemandHitPrefetched(block)
@@ -415,7 +550,16 @@ func (ms *MemSystem) access(pc, addr uint64, write bool, hint isa.Hint, coeff ui
 	lookupDone := now + l1lat + l2lat
 	start, slot := ms.l2MSHR.Reserve(lookupDone)
 	dramDone := ms.Dram.Submit(block, dram.Demand, start)
+	if ms.faults != nil {
+		dramDone += ms.faults.FillDelay()
+	}
 	ms.l2MSHR.Complete(slot, dramDone)
+	if ms.watchdog != nil {
+		// Progress is the submission itself; the arrival is noted when it
+		// drains. Crediting dramDone here would let an absurdly delayed
+		// fill mask the very stall it causes.
+		ms.watchdog.NoteMem(now)
+	}
 	ms.histDemand.Observe(float64(dramDone - now))
 	if ms.timeline != nil {
 		ms.timeline.DemandMiss(pc, block, now, dramDone)
@@ -464,6 +608,9 @@ func (ms *MemSystem) SoftwarePrefetch(addr, now uint64) {
 	lookupDone := now + uint64(ms.cfg.L1.HitLatency) + uint64(ms.cfg.L2.HitLatency)
 	start, slot := ms.l2MSHR.Reserve(lookupDone)
 	done := ms.Dram.Submit(block, dram.Prefetch, start)
+	if ms.faults != nil {
+		done += ms.faults.FillDelay()
+	}
 	ms.l2MSHR.Complete(slot, done)
 	ms.histPF.Observe(float64(done - start))
 	if ms.timeline != nil {
@@ -488,4 +635,159 @@ func (ms *MemSystem) Drain() {
 	for len(ms.arrivals) > 0 {
 		ms.Advance(ms.arrivals[0].doneAt)
 	}
+	if ms.checkInv {
+		ms.mustHoldInvariants(ms.cursor)
+	}
+}
+
+// NoteRetire records an instruction retirement for the forward-progress
+// watchdog; the core calls it at commit. A no-op without a watchdog.
+func (ms *MemSystem) NoteRetire(now uint64) {
+	if ms.watchdog != nil {
+		ms.watchdog.NoteRetire(now)
+	}
+}
+
+// CheckProgress aborts with a *LivelockError panic if neither an
+// instruction retirement nor a drained memory event has been seen for the
+// watchdog's stall threshold. The core calls it at commit, before
+// NoteRetire, so a pathological jump in completion cycles is caught. A
+// no-op without a watchdog.
+func (ms *MemSystem) CheckProgress(now uint64) {
+	if ms.watchdog == nil || !ms.watchdog.stalled(now) {
+		return
+	}
+	panic(&LivelockError{
+		Cycle: now, LastRetire: ms.watchdog.lastRetire,
+		LastMem: ms.watchdog.lastMem,
+		Dump:    ms.DiagnosticDump(now),
+	})
+}
+
+// CheckInvariants audits the hierarchy's internal consistency and returns
+// a descriptive error for the first violation found: bounded MSHR
+// occupancy, agreement between the inflight map, the arrivals heap, and
+// the prefetch slot count, engine queue sanity, and stats identities
+// (every counted prefetch outcome traces back to an issued prefetch).
+func (ms *MemSystem) CheckInvariants() error {
+	if n, size := ms.l2MSHR.BusyAt(ms.cursor), ms.l2MSHR.Size(); size > 0 {
+		if n > size {
+			return fmt.Errorf("L2 MSHR occupancy %d exceeds capacity %d", n, size)
+		}
+		if p := ms.l2MSHR.Peak(); p > size {
+			return fmt.Errorf("L2 MSHR peak %d exceeds capacity %d", p, size)
+		}
+	}
+
+	// Heap / map / slot-count agreement.
+	livePF, cancelled := 0, 0
+	for _, ln := range ms.arrivals {
+		if ln.cancelled {
+			cancelled++
+			continue
+		}
+		got, ok := ms.inflight[ln.block]
+		if !ok {
+			return fmt.Errorf("arrival heap entry %#x missing from inflight map", ln.block)
+		}
+		if got != ln {
+			return fmt.Errorf("inflight map entry %#x does not match its heap entry", ln.block)
+		}
+		if ln.prefetch {
+			livePF++
+		}
+	}
+	if live := len(ms.arrivals) - cancelled; len(ms.inflight) != live {
+		return fmt.Errorf("inflight map holds %d lines, arrivals heap %d live entries",
+			len(ms.inflight), live)
+	}
+	if cancelled != ms.cancelled {
+		return fmt.Errorf("cancelled-entry count %d does not match heap contents %d",
+			ms.cancelled, cancelled)
+	}
+	if livePF != ms.inflightPF {
+		return fmt.Errorf("inflight prefetch count %d does not match heap contents %d",
+			ms.inflightPF, livePF)
+	}
+	// No hard cap check on inflightPF: software PREFs are demand-priority
+	// and legitimately overshoot the pump's MaxInflightPrefetches limit.
+
+	// Engine self-audit (region queues within heap bounds, etc.).
+	if ch, ok := ms.Engine.(prefetch.Checker); ok {
+		if err := ch.CheckInvariants(); err != nil {
+			return fmt.Errorf("engine %s: %w", ms.Engine.Name(), err)
+		}
+	}
+
+	// Stats identities. Late prefetches merged a demand with an issued
+	// prefetch, and every useful/useless-counted line entered the L2 as a
+	// prefetch fill; fills never exceed issues.
+	issued := ms.stats.PrefetchesIssued
+	if l2 := ms.L2.Stats(); !ms.cfg.L2.Perfect {
+		if l2.PrefetchFills > issued {
+			return fmt.Errorf("L2 prefetch fills %d exceed prefetches issued %d",
+				l2.PrefetchFills, issued)
+		}
+		if l2.UsefulPrefetches+l2.UselessPrefetches > l2.PrefetchFills {
+			return fmt.Errorf("prefetch outcomes useful=%d + useless=%d exceed fills %d",
+				l2.UsefulPrefetches, l2.UselessPrefetches, l2.PrefetchFills)
+		}
+		if l2.Hits+l2.Misses != l2.Accesses {
+			return fmt.Errorf("L2 hits %d + misses %d != accesses %d",
+				l2.Hits, l2.Misses, l2.Accesses)
+		}
+	}
+	if l1 := ms.L1.Stats(); !ms.cfg.L1.Perfect && l1.Hits+l1.Misses != l1.Accesses {
+		return fmt.Errorf("L1 hits %d + misses %d != accesses %d",
+			l1.Hits, l1.Misses, l1.Accesses)
+	}
+	if ms.stats.PrefetchLates > ms.stats.InflightMerges {
+		return fmt.Errorf("late prefetches %d exceed inflight merges %d",
+			ms.stats.PrefetchLates, ms.stats.InflightMerges)
+	}
+	if ms.stats.PrefetchesCancelled > issued {
+		return fmt.Errorf("cancelled prefetches %d exceed issued %d",
+			ms.stats.PrefetchesCancelled, issued)
+	}
+	return nil
+}
+
+// mustHoldInvariants aborts via an *InvariantError panic on a violation.
+func (ms *MemSystem) mustHoldInvariants(now uint64) {
+	if err := ms.CheckInvariants(); err != nil {
+		panic(&InvariantError{Cycle: now, Violation: err.Error(), Dump: ms.DiagnosticDump(now)})
+	}
+}
+
+// DiagnosticDump renders the memory system's live state — the pump
+// cursor, in-flight table, MSHR file, prioritizer holding register, and
+// prefetch engine — for watchdog and invariant abort reports.
+func (ms *MemSystem) DiagnosticDump(now uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "memsys state at cycle %d:\n", now)
+	fmt.Fprintf(&b, "  pump: cursor=%d lastSubmit=%d\n", ms.cursor, ms.lastSubmit)
+	fmt.Fprintf(&b, "  inflight: %d lines (%d prefetch slots of %d), %d cancelled in heap, %d heap entries\n",
+		len(ms.inflight), ms.inflightPF, ms.cfg.MaxInflightPrefetches, ms.cancelled, len(ms.arrivals))
+	if len(ms.arrivals) > 0 {
+		fmt.Fprintf(&b, "  next arrival: block %#x at cycle %d\n", ms.arrivals[0].block, ms.arrivals[0].doneAt)
+	}
+	fmt.Fprintf(&b, "  l2 mshr: %d/%d busy at cursor, peak %d, fault pressure %d\n",
+		ms.l2MSHR.BusyAt(ms.cursor), ms.l2MSHR.Size(), ms.l2MSHR.Peak(), ms.l2MSHR.Pressure())
+	fmt.Fprintf(&b, "  prioritizer: enabled=%v heldValid=%v", ms.prioritizer, ms.heldValid)
+	if ms.heldValid {
+		fmt.Fprintf(&b, " held=%#x", ms.held)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  engine: %s", ms.Engine.Name())
+	if ql, ok := ms.Engine.(prefetch.QueueLenner); ok {
+		fmt.Fprintf(&b, " queue=%d", ql.QueueLen())
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  stats: loads=%d stores=%d merges=%d pf_issued=%d pf_cancelled=%d holds=%d\n",
+		ms.stats.Loads, ms.stats.Stores, ms.stats.InflightMerges,
+		ms.stats.PrefetchesIssued, ms.stats.PrefetchesCancelled, ms.stats.PrioritizerHolds)
+	if ms.faults != nil {
+		fmt.Fprintf(&b, "  faults: %v\n", ms.faults.Counts())
+	}
+	return b.String()
 }

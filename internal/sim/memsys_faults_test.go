@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"testing"
+
+	"grp/internal/faults"
+	"grp/internal/isa"
+	"grp/internal/prefetch"
+)
+
+// faultySys builds a memory system with the given fault plan armed and
+// the invariant checker auditing every access.
+func faultySys(t *testing.T, engine prefetch.Engine, plan faults.Plan) *MemSystem {
+	t.Helper()
+	ms := newSys(engine)
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ms.SetFaults(faults.NewInjector(&plan))
+	ms.EnableInvariantChecks(1)
+	return ms
+}
+
+// TestMSHRPressureSerializes: with 7 of the 8 L2 MSHRs stolen, a burst of
+// independent misses must serialize through the single remaining slot —
+// strictly slower than the unpressured run, never deadlocked, and within
+// capacity at every audit.
+func TestMSHRPressureSerializes(t *testing.T) {
+	run := func(steal int) uint64 {
+		ms := faultySys(t, prefetch.NewNull(), faults.Plan{Seed: 1, MSHRSteal: steal})
+		now := uint64(100)
+		var last uint64
+		for i := 0; i < 32; i++ {
+			d := ms.Load(0, uint64(0x100000+i*4096), isa.HintNone, isa.FixedRegion, now)
+			if d <= now {
+				t.Fatalf("load %d completed at %d, submitted at %d", i, d, now)
+			}
+			if d > last {
+				last = d
+			}
+			now++
+		}
+		ms.Drain()
+		if err := ms.CheckInvariants(); err != nil {
+			t.Fatalf("steal=%d: %v", steal, err)
+		}
+		return last
+	}
+	free := run(0)
+	squeezed := run(7)
+	if squeezed <= free {
+		t.Errorf("7 stolen MSHRs should serialize the burst: pressured done=%d, free done=%d",
+			squeezed, free)
+	}
+}
+
+// TestDemandAfterCancelledPrefetch covers the nastiest cancellation
+// hazard: a demand for a block whose prefetch was cancelled must refetch
+// from DRAM as a fresh miss (the cancelled heap corpse is skipped, not
+// merged with), and the eventual fill must survive the corpse draining.
+func TestDemandAfterCancelledPrefetch(t *testing.T) {
+	ms := newSys(prefetch.NewNull())
+	ms.EnableInvariantChecks(1)
+	ms.SoftwarePrefetch(0x30000, 100)
+	if len(ms.arrivals) != 1 {
+		t.Fatalf("expected one in-flight prefetch, have %d", len(ms.arrivals))
+	}
+	ms.cancelOnePrefetch()
+	if ms.Stats().PrefetchesCancelled != 1 {
+		t.Fatalf("cancelled = %d, want 1", ms.Stats().PrefetchesCancelled)
+	}
+	block := ms.L2.BlockAddr(0x30000)
+	if _, ok := ms.inflight[block]; ok {
+		t.Fatal("cancelled line still in the inflight map")
+	}
+	// The demand must not merge with the corpse: full DRAM miss.
+	d := ms.Load(0, 0x30000, isa.HintNone, isa.FixedRegion, 110)
+	if ms.Stats().InflightMerges != 0 {
+		t.Error("demand merged with a cancelled prefetch line")
+	}
+	if d <= 110+15 {
+		t.Errorf("demand after cancel finished in %d cycles; expected a full miss", d-110)
+	}
+	ms.Drain()
+	if err := ms.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if !ms.L2.Contains(block) {
+		t.Error("demand refetch of the cancelled block did not fill the L2")
+	}
+}
+
+// TestMergedPrefetchNotCancellable: once a demand has merged with an
+// in-flight prefetch, the demand depends on that arrival; fault injection
+// must refuse to cancel it.
+func TestMergedPrefetchNotCancellable(t *testing.T) {
+	ms := newSys(prefetch.NewNull())
+	ms.EnableInvariantChecks(1)
+	ms.SoftwarePrefetch(0x40000, 100)
+	d := ms.Load(0, 0x40000, isa.HintNone, isa.FixedRegion, 110)
+	if ms.Stats().InflightMerges != 1 {
+		t.Fatalf("merges = %d, want 1", ms.Stats().InflightMerges)
+	}
+	ms.cancelOnePrefetch()
+	if ms.Stats().PrefetchesCancelled != 0 {
+		t.Error("cancelled a prefetch a demand already depends on")
+	}
+	ms.Drain()
+	if err := ms.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if !ms.L2.Contains(ms.L2.BlockAddr(0x40000)) {
+		t.Error("merged prefetch never filled the L2")
+	}
+	_ = d
+}
+
+// TestCancelUnderSRP runs a real engine under a cancel-everything plan:
+// prefetches keep being cancelled, demands keep completing, and the
+// hierarchy stays consistent through drain.
+func TestCancelUnderSRP(t *testing.T) {
+	ms := faultySys(t, prefetch.NewSRP(), faults.Plan{Seed: 5, CancelInflight: 1})
+	now := uint64(100)
+	for i := 0; i < 64; i++ {
+		d := ms.Load(0, uint64(0x200000+i*512), isa.HintNone, isa.FixedRegion, now)
+		now = d + 1
+	}
+	ms.Drain()
+	if err := ms.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if ms.Stats().PrefetchesCancelled == 0 {
+		t.Error("cancel-everything plan cancelled nothing")
+	}
+	if len(ms.inflight) != 0 || len(ms.arrivals) != 0 || ms.cancelled != 0 {
+		t.Errorf("drain left inflight=%d arrivals=%d cancelled=%d",
+			len(ms.inflight), len(ms.arrivals), ms.cancelled)
+	}
+}
+
+// scriptedEngine pops exactly the candidates the test queued.
+type scriptedEngine struct {
+	prefetch.Null
+	queue []uint64
+}
+
+func (s *scriptedEngine) Pop(present func(uint64) bool) (uint64, bool) {
+	for len(s.queue) > 0 {
+		c := s.queue[0]
+		s.queue = s.queue[1:]
+		if !present(c) {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// TestHeldCandidateDroppedWhenCached drives the prioritizer holding
+// register through its subtlest path: a candidate parked because its
+// channel never went idle, then fetched by a demand while held, must be
+// discarded — not issued as a duplicate prefetch.
+func TestHeldCandidateDroppedWhenCached(t *testing.T) {
+	eng := &scriptedEngine{}
+	ms, err := NewMemSystem(DefaultMemConfig(), eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms.EnableInvariantChecks(1)
+	// Occupy a channel with a demand miss.
+	ms.Load(0, 0xA0000, isa.HintNone, isa.FixedRegion, 100)
+	ch, _, _ := ms.Dram.Map(ms.L2.BlockAddr(0xA0000))
+	// Find another block on the same channel.
+	blk := uint64(0)
+	for c := uint64(0xA0000 + 64); ; c += 64 {
+		if c2, _, _ := ms.Dram.Map(c); c2 == ch {
+			blk = c
+			break
+		}
+	}
+	eng.queue = []uint64{blk}
+	// Advance only to just before the channel goes idle: the candidate
+	// cannot be issued inside the window, so it is held.
+	free := ms.Dram.ChannelFreeAt(ch)
+	ms.Advance(free - 1)
+	if ms.Stats().PrioritizerHolds == 0 {
+		t.Fatal("candidate was not held by the prioritizer")
+	}
+	if ms.Stats().PrefetchesIssued != 0 {
+		t.Fatal("candidate issued despite a busy channel")
+	}
+	// A demand fetches the held block before the channel ever goes idle
+	// from the holder's point of view.
+	d := ms.Load(0, blk, isa.HintNone, isa.FixedRegion, free)
+	ms.Advance(d + 10_000)
+	ms.Drain()
+	if ms.Stats().PrefetchesIssued != 0 {
+		t.Error("held candidate issued after a demand already fetched its block")
+	}
+	if err := ms.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDegradedChannelSlowsButCompletes: a degraded channel stretches
+// latencies; every access still completes and the controller stays sane.
+func TestDegradedChannelSlowsButCompletes(t *testing.T) {
+	slow := faultySys(t, prefetch.NewNull(), faults.Plan{
+		Seed: 2, DegradeChannel: 1, DegradeCycles: 500,
+		StuckBank: 1, StuckCycles: 800,
+	})
+	fast := newSys(prefetch.NewNull())
+	now := uint64(100)
+	var dSlow, dFast uint64
+	for i := 0; i < 16; i++ {
+		a := uint64(0x300000 + i*4096)
+		dSlow = slow.Load(0, a, isa.HintNone, isa.FixedRegion, now)
+		dFast = fast.Load(0, a, isa.HintNone, isa.FixedRegion, now)
+		now += 10
+	}
+	slow.Drain()
+	fast.Drain()
+	if dSlow <= dFast {
+		t.Errorf("degraded run finished at %d, healthy at %d", dSlow, dFast)
+	}
+	c := slow.FaultCounts()
+	if c.Degraded == 0 || c.StuckBanks == 0 {
+		t.Errorf("no DRAM faults recorded: %+v", c)
+	}
+	if err := slow.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

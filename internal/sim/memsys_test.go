@@ -8,7 +8,11 @@ import (
 )
 
 func newSys(engine prefetch.Engine) *MemSystem {
-	return NewMemSystem(DefaultMemConfig(), engine)
+	ms, err := NewMemSystem(DefaultMemConfig(), engine)
+	if err != nil {
+		panic(err) // the default config is always valid
+	}
+	return ms
 }
 
 func TestL1HitFast(t *testing.T) {
@@ -99,7 +103,7 @@ func TestPerfectL2NeverBeaten(t *testing.T) {
 	// earlier than the perfect L2 would.
 	cfg := DefaultMemConfig()
 	cfg.L2.Perfect = true
-	perfect := NewMemSystem(cfg, prefetch.NewNull())
+	perfect, _ := NewMemSystem(cfg, prefetch.NewNull())
 	srp := newSys(prefetch.NewSRP())
 
 	addrs := []uint64{0x1000, 0x1040, 0x1080, 0x2000, 0x1000, 0x3000, 0x1040}
@@ -161,7 +165,7 @@ func TestPrioritizerHoldsWhenBusy(t *testing.T) {
 
 func TestSetBoundAndIndirectForwarded(t *testing.T) {
 	eng := &recordingEngine{}
-	ms := NewMemSystem(DefaultMemConfig(), eng)
+	ms, _ := NewMemSystem(DefaultMemConfig(), eng)
 	ms.SetBound(42)
 	ms.Indirect(0x100, 0x200, 3)
 	if eng.bound != 42 || eng.indirect != 1 {
@@ -191,7 +195,7 @@ func TestMonotonicClamp(t *testing.T) {
 func TestOpenPageFirstConfig(t *testing.T) {
 	cfg := DefaultMemConfig()
 	cfg.OpenPageFirst = true
-	ms := NewMemSystem(cfg, prefetch.NewSRP())
+	ms, _ := NewMemSystem(cfg, prefetch.NewSRP())
 	d := ms.Load(0, 0x50000, isa.HintNone, isa.FixedRegion, 100)
 	ms.Advance(d + 50000)
 	ms.Drain()

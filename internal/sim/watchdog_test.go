@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"grp/internal/dram"
+	"grp/internal/isa"
+	"grp/internal/prefetch"
+)
+
+func TestWatchdogStallDetection(t *testing.T) {
+	w := Watchdog{cfg: WatchdogConfig{StallCycles: 100}.withDefaults()}
+	w.NoteRetire(50)
+	if w.stalled(120) {
+		t.Error("fired inside the threshold window")
+	}
+	if !w.stalled(200) {
+		t.Error("did not fire 150 idle cycles past the last retirement")
+	}
+	w.NoteMem(190) // a drained memory event counts as progress too
+	if w.stalled(250) {
+		t.Error("fired despite recent memory progress")
+	}
+	w.NoteRetire(10) // stale, out-of-order note must not rewind progress
+	if w.lastRetire != 50 {
+		t.Errorf("lastRetire rewound to %d", w.lastRetire)
+	}
+}
+
+func TestWatchdogSpinCounter(t *testing.T) {
+	w := Watchdog{cfg: WatchdogConfig{SpinEvents: 3}.withDefaults()}
+	for i := 0; i < 3; i++ {
+		if w.noteSpin(7) {
+			t.Fatalf("fired after only %d same-cycle events", i+1)
+		}
+	}
+	if !w.noteSpin(7) {
+		t.Error("did not fire past the same-cycle threshold")
+	}
+	if w.noteSpin(8) {
+		t.Error("advancing to a new cycle must reset the spin counter")
+	}
+}
+
+func TestRecoverAbortRepanicsForeign(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RecoverAbort swallowed an unrelated panic")
+		}
+	}()
+	func() {
+		var err error
+		defer RecoverAbort(&err)
+		panic("unrelated")
+	}()
+}
+
+// endlessEngine always has another uncached candidate, modeling a buggy
+// engine that can wedge the pump when the DRAM model costs zero cycles.
+type endlessEngine struct {
+	prefetch.Null
+	next uint64
+}
+
+func (e *endlessEngine) Pop(func(uint64) bool) (uint64, bool) {
+	e.next += 64
+	return e.next, true
+}
+
+// TestWatchdogSpinFires wedges the pump for real: a zero-latency DRAM
+// (deliberately allowed by dram.Validate) plus an endless candidate
+// stream means the issue loop never advances time. The same-cycle spin
+// detector must abort with a diagnostic dump instead of hanging.
+func TestWatchdogSpinFires(t *testing.T) {
+	cfg := DefaultMemConfig()
+	cfg.DRAM = dram.Config{Channels: 1, BanksPerChannel: 1, RowBytes: 2048, BlockBytes: 64}
+	ms, err := NewMemSystem(cfg, &endlessEngine{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms.SetWatchdog(WatchdogConfig{SpinEvents: 10_000})
+	err = func() (err error) {
+		defer RecoverAbort(&err)
+		ms.Load(0, 0x1000, isa.HintNone, isa.FixedRegion, 100)
+		ms.Advance(1_000_000)
+		return nil
+	}()
+	var ll *LivelockError
+	if !errors.As(err, &ll) {
+		t.Fatalf("expected a LivelockError, got %v", err)
+	}
+	if !ll.Spin {
+		t.Errorf("expected a spin livelock, got stall: %v", ll)
+	}
+	if ll.Dump == "" {
+		t.Error("livelock abort carried no diagnostic dump")
+	}
+}
+
+func TestInvariantCheckerDetectsCorruption(t *testing.T) {
+	ms := newSys(prefetch.NewSRP())
+	ms.Load(0, 0x2000, isa.HintNone, isa.FixedRegion, 100)
+	ms.Drain()
+	if err := ms.CheckInvariants(); err != nil {
+		t.Fatalf("healthy system failed audit: %v", err)
+	}
+	ms.inflightPF++ // corrupt the pump slot accounting
+	if err := ms.CheckInvariants(); err == nil {
+		t.Error("slot-accounting corruption went undetected")
+	}
+	ms.inflightPF--
+
+	ms.stats.PrefetchLates = ms.stats.InflightMerges + 1 // break a stats identity
+	if err := ms.CheckInvariants(); err == nil {
+		t.Error("stats-identity corruption went undetected")
+	}
+}
+
+func TestMustHoldInvariantsAborts(t *testing.T) {
+	ms := newSys(prefetch.NewNull())
+	ms.inflightPF = 99
+	err := func() (err error) {
+		defer RecoverAbort(&err)
+		ms.mustHoldInvariants(123)
+		return nil
+	}()
+	var ie *InvariantError
+	if !errors.As(err, &ie) {
+		t.Fatalf("expected an InvariantError, got %v", err)
+	}
+	if ie.Cycle != 123 || ie.Dump == "" {
+		t.Errorf("diagnostic incomplete: cycle=%d dump=%q", ie.Cycle, ie.Dump)
+	}
+}

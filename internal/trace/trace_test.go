@@ -136,11 +136,17 @@ func TestRecordAndReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	msExec := sim.NewMemSystem(sim.DefaultMemConfig(), prefetch.NewGRP(prefetch.DefaultGRPConfig(), m))
+	msExec, err := sim.NewMemSystem(sim.DefaultMemConfig(), prefetch.NewGRP(prefetch.DefaultGRPConfig(), m))
+	if err != nil {
+		t.Fatal(err)
+	}
 	rec := NewRecorder(msExec, w)
 	cfg := cpu.Default()
 	cfg.MaxInstrs = built.MaxInstrs
-	core := cpu.New(cfg, m, rec)
+	core, err := cpu.New(cfg, m, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cres, err := core.Run(prog)
 	if err != nil {
 		t.Fatal(err)
@@ -162,7 +168,10 @@ func TestRecordAndReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	engReplay := prefetch.NewGRP(prefetch.DefaultGRPConfig(), m)
-	msReplay := sim.NewMemSystem(sim.DefaultMemConfig(), engReplay)
+	msReplay, err := sim.NewMemSystem(sim.DefaultMemConfig(), engReplay)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := Replay(r, msReplay, 1)
 	if err != nil {
 		t.Fatal(err)

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"testing"
 
+	"grp/internal/campaign"
 	"grp/internal/core"
 	"grp/internal/stats"
 	"grp/internal/workloads"
@@ -41,11 +42,14 @@ var (
 )
 
 // benchSuite simulates the full benchmark matrix once and shares it across
-// all table/figure benchmarks.
+// all table/figure benchmarks. It runs through the campaign engine (whose
+// reduced suite is byte-identical to serial core.RunSuite) so the shared
+// matrix fills at worker-pool speed.
 func benchSuite(b *testing.B) *core.Suite {
 	b.Helper()
 	suiteOnce.Do(func() {
-		suite, suiteErr = core.RunSuite(nil, nil, core.Options{Factor: benchFactor()})
+		suite, suiteErr = campaign.RunSuite(nil, nil,
+			core.Options{Factor: benchFactor()}, campaign.Config{})
 	})
 	if suiteErr != nil {
 		b.Fatal(suiteErr)

@@ -1,0 +1,111 @@
+// Campaign-engine baseline: how much wall-clock the parallel experiment
+// engine buys over the serial suite path, and proof it stays bought.
+//
+//	go test -bench='BenchmarkSuite(Serial|Parallel)' -benchtime=1x
+//	go test -run TestSuiteParallelSpeedup   (emits BENCH_campaign.json)
+package grp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"grp/internal/campaign"
+	"grp/internal/core"
+	"grp/internal/workloads"
+)
+
+// BenchmarkSuiteSerial is the pre-campaign reference: the full
+// bench × scheme matrix simulated one cell at a time.
+func BenchmarkSuiteSerial(b *testing.B) {
+	opt := core.Options{Factor: benchFactor()}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunSuite(nil, nil, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(workloads.Names())*len(core.AllSchemes())), "cells")
+}
+
+// BenchmarkSuiteParallel runs the same matrix through the campaign engine
+// at 1, 4, and NumCPU workers (caching off, so every cell simulates).
+func BenchmarkSuiteParallel(b *testing.B) {
+	jobsList := []int{1, 4, runtime.NumCPU()}
+	if jobsList[2] == jobsList[1] || jobsList[2] == jobsList[0] {
+		jobsList = jobsList[:2]
+	}
+	opt := core.Options{Factor: benchFactor()}
+	for _, jobs := range jobsList {
+		jobs := jobs
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := campaign.RunSuite(nil, nil, opt, campaign.Config{Jobs: jobs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchCampaignReport is the artifact CI archives as BENCH_campaign.json.
+type benchCampaignReport struct {
+	Cells      int     `json:"cells"`
+	Jobs       int     `json:"jobs"`
+	NumCPU     int     `json:"num_cpu"`
+	SerialMS   float64 `json:"serial_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// TestSuiteParallelSpeedup times the full suite serially and through the
+// engine at 4 workers, emits BENCH_campaign.json, and — on hardware with
+// the cores to show it — asserts the engine delivers at least a 2×
+// wall-clock win. On smaller machines the run still checks the engine
+// completes and emits the artifact; only the ratio assertion is skipped.
+func TestSuiteParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test skipped in -short mode")
+	}
+	opt := core.Options{Factor: workloads.Test}
+
+	start := time.Now()
+	if _, err := core.RunSuite(nil, nil, opt); err != nil {
+		t.Fatal(err)
+	}
+	serial := time.Since(start)
+
+	const jobs = 4
+	start = time.Now()
+	if _, err := campaign.RunSuite(nil, nil, opt, campaign.Config{Jobs: jobs}); err != nil {
+		t.Fatal(err)
+	}
+	parallel := time.Since(start)
+
+	rep := benchCampaignReport{
+		Cells:      len(workloads.Names()) * len(core.AllSchemes()),
+		Jobs:       jobs,
+		NumCPU:     runtime.NumCPU(),
+		SerialMS:   float64(serial.Microseconds()) / 1e3,
+		ParallelMS: float64(parallel.Microseconds()) / 1e3,
+		Speedup:    serial.Seconds() / parallel.Seconds(),
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_campaign.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("suite: serial %.0fms, parallel(%d) %.0fms, speedup %.2fx on %d CPUs",
+		rep.SerialMS, jobs, rep.ParallelMS, rep.Speedup, rep.NumCPU)
+
+	if runtime.NumCPU() < jobs {
+		t.Skipf("speedup assertion needs >= %d CPUs, have %d", jobs, runtime.NumCPU())
+	}
+	if rep.Speedup < 2 {
+		t.Errorf("suite speedup at %d workers is %.2fx, want >= 2x", jobs, rep.Speedup)
+	}
+}

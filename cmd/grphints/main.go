@@ -1,20 +1,26 @@
 // Command grphints shows the GRP compiler's analysis of a benchmark: the
 // hint assigned to each memory reference and the generated assembly with
-// hint annotations.
+// hint annotations. With -all it compiles every benchmark on a parallel
+// worker pool and prints the static hint census as one table.
 //
 // Usage:
 //
 //	grphints -bench mcf [-policy default] [-asm]
+//	grphints -all [-policy default] [-jobs N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
 
+	"grp/internal/campaign"
 	"grp/internal/compiler"
 	"grp/internal/isa"
 	"grp/internal/mem"
+	"grp/internal/stats"
 	"grp/internal/workloads"
 )
 
@@ -25,13 +31,11 @@ func main() {
 		bench  = flag.String("bench", "mcf", "benchmark name")
 		policy = flag.String("policy", "default", "compiler spatial policy")
 		asm    = flag.Bool("asm", false, "also print the generated assembly")
+		all    = flag.Bool("all", false, "print the static hint census for every benchmark")
+		jobs   = flag.Int("jobs", 0, "compile worker goroutines with -all (default GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	spec, err := workloads.ByName(*bench)
-	if err != nil {
-		log.Fatal(err)
-	}
 	var pol compiler.Policy
 	switch *policy {
 	case "default":
@@ -42,6 +46,16 @@ func main() {
 		pol = compiler.PolicyAggressive
 	default:
 		log.Fatalf("unknown policy %q", *policy)
+	}
+
+	if *all {
+		census(pol, *jobs)
+		return
+	}
+
+	spec, err := workloads.ByName(*bench)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	built := spec.Build(workloads.Test)
@@ -61,4 +75,43 @@ func main() {
 	if *asm {
 		fmt.Printf("\nassembly (%d instructions):\n%s", len(prog.Instrs), isa.Disassemble(prog))
 	}
+}
+
+// census compiles every benchmark (in parallel) and prints the static
+// hint population of each, one row per benchmark in presentation order.
+func census(pol compiler.Policy, jobs int) {
+	names := workloads.Names()
+	counts := make([]isa.HintCounts, len(names))
+	err := campaign.ParallelFor(len(names), jobsOrMax(jobs), func(i int) error {
+		spec, err := workloads.ByName(names[i])
+		if err != nil {
+			return err
+		}
+		built := spec.Build(workloads.Test)
+		prog, _, _, err := compiler.CompileWorkload(built.Prog, mem.New(), pol)
+		if err != nil {
+			return err
+		}
+		counts[i] = prog.CountHints()
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := &stats.Table{
+		Title:   fmt.Sprintf("static hint census (policy %s)", pol),
+		Headers: []string{"benchmark", "mem insts", "spatial", "pointer", "recursive", "indirect", "variable", "ratio(%)"},
+	}
+	for i, h := range counts {
+		t.Add(names[i], fmt.Sprint(h.MemInsts), fmt.Sprint(h.Spatial), fmt.Sprint(h.Pointer),
+			fmt.Sprint(h.Recursive), fmt.Sprint(h.Indirect), fmt.Sprint(h.Variable), stats.Fmt(h.HintRatio(), 1))
+	}
+	fmt.Fprint(os.Stdout, t)
+}
+
+func jobsOrMax(jobs int) int {
+	if jobs > 0 {
+		return jobs
+	}
+	return runtime.GOMAXPROCS(0)
 }

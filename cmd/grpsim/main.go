@@ -24,6 +24,7 @@ import (
 	"os"
 	"strings"
 
+	"grp/internal/campaign"
 	"grp/internal/compiler"
 	"grp/internal/core"
 	"grp/internal/faults"
@@ -46,6 +47,9 @@ func main() {
 		perfetto   = flag.String("perfetto", "", "write a Chrome trace-event timeline JSON to this file")
 		faultSpec  = flag.String("faults", "", "fault plan: preset[,key=value,...] (presets "+strings.Join(faults.PresetNames(), ", ")+"); empty = no faults")
 		checkInv   = flag.Bool("check-invariants", false, "audit memory-hierarchy invariants during the run")
+		jobs       = flag.Int("jobs", 0, "simulation worker goroutines (default GOMAXPROCS; matters with -compare)")
+		cacheOn    = flag.Bool("cache", false, "reuse unchanged simulations from the result cache")
+		cacheDir   = flag.String("cache-dir", campaign.DefaultCacheDir, "result cache directory")
 	)
 	flag.Parse()
 
@@ -88,27 +92,35 @@ func main() {
 	metricsFile := openOut(*metricsOut)
 	perfettoFile := openOut(*perfetto)
 
-	r, err := core.Run(spec, sc, opt)
-	if err != nil {
-		log.Fatal(err)
-	}
-	core.FprintResult(os.Stdout, r)
-	if opt.Faults != nil {
-		fmt.Printf("faults injected: %v, cancelled=%d (arch digest %#016x)\n",
-			r.FaultCounts, r.Mem.PrefetchesCancelled, r.ArchDigest)
-	}
-
+	// Both the main run and the -compare baseline go through the campaign
+	// engine: with -cache an unchanged cell (the baseline in particular)
+	// is a cache hit instead of a re-simulation, and with -compare the
+	// two cells run in parallel.
+	eng := campaign.New(campaign.Config{Jobs: *jobs, Cache: *cacheOn, CacheDir: *cacheDir})
+	jobsList := []campaign.Job{{Bench: spec.Name, Scheme: sc, Opt: opt}}
 	if *compare && sc != core.NoPrefetch {
 		// The baseline run must not append to the main run's timeline or
 		// pay for metrics nobody reads.
 		baseOpt := opt
 		baseOpt.Timeline = nil
 		baseOpt.Metrics = false
-		base, err := core.Run(spec, core.NoPrefetch, baseOpt)
-		if err != nil {
-			log.Fatal(err)
-		}
-		core.FprintCompare(os.Stdout, r, base)
+		jobsList = append(jobsList, campaign.Job{Bench: spec.Name, Scheme: core.NoPrefetch, Opt: baseOpt})
+	}
+	results, err := eng.Run(jobsList)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := results[0]
+	core.FprintResult(os.Stdout, r)
+	if opt.Faults != nil {
+		fmt.Printf("faults injected: %v, cancelled=%d (arch digest %#016x)\n",
+			r.FaultCounts, r.Mem.PrefetchesCancelled, r.ArchDigest)
+	}
+	if len(results) > 1 {
+		core.FprintCompare(os.Stdout, r, results[1])
+	}
+	if cs := eng.CacheStats(); *cacheOn && cs.Hits > 0 {
+		fmt.Printf("cache: %d of %d runs served from %s\n", cs.Hits, len(jobsList), *cacheDir)
 	}
 
 	if metricsFile != nil {

@@ -1,0 +1,193 @@
+// Command grpsweep runs a campaign: a (workload × scheme × config-overlay)
+// sweep grid executed on a parallel worker pool with a content-addressed
+// result cache, producing a deterministic per-cell artifact.
+//
+// Usage:
+//
+//	grpsweep -spec 'schemes=base,srp,grp/var × kernels=all × l2.size=512K,1M,2M' \
+//	    [-factor small] [-policy default] [-jobs N] [-no-cache] \
+//	    [-cache-dir .grpcache] [-format ascii|json|csv] [-out file]
+//
+// Cells complete in any order but reduce in canonical grid order, so the
+// artifact is byte-identical across -jobs settings and across warm/cold
+// cache runs; re-running an unchanged campaign is all cache hits and
+// simulates nothing. Progress and cache statistics go to stderr, the
+// artifact to stdout or -out.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"grp/internal/campaign"
+	"grp/internal/compiler"
+	"grp/internal/core"
+	"grp/internal/stats"
+	"grp/internal/workloads"
+)
+
+// cellOut is one row of the JSON artifact.
+type cellOut struct {
+	Bench      string  `json:"bench"`
+	Scheme     string  `json:"scheme"`
+	Overlay    string  `json:"overlay"`
+	Instrs     uint64  `json:"instrs"`
+	Cycles     uint64  `json:"cycles"`
+	IPC        float64 `json:"ipc"`
+	L2MissPct  float64 `json:"l2_miss_pct"`
+	Traffic    uint64  `json:"traffic_bytes"`
+	ArchDigest string  `json:"arch_digest"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("grpsweep: ")
+	var (
+		spec     = flag.String("spec", "", "sweep spec, e.g. 'schemes=base,grp/var × kernels=mcf,art × l2.size=512K,1M' (required)")
+		factor   = flag.String("factor", "small", "workload scale: test, small, full")
+		policy   = flag.String("policy", "default", "compiler spatial policy: default, conservative, aggressive")
+		jobs     = flag.Int("jobs", 0, "worker goroutines (default GOMAXPROCS)")
+		cacheOn  = flag.Bool("cache", true, "consult and populate the content-addressed result cache")
+		noCache  = flag.Bool("no-cache", false, "disable the result cache (overrides -cache)")
+		cacheDir = flag.String("cache-dir", campaign.DefaultCacheDir, "result cache directory")
+		format   = flag.String("format", "ascii", "artifact format: ascii, json, csv")
+		out      = flag.String("out", "", "write the artifact to this file (default stdout)")
+		quiet    = flag.Bool("q", false, "suppress per-cell progress lines")
+	)
+	flag.Parse()
+	if *spec == "" {
+		log.Fatal("-spec is required (see -h for the grammar)")
+	}
+	if *format != "ascii" && *format != "json" && *format != "csv" {
+		log.Fatalf("unknown format %q (want ascii, json, or csv)", *format)
+	}
+
+	base := core.Options{Factor: parseFactor(*factor), Policy: parsePolicy(*policy)}
+	grid, err := campaign.ParseSpec(*spec, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Open the artifact before simulating so a bad path fails fast.
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+
+	cfg := campaign.Config{
+		Jobs:     *jobs,
+		Cache:    *cacheOn && !*noCache,
+		CacheDir: *cacheDir,
+	}
+	if !*quiet {
+		cfg.Progress = func(done, total, hits int) {
+			fmt.Fprintf(os.Stderr, "grpsweep: cell %d/%d done (%d cached)\n", done, total, hits)
+		}
+	}
+	eng := campaign.New(cfg)
+	log.Printf("campaign: %d cells (%d benches × %d schemes × %d configs), %d jobs, cache %s",
+		len(grid.Cells), len(grid.Benches), len(grid.Schemes),
+		len(grid.Cells)/(len(grid.Benches)*len(grid.Schemes)), eng.Jobs(), cacheState(cfg))
+
+	start := time.Now()
+	results, err := eng.Run(grid.Jobs())
+	if err != nil {
+		log.Fatal(err)
+	}
+	wall := time.Since(start)
+
+	cells := make([]cellOut, len(results))
+	for i, r := range results {
+		cells[i] = cellOut{
+			Bench:      grid.Cells[i].Bench,
+			Scheme:     grid.Cells[i].Scheme.String(),
+			Overlay:    grid.Cells[i].OverlayString(),
+			Instrs:     r.CPU.Instrs,
+			Cycles:     r.CPU.Cycles,
+			IPC:        r.IPC(),
+			L2MissPct:  r.L2.MissRate(),
+			Traffic:    r.TrafficBytes,
+			ArchDigest: fmt.Sprintf("%016x", r.ArchDigest),
+		}
+	}
+
+	switch *format {
+	case "json":
+		env := struct {
+			Spec   string    `json:"spec"`
+			Factor string    `json:"factor"`
+			Policy string    `json:"policy"`
+			Cells  []cellOut `json:"cells"`
+		}{*spec, base.Factor.String(), base.Policy.String(), cells}
+		enc := json.NewEncoder(dst)
+		enc.SetIndent("", "  ")
+		fatal(enc.Encode(env))
+	default:
+		t := &stats.Table{
+			Title:   fmt.Sprintf("campaign: %s", *spec),
+			Headers: []string{"benchmark", "scheme", "overlay", "instrs", "cycles", "IPC", "L2miss%", "traffic", "archdigest"},
+		}
+		for _, c := range cells {
+			t.Add(c.Bench, c.Scheme, c.Overlay, fmt.Sprint(c.Instrs), fmt.Sprint(c.Cycles),
+				stats.Fmt(c.IPC, 3), stats.Fmt(c.L2MissPct, 1), fmt.Sprint(c.Traffic), c.ArchDigest)
+		}
+		if *format == "csv" {
+			fatal(t.WriteCSV(dst))
+		} else {
+			_, err := fmt.Fprintln(dst, t)
+			fatal(err)
+		}
+	}
+
+	cs := eng.CacheStats()
+	log.Printf("done in %v: %d cells, %d cache hits, simulated %d",
+		wall.Round(time.Millisecond), len(cells), cs.Hits, uint64(len(cells))-cs.Hits)
+}
+
+func cacheState(cfg campaign.Config) string {
+	if !cfg.Cache {
+		return "off"
+	}
+	return "on (" + cfg.CacheDir + ")"
+}
+
+func fatal(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseFactor(s string) workloads.Factor {
+	switch s {
+	case "test":
+		return workloads.Test
+	case "small":
+		return workloads.Small
+	case "full":
+		return workloads.Full
+	}
+	log.Fatalf("unknown factor %q (want test, small, full)", s)
+	return 0
+}
+
+func parsePolicy(s string) compiler.Policy {
+	switch s {
+	case "default":
+		return compiler.PolicyDefault
+	case "conservative":
+		return compiler.PolicyConservative
+	case "aggressive":
+		return compiler.PolicyAggressive
+	}
+	log.Fatalf("unknown policy %q", s)
+	return 0
+}

@@ -1,10 +1,13 @@
 // Command grptables regenerates every table and figure of the paper's
-// evaluation section from fresh simulations and prints them in order,
-// either as fixed-width ASCII or as a JSON array of exhibits.
+// evaluation section and prints them in order, either as fixed-width
+// ASCII or as a JSON array of exhibits. Simulations run through the
+// campaign engine: cells fan out over -jobs workers, and with -cache a
+// re-run only re-simulates what changed.
 //
 // Usage:
 //
-//	grptables [-factor small|full] [-bench a,b,c] [-skip-sensitivity] [-format ascii|json]
+//	grptables [-factor small|full] [-bench a,b,c] [-jobs N] [-cache]
+//	          [-skip-sensitivity] [-format ascii|json]
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"grp/internal/campaign"
 	"grp/internal/core"
 	"grp/internal/stats"
 	"grp/internal/workloads"
@@ -37,6 +41,9 @@ func main() {
 		skipSens = flag.Bool("skip-sensitivity", false, "skip the Section 5.4 policy sweep (3x extra simulation)")
 		charts   = flag.Bool("charts", false, "also render Figures 1 and 12 as ASCII bar charts (ascii format only)")
 		format   = flag.String("format", "ascii", "output format: ascii, json")
+		jobs     = flag.Int("jobs", 0, "simulation worker goroutines (default GOMAXPROCS)")
+		cacheOn  = flag.Bool("cache", false, "reuse unchanged simulations from the result cache")
+		cacheDir = flag.String("cache-dir", campaign.DefaultCacheDir, "result cache directory")
 	)
 	flag.Parse()
 	if *format != "ascii" && *format != "json" {
@@ -60,13 +67,21 @@ func main() {
 	}
 	opt := core.Options{Factor: f}
 
+	eng := campaign.New(campaign.Config{Jobs: *jobs, Cache: *cacheOn, CacheDir: *cacheDir})
+
 	start := time.Now()
-	log.Printf("simulating %s-scale suite across %d schemes...", f, len(core.AllSchemes()))
-	suite, err := core.RunSuite(names, nil, opt)
+	log.Printf("simulating %s-scale suite across %d schemes (%d jobs)...",
+		f, len(core.AllSchemes()), eng.Jobs())
+	suite, err := eng.RunSuite(names, nil, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("suite done in %v", time.Since(start).Round(time.Millisecond))
+	if cs := eng.CacheStats(); *cacheOn {
+		log.Printf("suite done in %v (%d cache hits, simulated %d)",
+			time.Since(start).Round(time.Millisecond), cs.Hits, cs.Misses)
+	} else {
+		log.Printf("suite done in %v", time.Since(start).Round(time.Millisecond))
+	}
 
 	var exhibits []exhibit
 	add := func(key string, t *stats.Table) {
@@ -115,7 +130,7 @@ func main() {
 
 	if !*skipSens {
 		log.Printf("running Section 5.4 policy sweep...")
-		_, ts, err := core.RunSensitivity(names, opt)
+		_, ts, err := core.RunSensitivityWith(names, opt, eng.Runner())
 		fatal(err)
 		add("sensitivity", ts)
 	}

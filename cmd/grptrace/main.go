@@ -3,7 +3,12 @@
 // prefetching scheme trace-driven.
 //
 //	grptrace record -bench mcf -o mcf.trc [-factor small]
+//	grptrace record -bench mcf,art,twolf -o 'traces/%s.trc' [-jobs N]
 //	grptrace replay -i mcf.trc -scheme srp [-gap 1]
+//
+// Recording accepts a comma-separated benchmark list; the traces are then
+// recorded on a parallel worker pool and -o must contain %s, replaced by
+// each benchmark's name.
 //
 // Replaying a trace reproduces the prefetcher-visible reference stream at
 // a fraction of execution-driven cost; absolute cycle counts are not
@@ -15,7 +20,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"strings"
 
+	"grp/internal/campaign"
 	"grp/internal/compiler"
 	"grp/internal/core"
 	"grp/internal/cpu"
@@ -44,56 +52,89 @@ func main() {
 
 func record(args []string) {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
-	bench := fs.String("bench", "wupwise", "benchmark to trace")
-	out := fs.String("o", "", "output trace file (required)")
+	bench := fs.String("bench", "wupwise", "benchmark to trace, or a comma-separated list")
+	out := fs.String("o", "", "output trace file (required; with a bench list it must contain %s)")
 	factor := fs.String("factor", "test", "workload scale: test, small, full")
+	jobs := fs.Int("jobs", 0, "recording worker goroutines with a bench list (default GOMAXPROCS)")
 	_ = fs.Parse(args)
 	if *out == "" {
 		log.Fatal("record: -o is required")
 	}
-	spec, err := workloads.ByName(*bench)
+	benches := strings.Split(*bench, ",")
+	f := parseFactor(*factor)
+	if len(benches) > 1 {
+		if !strings.Contains(*out, "%s") {
+			log.Fatalf("record: -o must contain a %q placeholder when tracing multiple benchmarks", "%s")
+		}
+		specs := make([]*workloads.Spec, len(benches))
+		for i, b := range benches {
+			spec, err := workloads.ByName(b)
+			if err != nil {
+				log.Fatal(err)
+			}
+			specs[i] = spec
+		}
+		n := *jobs
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		err := campaign.ParallelFor(len(specs), n, func(i int) error {
+			return recordOne(specs[i], f, fmt.Sprintf(*out, specs[i].Name))
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	spec, err := workloads.ByName(benches[0])
 	if err != nil {
 		log.Fatal(err)
 	}
-	f := parseFactor(*factor)
+	if err := recordOne(spec, f, *out); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// recordOne traces one benchmark's reference stream into path.
+func recordOne(spec *workloads.Spec, f workloads.Factor, path string) error {
 	built := spec.Build(f)
 	m := mem.New()
 	prog, lay, _, err := compiler.CompileWorkload(built.Prog, m, compiler.PolicyDefault)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	built.Init(m, lay)
 
-	file, err := os.Create(*out)
+	file, err := os.Create(path)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer file.Close()
 	w, err := trace.NewWriter(file)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	ms, err := sim.NewMemSystem(sim.DefaultMemConfig(), prefetch.NewNull())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	cfg := cpu.Default()
 	cfg.MaxInstrs = built.MaxInstrs
-	core, err := cpu.New(cfg, m, trace.NewRecorder(ms, w))
+	c, err := cpu.New(cfg, m, trace.NewRecorder(ms, w))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	res, err := core.Run(prog)
+	res, err := c.Run(prog)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ms.Drain()
 	if err := w.Flush(); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("recorded %d events from %d instructions to %s\n", w.Count(), res.Instrs, *out)
+	fmt.Printf("recorded %d events from %d instructions to %s\n", w.Count(), res.Instrs, path)
+	return nil
 }
 
 func replay(args []string) {

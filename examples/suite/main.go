@@ -8,8 +8,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 
+	"grp/internal/campaign"
 	"grp/internal/core"
 	"grp/internal/workloads"
 )
@@ -20,10 +22,14 @@ func main() {
 	if len(os.Args) > 1 {
 		benches = strings.Split(os.Args[1], ",")
 	}
-	fmt.Printf("running %v at the small scale (this simulates %d configurations)...\n\n",
-		benches, len(benches)*len(core.AllSchemes()))
+	fmt.Printf("running %v at the small scale (%d configurations, %d workers)...\n\n",
+		benches, len(benches)*len(core.AllSchemes()), runtime.GOMAXPROCS(0))
 
-	suite, err := core.RunSuite(benches, nil, core.Options{Factor: workloads.Small})
+	// The campaign engine fans the (bench × scheme) cells out over a
+	// worker pool; the reduced suite is byte-identical to a serial
+	// core.RunSuite. (Caching is off so the example leaves no state.)
+	suite, err := campaign.RunSuite(benches, nil,
+		core.Options{Factor: workloads.Small}, campaign.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}

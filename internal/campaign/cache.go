@@ -1,0 +1,177 @@
+package campaign
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"grp/internal/core"
+)
+
+// DefaultCacheDir is where campaign results persist between invocations.
+const DefaultCacheDir = ".grpcache"
+
+// defaultMemEntries bounds the in-memory LRU in front of the disk store.
+const defaultMemEntries = 512
+
+// CacheStats counts cache traffic for one engine's lifetime.
+type CacheStats struct {
+	// Hits is every cell served from the cache (memory or disk).
+	Hits uint64
+	// MemHits is the subset of Hits served without touching disk.
+	MemHits uint64
+	// Misses is every cell that had to simulate.
+	Misses uint64
+	// Stores is cells persisted after simulating.
+	Stores uint64
+}
+
+// cellFile is the on-disk envelope of one cached cell. The full key is
+// stored so a digest collision or a stale file from an older layout is
+// detected and treated as a miss rather than silently returned.
+type cellFile struct {
+	Schema int          `json:"schema"`
+	Key    string       `json:"key"`
+	Bench  string       `json:"bench"`
+	Scheme string       `json:"scheme"`
+	Result *core.Result `json:"result"`
+}
+
+// Store is the content-addressed result cache: an in-memory LRU in front
+// of one JSON file per cell under dir. All methods are safe for
+// concurrent use by the campaign workers.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	lru   *list.List // front = most recently used; values are *storeEntry
+	byKey map[string]*list.Element
+	cap   int
+	stats CacheStats
+}
+
+type storeEntry struct {
+	digest string
+	res    *core.Result
+}
+
+// NewStore opens (lazily creating) a cache rooted at dir. memEntries
+// bounds the in-memory layer; <= 0 uses the default.
+func NewStore(dir string, memEntries int) *Store {
+	if dir == "" {
+		dir = DefaultCacheDir
+	}
+	if memEntries <= 0 {
+		memEntries = defaultMemEntries
+	}
+	return &Store{dir: dir, lru: list.New(), byKey: map[string]*list.Element{}, cap: memEntries}
+}
+
+// Dir returns the cache's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the cache counters.
+func (s *Store) Stats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Store) path(k CellKey) string {
+	return filepath.Join(s.dir, k.Digest+".json")
+}
+
+// Get returns the cached result for the key, consulting memory first and
+// falling back to disk. A missing, corrupt, or mismatched file is a miss.
+func (s *Store) Get(k CellKey) (*core.Result, bool) {
+	s.mu.Lock()
+	if el, ok := s.byKey[k.Digest]; ok {
+		s.lru.MoveToFront(el)
+		s.stats.Hits++
+		s.stats.MemHits++
+		r := el.Value.(*storeEntry).res
+		s.mu.Unlock()
+		return r, true
+	}
+	s.mu.Unlock()
+
+	data, err := os.ReadFile(s.path(k))
+	if err != nil {
+		s.miss()
+		return nil, false
+	}
+	var cf cellFile
+	if err := json.Unmarshal(data, &cf); err != nil ||
+		cf.Schema != cacheSchemaVersion || cf.Key != k.Digest || cf.Result == nil {
+		s.miss()
+		return nil, false
+	}
+	s.mu.Lock()
+	s.insertLocked(k.Digest, cf.Result)
+	s.stats.Hits++
+	s.mu.Unlock()
+	return cf.Result, true
+}
+
+func (s *Store) miss() {
+	s.mu.Lock()
+	s.stats.Misses++
+	s.mu.Unlock()
+}
+
+// Put persists a freshly simulated cell to disk and the memory layer. The
+// file is written to a temp name and renamed so concurrent writers of the
+// same key (two campaigns sharing a cache directory) never interleave.
+func (s *Store) Put(k CellKey, r *core.Result) error {
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return fmt.Errorf("campaign: creating cache dir: %w", err)
+	}
+	data, err := json.Marshal(cellFile{
+		Schema: cacheSchemaVersion, Key: k.Digest,
+		Bench: k.Bench, Scheme: k.Scheme.String(), Result: r,
+	})
+	if err != nil {
+		return fmt.Errorf("campaign: encoding cell %s/%s: %w", k.Bench, k.Scheme, err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "cell-*.tmp")
+	if err != nil {
+		return fmt.Errorf("campaign: writing cell: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: writing cell: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: writing cell: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(k)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: writing cell: %w", err)
+	}
+	s.mu.Lock()
+	s.insertLocked(k.Digest, r)
+	s.stats.Stores++
+	s.mu.Unlock()
+	return nil
+}
+
+// insertLocked adds (or refreshes) a memory-layer entry, evicting the
+// least recently used entry past capacity. Callers hold s.mu.
+func (s *Store) insertLocked(digest string, r *core.Result) {
+	if el, ok := s.byKey[digest]; ok {
+		el.Value.(*storeEntry).res = r
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.byKey[digest] = s.lru.PushFront(&storeEntry{digest: digest, res: r})
+	for s.lru.Len() > s.cap {
+		back := s.lru.Back()
+		s.lru.Remove(back)
+		delete(s.byKey, back.Value.(*storeEntry).digest)
+	}
+}

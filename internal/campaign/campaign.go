@@ -1,0 +1,217 @@
+// Package campaign is the parallel experiment engine: it fans
+// (workload × scheme × config-overlay) cells out over a bounded pool of
+// goroutines with a content-addressed result cache in front, and reduces
+// completed cells in canonical order so parallel output is byte-identical
+// to the serial path.
+//
+// Each cell is keyed by a SHA-256 digest of the canonicalized effective
+// core.Options plus a hash of the compiled workload program (see key.go),
+// so re-running a campaign after editing one workload, the compiler, or a
+// single scheme (bump its schemeVersions entry) only re-simulates the
+// dirty cells. Results persist as JSON under .grpcache/ with an in-memory
+// LRU in front.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"grp/internal/core"
+	"grp/internal/workloads"
+)
+
+// Config configures a campaign engine.
+type Config struct {
+	// Jobs is the worker-pool width; <= 0 uses GOMAXPROCS.
+	Jobs int
+	// Cache enables the content-addressed result cache.
+	Cache bool
+	// CacheDir overrides the cache root (default .grpcache).
+	CacheDir string
+	// MemEntries bounds the in-memory LRU (default 512 cells).
+	MemEntries int
+	// Progress, when non-nil, is called after every completed cell with
+	// the completion count, the grid size, and how many of the completed
+	// cells were cache hits. Calls are serialized.
+	Progress func(done, total, hits int)
+}
+
+// Engine runs campaigns. One engine may run several grids; the cache and
+// its statistics persist across runs, which is what makes a -compare
+// baseline a cache hit when the main run already warmed it.
+type Engine struct {
+	cfg   Config
+	store *Store // nil when caching is off
+	memo  *hashMemo
+}
+
+// New builds an engine from the configuration.
+func New(cfg Config) *Engine {
+	e := &Engine{cfg: cfg, memo: newHashMemo()}
+	if cfg.Cache {
+		e.store = NewStore(cfg.CacheDir, cfg.MemEntries)
+	}
+	return e
+}
+
+// Jobs returns the effective worker-pool width.
+func (e *Engine) Jobs() int {
+	if e.cfg.Jobs > 0 {
+		return e.cfg.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// CacheStats reports cache traffic so far; zero when caching is off.
+func (e *Engine) CacheStats() CacheStats {
+	if e.store == nil {
+		return CacheStats{}
+	}
+	return e.store.Stats()
+}
+
+// Job is one fully resolved simulation: a bench, a scheme, and the exact
+// options to run it under (grid cells carry per-cell overlays).
+type Job struct {
+	Bench  string
+	Scheme core.Scheme
+	Opt    core.Options
+}
+
+// Run executes the jobs on the worker pool and returns results
+// positionally: results[i] belongs to jobs[i], whatever order the workers
+// finished in. The first error cancels the remaining jobs.
+//
+// Cells with a Timeline attached bypass the cache: a timeline is a side
+// effect of simulating, and a cache hit would leave it empty.
+func (e *Engine) Run(jobs []Job) ([]*core.Result, error) {
+	results := make([]*core.Result, len(jobs))
+	var done, hits int
+	var progressMu sync.Mutex
+	report := func(hit bool) {
+		if e.cfg.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		done++
+		if hit {
+			hits++
+		}
+		e.cfg.Progress(done, len(jobs), hits)
+		progressMu.Unlock()
+	}
+
+	err := ParallelFor(len(jobs), e.Jobs(), func(i int) error {
+		r, hit, err := e.runOne(jobs[i])
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		report(hit)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// runOne executes one job through the cache.
+func (e *Engine) runOne(j Job) (*core.Result, bool, error) {
+	useCache := e.store != nil && j.Opt.Timeline == nil
+	var key CellKey
+	if useCache {
+		ph, err := e.memo.get(j.Bench, j.Opt.Factor, j.Opt.Policy, j.Scheme == core.SoftwarePF)
+		if err != nil {
+			return nil, false, err
+		}
+		key = cellKey(j.Bench, j.Scheme, j.Opt, ph)
+		if r, ok := e.store.Get(key); ok {
+			return r, true, nil
+		}
+	}
+	spec, err := workloads.ByName(j.Bench)
+	if err != nil {
+		return nil, false, err
+	}
+	r, err := core.Run(spec, j.Scheme, j.Opt)
+	if err != nil {
+		return nil, false, fmt.Errorf("campaign: cell %s/%s: %w", j.Bench, j.Scheme, err)
+	}
+	if useCache {
+		if err := e.store.Put(key, r); err != nil {
+			return nil, false, err
+		}
+	}
+	return r, false, nil
+}
+
+// Runner adapts the engine to core.CellRunner, so core.RunSuiteWith and
+// RunSensitivityWith get parallelism and caching for free.
+func (e *Engine) Runner() core.CellRunner {
+	return func(cells []core.Cell, opt core.Options) ([]*core.Result, error) {
+		jobs := make([]Job, len(cells))
+		for i, c := range cells {
+			jobs[i] = Job{Bench: c.Bench, Scheme: c.Scheme, Opt: opt}
+		}
+		return e.Run(jobs)
+	}
+}
+
+// RunSuite is the campaign-engine equivalent of core.RunSuite: the same
+// grid, reduced by the same canonical-order reducer, executed in parallel
+// with caching.
+func (e *Engine) RunSuite(benches []string, schemes []core.Scheme, opt core.Options) (*core.Suite, error) {
+	return core.RunSuiteWith(benches, schemes, opt, e.Runner())
+}
+
+// RunSuite runs a suite through a one-shot engine with the given config.
+func RunSuite(benches []string, schemes []core.Scheme, opt core.Options, cfg Config) (*core.Suite, error) {
+	return New(cfg).RunSuite(benches, schemes, opt)
+}
+
+// ParallelFor runs fn(i) for i in [0, n) on up to jobs goroutines. The
+// first error stops new work (in-flight calls finish) and is returned.
+// With jobs <= 1 it degenerates to a plain loop, so a single-job campaign
+// is exactly the serial path.
+func ParallelFor(n, jobs int, fn func(i int) error) error {
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if jobs > n {
+		jobs = n
+	}
+	var (
+		next     int64 = -1
+		stop     atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n || stop.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

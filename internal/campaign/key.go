@@ -1,0 +1,243 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"grp/internal/compiler"
+	"grp/internal/core"
+	"grp/internal/cpu"
+	"grp/internal/faults"
+	"grp/internal/mem"
+	"grp/internal/sim"
+	"grp/internal/workloads"
+)
+
+// cacheSchemaVersion invalidates every cached cell at once; bump it when
+// the on-disk format, the key canonicalization, or simulator-wide timing
+// semantics change.
+const cacheSchemaVersion = 1
+
+// schemeVersions fingerprints each prefetch-engine implementation. The
+// workload side of a cell is content-addressed through the compiled
+// program hash, but Go code is not visible to the key, so engine edits
+// are declared here: bump a scheme's version when its engine changes and
+// only that scheme's cells go dirty on the next campaign.
+var schemeVersions = map[core.Scheme]int{
+	core.NoPrefetch:  1,
+	core.PerfectL1:   1,
+	core.PerfectL2:   1,
+	core.StridePF:    1,
+	core.SRP:         1,
+	core.GRPFix:      1,
+	core.GRPVar:      1,
+	core.PointerOnly: 1,
+	core.SoftwarePF:  1,
+}
+
+// CellKey is the content address of one simulation cell: the SHA-256 of
+// the canonicalized effective configuration plus the compiled workload
+// program hash.
+type CellKey struct {
+	Bench  string
+	Scheme core.Scheme
+	Digest string // 64 hex characters
+}
+
+// canonicalize writes the cell's effective configuration as sorted
+// "key=value" lines. Every default is resolved before serialization
+// (opt.Mem == nil hashes identically to an explicit DefaultMemConfig), so
+// the key depends on what the simulator will actually do, not on how the
+// caller spelled it.
+func canonicalize(bench string, sc core.Scheme, opt core.Options, progHash uint64) string {
+	kv := map[string]string{}
+	set := func(k string, v interface{}) { kv[k] = fmt.Sprint(v) }
+
+	set("schema", cacheSchemaVersion)
+	set("bench", bench)
+	set("scheme", sc.String())
+	set("scheme.version", schemeVersions[sc])
+	set("prog.hash", fmt.Sprintf("%016x", progHash))
+
+	set("factor", opt.Factor.String())
+	set("policy", opt.Policy.String())
+	set("max_instrs", opt.MaxInstrs)
+	set("disable_prioritizer", opt.DisablePrioritizer)
+	set("prefetch_insert_mru", opt.PrefetchInsertMRU)
+	set("srp_fifo", opt.SRPFIFO)
+	set("srp_region_blocks", opt.SRPRegionBlocks)
+	set("recursion_depth", opt.RecursionDepth)
+	set("open_page_first", opt.OpenPageFirst)
+	set("metrics", opt.Metrics)
+	set("sample_interval", opt.SampleInterval)
+	set("check_invariants", opt.CheckInvariants)
+	set("invariant_every", opt.InvariantEvery)
+
+	memCfg := sim.DefaultMemConfig()
+	if opt.Mem != nil {
+		memCfg = *opt.Mem
+	}
+	set("l1.size", memCfg.L1.SizeBytes)
+	set("l1.assoc", memCfg.L1.Assoc)
+	set("l1.block", memCfg.L1.BlockBytes)
+	set("l1.hit", memCfg.L1.HitLatency)
+	set("l1.mshrs", memCfg.L1.MSHRs)
+	set("l1.perfect", memCfg.L1.Perfect)
+	set("l1.mru", memCfg.L1.PrefetchInsertMRU)
+	set("l2.size", memCfg.L2.SizeBytes)
+	set("l2.assoc", memCfg.L2.Assoc)
+	set("l2.block", memCfg.L2.BlockBytes)
+	set("l2.hit", memCfg.L2.HitLatency)
+	set("l2.mshrs", memCfg.L2.MSHRs)
+	set("l2.perfect", memCfg.L2.Perfect)
+	set("l2.mru", memCfg.L2.PrefetchInsertMRU)
+	set("dram.channels", memCfg.DRAM.Channels)
+	set("dram.banks", memCfg.DRAM.BanksPerChannel)
+	set("dram.row", memCfg.DRAM.RowBytes)
+	set("dram.block", memCfg.DRAM.BlockBytes)
+	set("dram.rowhit", memCfg.DRAM.RowHitCycles)
+	set("dram.rowmiss", memCfg.DRAM.RowMissCycles)
+	set("dram.xfer", memCfg.DRAM.TransferCycles)
+	set("dram.busyhit", memCfg.DRAM.BankBusyHit)
+	set("dram.busymiss", memCfg.DRAM.BankBusyMiss)
+	set("mem.inflight_pf", memCfg.MaxInflightPrefetches)
+	set("mem.open_page_first", memCfg.OpenPageFirst)
+
+	cpuCfg := cpu.Default()
+	if opt.CPU != nil {
+		cpuCfg = *opt.CPU
+	}
+	set("cpu.fetch", cpuCfg.FetchWidth)
+	set("cpu.issue", cpuCfg.IssueWidth)
+	set("cpu.commit", cpuCfg.CommitWidth)
+	set("cpu.rob", cpuCfg.ROBSize)
+	set("cpu.memports", cpuCfg.MemPorts)
+	set("cpu.branch_penalty", cpuCfg.BranchPenalty)
+	set("cpu.predictor", cpuCfg.PredictorEntries)
+	set("cpu.max_instrs", cpuCfg.MaxInstrs)
+
+	plan := faults.Plan{}
+	if opt.Faults != nil {
+		plan = *opt.Faults
+	}
+	set("faults.seed", plan.Seed)
+	set("faults.drop", plan.DropIssue)
+	set("faults.truncate", plan.TruncateRegion)
+	set("faults.corrupt", plan.CorruptHint)
+	set("faults.cancel", plan.CancelInflight)
+	set("faults.degrade", plan.DegradeChannel)
+	set("faults.degrade_cycles", plan.DegradeCycles)
+	set("faults.stuck", plan.StuckBank)
+	set("faults.stuck_cycles", plan.StuckCycles)
+	set("faults.mshr_steal", plan.MSHRSteal)
+	set("faults.delay_fill", plan.DelayFill)
+	set("faults.delay_cycles", plan.DelayFillCycles)
+
+	wd := sim.WatchdogConfig{}
+	if opt.Watchdog != nil {
+		wd = *opt.Watchdog
+	}
+	set("watchdog", fmt.Sprintf("%+v", wd))
+
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(kv[k])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// cellKey computes the content address of one cell.
+func cellKey(bench string, sc core.Scheme, opt core.Options, progHash uint64) CellKey {
+	sum := sha256.Sum256([]byte(canonicalize(bench, sc, opt, progHash)))
+	return CellKey{Bench: bench, Scheme: sc, Digest: hex.EncodeToString(sum[:])}
+}
+
+// programHash digests the compiled workload exactly as core.Run will
+// execute it: the full instruction stream with hint bits and coefficients,
+// the initialized memory image, and the instruction budget. Compiling is
+// orders of magnitude cheaper than simulating, so the key stays honest
+// about compiler, workload, and policy edits without a manual version.
+func programHash(bench string, f workloads.Factor, pol compiler.Policy, swpf bool) (uint64, error) {
+	spec, err := workloads.ByName(bench)
+	if err != nil {
+		return 0, err
+	}
+	built := spec.Build(f)
+	m := mem.New()
+	var cg compiler.CodegenOptions
+	cg.SoftwarePrefetch = swpf
+	prog, layout, _, err := compiler.CompileWorkloadOpts(built.Prog, m, pol, cg)
+	if err != nil {
+		return 0, err
+	}
+	built.Init(m, layout)
+
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, s := range prog.Name {
+		mix(uint64(s))
+	}
+	for _, in := range prog.Instrs {
+		mix(uint64(in.Op))
+		mix(uint64(in.Rd) | uint64(in.Rs1)<<8 | uint64(in.Rs2)<<16)
+		mix(uint64(in.Imm))
+		mix(uint64(in.Target))
+		mix(uint64(in.Hint) | uint64(in.Coeff)<<8)
+	}
+	mix(m.Digest())
+	mix(built.MaxInstrs)
+	return h, nil
+}
+
+// hashMemo deduplicates program hashing across the cells of one campaign:
+// every scheme of a bench shares one compile (SoftwarePF recompiles, its
+// codegen differs).
+type hashMemo struct {
+	mu sync.Mutex
+	m  map[string]uint64
+}
+
+func newHashMemo() *hashMemo { return &hashMemo{m: map[string]uint64{}} }
+
+func (hm *hashMemo) get(bench string, f workloads.Factor, pol compiler.Policy, swpf bool) (uint64, error) {
+	k := fmt.Sprintf("%s|%s|%s|%t", bench, f, pol, swpf)
+	hm.mu.Lock()
+	if v, ok := hm.m[k]; ok {
+		hm.mu.Unlock()
+		return v, nil
+	}
+	hm.mu.Unlock()
+	// Compile outside the lock: hashing distinct benches in parallel is
+	// the point of the memo, and duplicate compiles of the same bench are
+	// merely wasted work, never wrong.
+	v, err := programHash(bench, f, pol, swpf)
+	if err != nil {
+		return 0, err
+	}
+	hm.mu.Lock()
+	hm.m[k] = v
+	hm.mu.Unlock()
+	return v, nil
+}

@@ -407,31 +407,98 @@ type Suite struct {
 	results map[string]map[Scheme]*Result
 }
 
-// RunSuite simulates the given benchmarks under the given schemes. A nil
-// benches runs every workload; a nil schemes runs all of them.
-func RunSuite(benches []string, schemes []Scheme, opt Options) (*Suite, error) {
+// Cell identifies one (bench, scheme) simulation of a suite grid.
+type Cell struct {
+	Bench  string
+	Scheme Scheme
+}
+
+// SuiteCells enumerates the bench × scheme grid in canonical order:
+// benches outer (presentation order), schemes inner. Every suite reducer
+// consumes results in exactly this order, which is what lets a parallel
+// runner produce output byte-identical to the serial path.
+func SuiteCells(benches []string, schemes []Scheme) []Cell {
+	cells := make([]Cell, 0, len(benches)*len(schemes))
+	for _, b := range benches {
+		for _, sc := range schemes {
+			cells = append(cells, Cell{Bench: b, Scheme: sc})
+		}
+	}
+	return cells
+}
+
+// CellRunner executes a suite grid under shared options and returns
+// results positionally: results[i] belongs to cells[i]. RunCells is the
+// serial reference implementation; internal/campaign provides the
+// parallel, cached one.
+type CellRunner func(cells []Cell, opt Options) ([]*Result, error)
+
+// RunCells is the serial CellRunner: it simulates each cell in order.
+func RunCells(cells []Cell, opt Options) ([]*Result, error) {
+	out := make([]*Result, len(cells))
+	for i, c := range cells {
+		spec, err := workloads.ByName(c.Bench)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Run(spec, c.Scheme, opt)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// NewSuite returns an empty suite shell for the given benches; runners
+// fill it with Put.
+func NewSuite(benches []string, opt Options) *Suite {
+	return &Suite{Opt: opt, Benches: benches, results: map[string]map[Scheme]*Result{}}
+}
+
+// Put stores a result under its (bench, scheme) cell.
+func (s *Suite) Put(r *Result) {
+	m := s.results[r.Bench]
+	if m == nil {
+		m = map[Scheme]*Result{}
+		s.results[r.Bench] = m
+	}
+	m[r.Scheme] = r
+}
+
+// RunSuiteWith simulates the grid through the given runner and reduces
+// the results in canonical cell order — the single ordering code path
+// shared by the serial and campaign-engine suite paths. A nil benches
+// runs every workload; a nil schemes runs all of them.
+func RunSuiteWith(benches []string, schemes []Scheme, opt Options, run CellRunner) (*Suite, error) {
 	if benches == nil {
 		benches = workloads.Names()
 	}
 	if schemes == nil {
 		schemes = AllSchemes()
 	}
-	s := &Suite{Opt: opt, Benches: benches, results: map[string]map[Scheme]*Result{}}
-	for _, b := range benches {
-		spec, err := workloads.ByName(b)
-		if err != nil {
-			return nil, err
+	cells := SuiteCells(benches, schemes)
+	rs, err := run(cells, opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(rs) != len(cells) {
+		return nil, fmt.Errorf("core: runner returned %d results for %d cells", len(rs), len(cells))
+	}
+	s := NewSuite(benches, opt)
+	for i, c := range cells {
+		if rs[i] == nil {
+			return nil, fmt.Errorf("core: runner returned no result for %s/%s", c.Bench, c.Scheme)
 		}
-		s.results[b] = map[Scheme]*Result{}
-		for _, sc := range schemes {
-			r, err := Run(spec, sc, opt)
-			if err != nil {
-				return nil, err
-			}
-			s.results[b][sc] = r
-		}
+		s.Put(rs[i])
 	}
 	return s, nil
+}
+
+// RunSuite simulates the given benchmarks under the given schemes through
+// the serial reference runner.
+func RunSuite(benches []string, schemes []Scheme, opt Options) (*Suite, error) {
+	return RunSuiteWith(benches, schemes, opt, RunCells)
 }
 
 // Get returns the result for (bench, scheme), or nil if it was not run.

@@ -482,11 +482,24 @@ type SensitivityRow struct {
 }
 
 // RunSensitivity reproduces Section 5.4: GRP under the default, aggressive
-// and conservative spatial-marking policies. It runs its own simulations
-// (the compiler output differs per policy).
+// and conservative spatial-marking policies, through the serial reference
+// runner. It runs its own simulations (the compiler output differs per
+// policy).
 func RunSensitivity(benches []string, opt Options) ([]SensitivityRow, *stats.Table, error) {
+	return RunSensitivityWith(benches, opt, RunCells)
+}
+
+// RunSensitivityWith is RunSensitivity through an arbitrary CellRunner, so
+// the campaign engine can parallelize and cache the per-policy sweeps.
+func RunSensitivityWith(benches []string, opt Options, run CellRunner) ([]SensitivityRow, *stats.Table, error) {
 	if benches == nil {
 		benches = workloads.Names()
+	}
+	var timed []string
+	for _, b := range benches {
+		if Included(b) {
+			timed = append(timed, b)
+		}
 	}
 	policies := []compiler.Policy{compiler.PolicyDefault, compiler.PolicyAggressive, compiler.PolicyConservative}
 	t := &stats.Table{
@@ -497,23 +510,17 @@ func RunSensitivity(benches []string, opt Options) ([]SensitivityRow, *stats.Tab
 	for _, pol := range policies {
 		o := opt
 		o.Policy = pol
+		cells := SuiteCells(timed, []Scheme{NoPrefetch, GRPVar})
+		rs, err := run(cells, o)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(rs) != len(cells) {
+			return nil, nil, fmt.Errorf("core: runner returned %d results for %d cells", len(rs), len(cells))
+		}
 		var speedups, traffics []float64
-		for _, b := range benches {
-			if !Included(b) {
-				continue
-			}
-			spec, err := workloads.ByName(b)
-			if err != nil {
-				return nil, nil, err
-			}
-			base, err := Run(spec, NoPrefetch, o)
-			if err != nil {
-				return nil, nil, err
-			}
-			grp, err := Run(spec, GRPVar, o)
-			if err != nil {
-				return nil, nil, err
-			}
+		for i := 0; i < len(rs); i += 2 {
+			base, grp := rs[i], rs[i+1]
 			speedups = append(speedups, Speedup(grp, base))
 			traffics = append(traffics, TrafficIncrease(grp, base))
 		}

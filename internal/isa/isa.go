@@ -15,7 +15,10 @@
 // information channel (a few bits riding on a load).
 package isa
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // NumRegs is the number of architectural registers. Register 0 is
 // hard-wired to zero, as on MIPS/Alpha-style machines.
@@ -378,6 +381,41 @@ func (h HintCounts) HintRatio() float64 {
 // Hinted returns the number of static memory instructions carrying at least
 // one hint. Loads marked both spatial and pointer count once.
 func (h HintCounts) Hinted() int { return h.hinted }
+
+// hintCountsJSON mirrors HintCounts for serialization, carrying the
+// unexported hinted tally so cached results round-trip exactly.
+type hintCountsJSON struct {
+	MemInsts  int `json:"mem_insts"`
+	Spatial   int `json:"spatial"`
+	Pointer   int `json:"pointer"`
+	Recursive int `json:"recursive"`
+	Indirect  int `json:"indirect"`
+	Variable  int `json:"variable"`
+	Hinted    int `json:"hinted"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (h HintCounts) MarshalJSON() ([]byte, error) {
+	return json.Marshal(hintCountsJSON{
+		MemInsts: h.MemInsts, Spatial: h.Spatial, Pointer: h.Pointer,
+		Recursive: h.Recursive, Indirect: h.Indirect, Variable: h.Variable,
+		Hinted: h.hinted,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (h *HintCounts) UnmarshalJSON(b []byte) error {
+	var j hintCountsJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*h = HintCounts{
+		MemInsts: j.MemInsts, Spatial: j.Spatial, Pointer: j.Pointer,
+		Recursive: j.Recursive, Indirect: j.Indirect, Variable: j.Variable,
+		hinted: j.Hinted,
+	}
+	return nil
+}
 
 // CountHints scans the program and tabulates its static hint population.
 func (p *Program) CountHints() HintCounts {

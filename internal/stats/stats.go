@@ -5,8 +5,10 @@
 package stats
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"strings"
 )
@@ -76,6 +78,23 @@ func (t *Table) MarshalJSON() ([]byte, error) {
 		Headers []string   `json:"headers"`
 		Rows    [][]string `json:"rows"`
 	}{t.Title, headers, rows})
+}
+
+// WriteCSV emits the table as RFC-4180 CSV: the header row followed by
+// the data rows. The title is not emitted — CSV consumers want columns
+// only.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // String implements fmt.Stringer.

@@ -1,0 +1,139 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+)
+
+// oneSet builds a 1-set, 4-way, 64-byte-block cache so every block aliases
+// into the same set and the full MRU→LRU order is observable via WaysOf.
+func oneSet(t *testing.T, prefetchMRU bool) *Cache {
+	t.Helper()
+	c, err := New(Config{
+		Name: "l2", SizeBytes: 4 * 64, Assoc: 4, BlockBytes: 64,
+		PrefetchInsertMRU: prefetchMRU,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// blk returns the address of the i-th distinct block (all in set 0).
+func blk(i int) uint64 { return uint64(i) * 64 }
+
+// TestFillPolicy pins the paper's L2 replacement interaction (Section 3.4):
+// prefetch fills enter at LRU so useless prefetches are the next victims,
+// demand hits promote to MRU, and demand fills never evict demand data
+// that was just filled.
+func TestFillPolicy(t *testing.T) {
+	steps := func(c *Cache, ops ...func(c *Cache)) {
+		for _, op := range ops {
+			op(c)
+		}
+	}
+	demandFill := func(a uint64) func(*Cache) {
+		return func(c *Cache) { c.Fill(a, false, false) }
+	}
+	prefetchFill := func(a uint64) func(*Cache) {
+		return func(c *Cache) { c.Fill(a, true, false) }
+	}
+	access := func(a uint64) func(*Cache) {
+		return func(c *Cache) { c.Access(a, false) }
+	}
+
+	cases := []struct {
+		name        string
+		prefetchMRU bool
+		run         []func(*Cache)
+		want        []uint64 // WaysOf order, MRU first
+	}{
+		{
+			name: "prefetch fills insert at LRU",
+			run: []func(*Cache){
+				demandFill(blk(1)), demandFill(blk(2)), prefetchFill(blk(3)),
+			},
+			// The prefetch sits behind both demand lines even though it is
+			// the most recent fill.
+			want: []uint64{blk(2), blk(1), blk(3)},
+		},
+		{
+			name: "demand hit promotes to MRU",
+			run: []func(*Cache){
+				demandFill(blk(1)), demandFill(blk(2)), demandFill(blk(3)),
+				access(blk(1)),
+			},
+			want: []uint64{blk(1), blk(3), blk(2)},
+		},
+		{
+			name: "demand hit on prefetched line promotes it over demand data",
+			run: []func(*Cache){
+				demandFill(blk(1)), prefetchFill(blk(2)), access(blk(2)),
+			},
+			want: []uint64{blk(2), blk(1)},
+		},
+		{
+			name: "demand fill evicts the prefetch, not older demand data",
+			run: []func(*Cache){
+				// Three demand lines plus one prefetch fill the set.
+				demandFill(blk(1)), demandFill(blk(2)), demandFill(blk(3)),
+				prefetchFill(blk(4)),
+				// The next demand fill victimizes the prefetch — the newest
+				// fill in the set — and every demand line survives.
+				demandFill(blk(5)),
+			},
+			want: []uint64{blk(5), blk(3), blk(2), blk(1)},
+		},
+		{
+			name: "full set of demand data evicts in strict LRU order",
+			run: []func(*Cache){
+				demandFill(blk(1)), demandFill(blk(2)), demandFill(blk(3)),
+				demandFill(blk(4)), demandFill(blk(5)),
+			},
+			want: []uint64{blk(5), blk(4), blk(3), blk(2)},
+		},
+		{
+			name:        "MRU-insertion ablation puts prefetches in front",
+			prefetchMRU: true,
+			run: []func(*Cache){
+				demandFill(blk(1)), demandFill(blk(2)), prefetchFill(blk(3)),
+			},
+			want: []uint64{blk(3), blk(2), blk(1)},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := oneSet(t, tc.prefetchMRU)
+			steps(c, tc.run...)
+			if got := c.WaysOf(0); !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("set order (MRU first) = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestFillPolicyStats pins the useless-prefetch accounting tied to LRU
+// insertion: a prefetch evicted before any demand reference counts useless,
+// one referenced first counts useful.
+func TestFillPolicyStats(t *testing.T) {
+	c := oneSet(t, false)
+	c.Fill(blk(1), true, false) // prefetch, never referenced
+	c.Fill(blk(2), false, false)
+	c.Fill(blk(3), false, false)
+	c.Fill(blk(4), false, false)
+	c.Fill(blk(5), false, false) // evicts blk(1): useless
+	if st := c.Stats(); st.UselessPrefetches != 1 || st.UsefulPrefetches != 0 {
+		t.Fatalf("useless=%d useful=%d, want 1/0", st.UselessPrefetches, st.UsefulPrefetches)
+	}
+
+	c = oneSet(t, false)
+	c.Fill(blk(1), true, false)
+	c.Access(blk(1), false) // referenced: useful, loses prefetched mark
+	c.Fill(blk(2), false, false)
+	c.Fill(blk(3), false, false)
+	c.Fill(blk(4), false, false)
+	c.Fill(blk(5), false, false)
+	if st := c.Stats(); st.UsefulPrefetches != 1 || st.UselessPrefetches != 0 {
+		t.Fatalf("useful=%d useless=%d, want 1/0", st.UsefulPrefetches, st.UselessPrefetches)
+	}
+}

@@ -20,7 +20,10 @@ import (
 // cacheSchemaVersion invalidates every cached cell at once; bump it when
 // the on-disk format, the key canonicalization, or simulator-wide timing
 // semantics change.
-const cacheSchemaVersion = 1
+//
+// 2: Result gained MemDigest; cached JSON from schema 1 would deserialize
+// it as zero.
+const cacheSchemaVersion = 2
 
 // schemeVersions fingerprints each prefetch-engine implementation. The
 // workload side of a cell is content-addressed through the compiled
@@ -76,6 +79,10 @@ func canonicalize(bench string, sc core.Scheme, opt core.Options, progHash uint6
 	set("sample_interval", opt.SampleInterval)
 	set("check_invariants", opt.CheckInvariants)
 	set("invariant_every", opt.InvariantEvery)
+	// The tamper hook is a function, invisible to content addressing; its
+	// presence must still split the key so a tampered run can never serve
+	// as a clean cache hit (or vice versa).
+	set("tamper", opt.TamperPrefetchFill != nil)
 
 	memCfg := sim.DefaultMemConfig()
 	if opt.Mem != nil {

@@ -214,6 +214,21 @@ func ensureCPU(o *core.Options) *cpu.Config {
 	return o.CPU
 }
 
+// ApplyAxis applies one overlay axis (a spec-grammar key like "l2.size"
+// and a value like "512K") to the options in place. It is the single-axis
+// entry other drivers (grpconform's -overlay flag) share with the spec
+// parser, so overlay spellings mean the same thing everywhere.
+func ApplyAxis(o *core.Options, key, value string) error {
+	set, ok := axisSetters[key]
+	if !ok {
+		return fmt.Errorf("campaign: unknown axis %q (axes: %s)", key, strings.Join(axisKeys(), ", "))
+	}
+	if err := set(o, value); err != nil {
+		return fmt.Errorf("campaign: axis %s=%s: %w", key, value, err)
+	}
+	return nil
+}
+
 // axisSetters applies one overlay axis value to a cell's options.
 var axisSetters = map[string]func(*core.Options, string) error{
 	"l1.size": func(o *core.Options, v string) error {

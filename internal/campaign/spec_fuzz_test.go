@@ -1,0 +1,61 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"grp/internal/core"
+)
+
+// FuzzParseSpec drives the sweep-spec grammar with arbitrary input. The
+// parser must never panic, and anything it accepts must expand into a
+// well-formed grid: no empty cells, every cell's scheme and bench drawn
+// from the grid's own axes.
+func FuzzParseSpec(f *testing.F) {
+	// Corpus: the documented examples from README/DESIGN plus edge shapes.
+	f.Add("schemes=base,srp,grp/var × kernels=all × l2.size=512K,1M,2M")
+	f.Add("schemes=grpvar × kernels=mcf × depth=1,3,6")
+	f.Add("schemes=all")
+	f.Add("kernels=mcf,equake")
+	f.Add("schemes=NoPF,GRPVar x kernels=all")
+	f.Add("l2.size=1M")
+	f.Add("")
+	f.Add("schemes=")
+	f.Add("nonsense")
+	f.Add("depth=1,2 × depth=3")
+	f.Add("schemes=base × × kernels=mcf")
+	f.Add("a=b=c")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		g, err := ParseSpec(spec, core.Options{})
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if len(g.Benches) == 0 || len(g.Schemes) == 0 {
+			t.Fatalf("spec %q: accepted grid with no benches or schemes", spec)
+		}
+		schemes := map[core.Scheme]bool{}
+		for _, s := range g.Schemes {
+			schemes[s] = true
+		}
+		benches := map[string]bool{}
+		for _, b := range g.Benches {
+			benches[b] = true
+		}
+		for _, c := range g.Cells {
+			if !schemes[c.Scheme] {
+				t.Fatalf("spec %q: cell scheme %v not in grid schemes", spec, c.Scheme)
+			}
+			if !benches[c.Bench] {
+				t.Fatalf("spec %q: cell bench %q not in grid benches", spec, c.Bench)
+			}
+			if len(c.Overlay) != len(g.Axes) {
+				t.Fatalf("spec %q: cell overlay has %d settings, grid has %d axes",
+					spec, len(c.Overlay), len(g.Axes))
+			}
+			if strings.Contains(c.OverlayString(), "  ") {
+				t.Fatalf("spec %q: malformed overlay string %q", spec, c.OverlayString())
+			}
+		}
+	})
+}

@@ -1,153 +1,31 @@
 package compiler
 
 import (
-	"math/rand"
 	"testing"
 
-	"grp/internal/lang"
 	"grp/internal/mem"
+	"grp/internal/progen"
 )
 
-// progGen generates random structured programs over a fixed set of arrays
-// and scalars. Loops are bounded and every generated program terminates,
-// so the differential test (compiled vs. interpreted) can run to
-// completion.
-type progGen struct {
-	r       *rand.Rand
-	arrays  []*lang.Array
-	scalars []string
-	// loopVarsInUse guards against nested loops reusing an enclosing
-	// loop's variable, which would reset the outer counter and (in both
-	// implementations, identically) never terminate.
-	loopVarsInUse map[string]bool
-}
-
-func newProgGen(seed int64) *progGen {
-	return &progGen{
-		r:             rand.New(rand.NewSource(seed)),
-		loopVarsInUse: map[string]bool{},
-		arrays: []*lang.Array{
-			{Name: "a", Elem: lang.I64, Dims: []int64{32}},
-			{Name: "b", Elem: lang.I64, Dims: []int64{8, 8}},
-			{Name: "w", Elem: lang.I32, Dims: []int64{64}},
-		},
-		scalars: []string{"i", "j", "k", "s", "t", "u"},
-	}
-}
-
-// expr generates a random arithmetic expression; memLoads controls whether
-// array loads may appear.
-func (g *progGen) expr(depth int, memLoads bool) lang.Expr {
-	if depth <= 0 || g.r.Intn(3) == 0 {
-		switch g.r.Intn(3) {
-		case 0:
-			return lang.C(int64(g.r.Intn(64)))
-		default:
-			return lang.S(g.scalars[g.r.Intn(len(g.scalars))])
-		}
-	}
-	if memLoads && g.r.Intn(4) == 0 {
-		return g.indexExpr(depth - 1)
-	}
-	ops := []lang.BinOp{lang.Add, lang.Sub, lang.Mul, lang.And, lang.Or,
-		lang.Xor, lang.Lt, lang.Eq, lang.Ne, lang.Ge}
-	return lang.B(ops[g.r.Intn(len(ops))], g.expr(depth-1, memLoads), g.expr(depth-1, memLoads))
-}
-
-// indexExpr generates an in-bounds array reference: subscripts are masked
-// with And so any scalar value stays a legal index.
-func (g *progGen) indexExpr(depth int) *lang.Index {
-	arr := g.arrays[g.r.Intn(len(g.arrays))]
-	idx := make([]lang.Expr, len(arr.Dims))
-	for d := range arr.Dims {
-		idx[d] = lang.B(lang.And, g.expr(depth, false), lang.C(arr.Dims[d]-1))
-	}
-	return lang.Ix(arr, idx...)
-}
-
-func (g *progGen) stmt(depth int) lang.Stmt {
-	switch g.r.Intn(6) {
-	case 0, 1:
-		// Scalar assignment.
-		return &lang.Assign{
-			Dst: lang.S(g.scalars[3+g.r.Intn(3)]), // s, t, u only (never loop vars)
-			Src: g.expr(depth, true),
-		}
-	case 2:
-		// Array store.
-		return &lang.Assign{Dst: g.indexExpr(1), Src: g.expr(depth, true)}
-	case 3:
-		// If statement.
-		return &lang.If{
-			Cond: g.expr(1, false),
-			Then: g.stmts(depth-1, 2),
-			Else: g.stmts(depth-1, 1),
-		}
-	default:
-		// Bounded counted loop over a free loop variable; fall back to a
-		// scalar assignment when all three are in use by enclosing loops.
-		var v string
-		for _, cand := range []string{"i", "j", "k"} {
-			if !g.loopVarsInUse[cand] {
-				v = cand
-				break
-			}
-		}
-		if v == "" {
-			return &lang.Assign{Dst: lang.S("s"), Src: g.expr(depth, true)}
-		}
-		lo := int64(g.r.Intn(4))
-		hi := lo + int64(1+g.r.Intn(12))
-		g.loopVarsInUse[v] = true
-		body := g.stmts(depth-1, 2)
-		g.loopVarsInUse[v] = false
-		return &lang.For{
-			Var: v, Lo: lang.C(lo), Hi: lang.C(hi), Step: int64(1 + g.r.Intn(2)),
-			Body: body,
-		}
-	}
-}
-
-func (g *progGen) stmts(depth, n int) []lang.Stmt {
-	if depth <= 0 {
-		return []lang.Stmt{&lang.Assign{Dst: lang.S("s"), Src: g.expr(1, false)}}
-	}
-	var out []lang.Stmt
-	for i := 0; i < 1+g.r.Intn(n); i++ {
-		out = append(out, g.stmt(depth))
-	}
-	return out
-}
-
-func (g *progGen) program(name string) *lang.Program {
-	return &lang.Program{
-		Name:    name,
-		Arrays:  g.arrays,
-		Scalars: g.scalars,
-		Body:    g.stmts(3, 3),
+// genInit adapts a progen workload initializer to runBoth's layout-based
+// signature.
+func genInit(w *progen.Workload) func(m *mem.Memory, lay *Layout) {
+	return func(m *mem.Memory, lay *Layout) {
+		w.Init(m, func(name string) uint64 { return lay.Addr[name] })
 	}
 }
 
 // TestFuzzCompilerVsInterpreter generates random structured programs and
 // checks that the compiled binary running on the out-of-order core leaves
-// memory identical to the reference interpreter. This exercises loops,
-// conditionals, nested subscripts, masked indexing, multi-dimensional
-// arrays, 4-byte accesses, and the whole codegen register allocator.
+// memory identical to the reference interpreter. The arithmetic grammar
+// exercises loops, conditionals, nested subscripts, masked indexing,
+// multi-dimensional arrays, 4-byte accesses, and the whole codegen
+// register allocator.
 func TestFuzzCompilerVsInterpreter(t *testing.T) {
 	for seed := int64(0); seed < 120; seed++ {
-		g := newProgGen(1000 + seed)
-		p := g.program("fuzz")
-		if err := p.Validate(); err != nil {
+		w := progen.Generate(1000+seed, progen.Config{Arith: true})
+		if err := w.Prog.Validate(); err != nil {
 			t.Fatalf("seed %d: generator produced invalid program: %v", seed, err)
-		}
-		initFn := func(m *mem.Memory, lay *Layout) {
-			r := rand.New(rand.NewSource(seed))
-			for _, a := range p.Arrays {
-				base := lay.Addr[a.Name]
-				for off := int64(0); off < a.Bytes(); off += 8 {
-					m.Write64(base+uint64(off), uint64(r.Int63n(1<<32)))
-				}
-			}
 		}
 		func() {
 			defer func() {
@@ -155,7 +33,7 @@ func TestFuzzCompilerVsInterpreter(t *testing.T) {
 					t.Fatalf("seed %d panicked: %v", seed, r)
 				}
 			}()
-			runBoth(t, p, initFn, nil)
+			runBoth(t, w.Prog, genInit(w), nil)
 		}()
 		if t.Failed() {
 			t.Fatalf("seed %d produced divergence", seed)
@@ -163,14 +41,30 @@ func TestFuzzCompilerVsInterpreter(t *testing.T) {
 	}
 }
 
+// TestFuzzCompilerVsInterpreterFull runs the differential check over the
+// full grammar — pointer chasing, tree search, a[b[i]] indirection, heap
+// row sweeps, and stores through all of them — so PREFI emission and the
+// hint paths are exercised end to end, not just scalar arithmetic.
+func TestFuzzCompilerVsInterpreterFull(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		w := progen.Generate(3000+seed, progen.Config{})
+		if err := w.Prog.Validate(); err != nil {
+			t.Fatalf("seed %d: generator produced invalid program: %v", seed, err)
+		}
+		runBoth(t, w.Prog, genInit(w), nil)
+		if t.Failed() {
+			t.Fatalf("seed %d produced divergence", seed)
+		}
+	}
+}
+
 // TestFuzzAnalysisNeverCrashes runs every analysis policy over a larger
-// corpus of random programs; the analyses must be total.
+// corpus of full-grammar random programs; the analyses must be total.
 func TestFuzzAnalysisNeverCrashes(t *testing.T) {
 	for seed := int64(0); seed < 300; seed++ {
-		g := newProgGen(5000 + seed)
-		p := g.program("afuzz")
+		w := progen.Generate(5000+seed, progen.Config{})
 		for _, pol := range []Policy{PolicyDefault, PolicyConservative, PolicyAggressive} {
-			if _, err := Analyze(p, pol); err != nil {
+			if _, err := Analyze(w.Prog, pol); err != nil {
 				t.Fatalf("seed %d policy %v: %v", seed, pol, err)
 			}
 		}

@@ -44,6 +44,11 @@ func (ip *Interp) Run() error {
 // Scalar returns a scalar's final value.
 func (ip *Interp) Scalar(name string) uint64 { return ip.scalars[name] }
 
+// Steps returns how many interpreter steps Run consumed; the conformance
+// harness uses it to derive a simulated-instruction budget for the same
+// program.
+func (ip *Interp) Steps() int { return ip.steps }
+
 func (ip *Interp) tick() error {
 	ip.steps++
 	if ip.steps > ip.maxStep {

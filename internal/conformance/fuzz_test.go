@@ -1,0 +1,30 @@
+package conformance
+
+import (
+	"testing"
+
+	"grp/internal/core"
+)
+
+// FuzzConformance lets the fuzzer pick generator seeds and runs the full
+// differential check on a reduced scheme set (the no-prefetch baseline and
+// the most aggressive GRP variant). Any reported failure is a real
+// simulator/compiler bug, not a fuzz artifact, so the target fails on it.
+func FuzzConformance(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(9))
+	f.Add(int64(101))
+	f.Add(int64(-3))
+	cfg := Config{
+		Schemes: []core.Scheme{core.NoPrefetch, core.GRPVar},
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		pr := CheckSeed(cfg, seed)
+		if pr.Skipped {
+			t.Skipf("seed %d: %s", seed, pr.SkipReason)
+		}
+		for _, fa := range pr.Failures {
+			t.Errorf("%s", fa)
+		}
+	})
+}

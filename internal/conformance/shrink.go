@@ -1,0 +1,149 @@
+package conformance
+
+import (
+	"fmt"
+
+	"grp/internal/lang"
+	"grp/internal/progen"
+)
+
+// ShrinkResult is a minimized failing program.
+type ShrinkResult struct {
+	// Prog is the smallest still-failing mutant found.
+	Prog *lang.Program
+	// Instrs is Prog's static compiled instruction count.
+	Instrs int
+	// Evals is how many predicate evaluations (full differential checks)
+	// the search spent.
+	Evals int
+	// Failures are the shrunk program's conformance failures.
+	Failures []Failure
+}
+
+// Shrink minimizes the failing program for one seed: it greedily applies
+// body reductions (statement deletion, branch/loop unwrapping, trip-count
+// and operand simplification) as long as the reduced program still fails
+// the differential check under cfg, then returns the fixpoint. Reductions
+// never mutate AST nodes in place — they build new statement lists over
+// shared subtrees — so the original workload stays intact.
+//
+// The caller should narrow cfg (schemes, variants) to the cells that
+// actually failed: every candidate evaluation replays the whole check.
+// maxEvals bounds the search (<= 0 means 400).
+func Shrink(cfg Config, seed int64, maxEvals int) (*ShrinkResult, error) {
+	if maxEvals <= 0 {
+		maxEvals = 400
+	}
+	w := progen.Generate(seed, cfg.Gen)
+	evals := 0
+	var lastFailures []Failure
+	failing := func(p *lang.Program) bool {
+		evals++
+		mut := &progen.Workload{Prog: p, Init: w.Init}
+		pr := CheckWorkload(cfg, seed, mut)
+		if pr.Skipped || len(pr.Failures) == 0 {
+			return false
+		}
+		lastFailures = pr.Failures
+		return true
+	}
+
+	cur := w.Prog
+	if !failing(cur) {
+		return nil, fmt.Errorf("conformance: seed %d does not fail under the shrink config", seed)
+	}
+
+	reduced := true
+	for reduced && evals < maxEvals {
+		reduced = false
+		for _, body := range stmtListVariants(cur.Body) {
+			if evals >= maxEvals {
+				break
+			}
+			cand := &lang.Program{
+				Name: cur.Name, Arrays: cur.Arrays, Scalars: cur.Scalars, Body: body,
+			}
+			if failing(cand) {
+				cur = cand
+				reduced = true
+				break // restart the scan from the smaller program
+			}
+		}
+	}
+
+	n, err := StaticInstrs(cur)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: shrunk program does not compile: %w", err)
+	}
+	return &ShrinkResult{Prog: cur, Instrs: n, Evals: evals, Failures: lastFailures}, nil
+}
+
+// stmtListVariants enumerates every single-step reduction of a statement
+// list: dropping one statement, or replacing one statement by one of its
+// own reductions (which may splice in several statements, e.g. unwrapping
+// an If into its branch). Bigger cuts come first so the greedy search
+// shrinks fast.
+func stmtListVariants(ss []lang.Stmt) [][]lang.Stmt {
+	var out [][]lang.Stmt
+	// Deletions first: removing a whole statement is the largest cut.
+	for i := range ss {
+		out = append(out, spliceStmts(ss, i, nil))
+	}
+	for i, s := range ss {
+		for _, repl := range stmtVariants(s) {
+			out = append(out, spliceStmts(ss, i, repl))
+		}
+	}
+	return out
+}
+
+// spliceStmts returns ss with ss[i] replaced by repl (possibly empty).
+func spliceStmts(ss []lang.Stmt, i int, repl []lang.Stmt) []lang.Stmt {
+	out := make([]lang.Stmt, 0, len(ss)-1+len(repl))
+	out = append(out, ss[:i]...)
+	out = append(out, repl...)
+	out = append(out, ss[i+1:]...)
+	return out
+}
+
+// stmtVariants enumerates the reductions of one statement, each expressed
+// as the replacement statement list.
+func stmtVariants(s lang.Stmt) [][]lang.Stmt {
+	var out [][]lang.Stmt
+	switch n := s.(type) {
+	case *lang.If:
+		out = append(out, n.Then)
+		if len(n.Else) > 0 {
+			out = append(out, n.Else)
+		}
+		for _, tv := range stmtListVariants(n.Then) {
+			out = append(out, []lang.Stmt{&lang.If{Cond: n.Cond, Then: tv, Else: n.Else}})
+		}
+		for _, ev := range stmtListVariants(n.Else) {
+			out = append(out, []lang.Stmt{&lang.If{Cond: n.Cond, Then: n.Then, Else: ev}})
+		}
+	case *lang.For:
+		out = append(out, n.Body) // unwrap: run the body once, loop var left at its prior value
+		if lo, ok := n.Lo.(*lang.Const); ok {
+			if hi, ok2 := n.Hi.(*lang.Const); ok2 && hi.V-lo.V > int64(n.Step) {
+				out = append(out, []lang.Stmt{&lang.For{
+					Var: n.Var, Lo: n.Lo, Hi: lang.C(lo.V + n.Step), Step: n.Step, Body: n.Body,
+				}})
+			}
+		}
+		for _, bv := range stmtListVariants(n.Body) {
+			out = append(out, []lang.Stmt{&lang.For{
+				Var: n.Var, Lo: n.Lo, Hi: n.Hi, Step: n.Step, Body: bv,
+			}})
+		}
+	case *lang.While:
+		for _, bv := range stmtListVariants(n.Body) {
+			out = append(out, []lang.Stmt{&lang.While{Cond: n.Cond, Body: bv}})
+		}
+	case *lang.Assign:
+		if _, isConst := n.Src.(*lang.Const); !isConst {
+			out = append(out, []lang.Stmt{&lang.Assign{Dst: n.Dst, Src: lang.C(1)}})
+		}
+	}
+	return out
+}

@@ -132,6 +132,13 @@ type Options struct {
 	// Watchdog overrides the forward-progress watchdog thresholds; nil
 	// uses the defaults. The watchdog is always armed.
 	Watchdog *sim.WatchdogConfig
+	// TamperPrefetchFill, when non-nil, is called with the functional
+	// memory and the block address of every prefetch fill as it lands in
+	// the L2. It exists solely so the conformance harness can model a
+	// broken prefetch data path (a known-bad mutation its differential
+	// check must catch). Never set outside tests; runs with it set bypass
+	// the campaign result cache's semantics, so the cache key records it.
+	TamperPrefetchFill func(m *mem.Memory, block uint64)
 }
 
 // Validate checks the run options: any overridden CPU, cache, or DRAM
@@ -188,6 +195,11 @@ type Result struct {
 	// digest must not vary across schemes' timing behavior under fault
 	// injection — the metamorphic property the fault harness checks.
 	ArchDigest uint64
+	// MemDigest is the raw functional memory digest (mem.Digest) after
+	// the run. Unlike ArchDigest it involves no registers or counters, so
+	// it is directly comparable with an interpreter run over the same
+	// placed-and-initialized memory — the conformance oracle check.
+	MemDigest uint64
 	// FaultCounts reports injected faults (zero without a fault plan).
 	FaultCounts faults.Counts
 }
@@ -257,6 +269,9 @@ func Run(spec *workloads.Spec, scheme Scheme, opt Options) (*Result, error) {
 	if opt.CheckInvariants {
 		ms.EnableInvariantChecks(opt.InvariantEvery)
 	}
+	if opt.TamperPrefetchFill != nil {
+		ms.SetFillTamper(func(block uint64) { opt.TamperPrefetchFill(m, block) })
+	}
 
 	var reg *metrics.Registry
 	var smp *metrics.Sampler
@@ -312,6 +327,7 @@ func Run(spec *workloads.Spec, scheme Scheme, opt Options) (*Result, error) {
 		snap = metrics.Snap(reg, smp)
 	}
 
+	md := m.Digest()
 	return &Result{
 		Bench:        spec.Name,
 		Scheme:       scheme,
@@ -324,7 +340,8 @@ func Run(spec *workloads.Spec, scheme Scheme, opt Options) (*Result, error) {
 		TrafficBytes: ms.Dram.TrafficBytes(),
 		Hints:        prog.CountHints(),
 		Metrics:      snap,
-		ArchDigest:   archDigest(c, cres, m),
+		ArchDigest:   archDigest(c, cres, md),
+		MemDigest:    md,
 		FaultCounts:  ms.FaultCounts(),
 	}, nil
 }
@@ -333,7 +350,7 @@ func Run(spec *workloads.Spec, scheme Scheme, opt Options) (*Result, error) {
 // register file, the functional memory digest, and the timing-independent
 // instruction counts. Cycle counts and cache/DRAM statistics are
 // deliberately excluded — they are exactly what faults may perturb.
-func archDigest(c *cpu.Core, cres cpu.Result, m *mem.Memory) uint64 {
+func archDigest(c *cpu.Core, cres cpu.Result, memDigest uint64) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -349,7 +366,7 @@ func archDigest(c *cpu.Core, cres cpu.Result, m *mem.Memory) uint64 {
 	for _, r := range c.Regs() {
 		mix(r)
 	}
-	mix(m.Digest())
+	mix(memDigest)
 	mix(cres.Instrs)
 	mix(cres.Loads)
 	mix(cres.Stores)

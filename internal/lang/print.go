@@ -1,0 +1,129 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the operator as C-style source.
+func (op BinOp) String() string {
+	switch op {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	case Div:
+		return "/"
+	case Rem:
+		return "%"
+	case And:
+		return "&"
+	case Or:
+		return "|"
+	case Xor:
+		return "^"
+	case Shl:
+		return "<<"
+	case Shr:
+		return ">>"
+	case Lt:
+		return "<"
+	case Eq:
+		return "=="
+	case Ne:
+		return "!="
+	case Ge:
+		return ">="
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// String renders the program as readable pseudo-C: declarations first,
+// then the body. It exists so conformance failures and shrunk reproducers
+// can be reported as something a human can re-author as a regression test.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s {\n", p.Name)
+	for _, a := range p.Arrays {
+		dims := ""
+		for _, d := range a.Dims {
+			dims += fmt.Sprintf("[%d]", d)
+		}
+		heap := ""
+		if a.Heap {
+			heap = " // heap"
+		}
+		fmt.Fprintf(&b, "  var %s %s%s%s\n", a.Name, a.Elem, dims, heap)
+	}
+	if len(p.Scalars) > 0 {
+		fmt.Fprintf(&b, "  var %s int64\n", strings.Join(p.Scalars, ", "))
+	}
+	writeStmts(&b, p.Body, 1)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func writeStmts(b *strings.Builder, ss []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range ss {
+		switch n := s.(type) {
+		case *For:
+			fmt.Fprintf(b, "%sfor %s = %s; %s < %s; %s += %d {\n",
+				ind, n.Var, exprString(n.Lo), n.Var, exprString(n.Hi), n.Var, n.Step)
+			writeStmts(b, n.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *While:
+			fmt.Fprintf(b, "%swhile %s {\n", ind, exprString(n.Cond))
+			writeStmts(b, n.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *If:
+			fmt.Fprintf(b, "%sif %s {\n", ind, exprString(n.Cond))
+			writeStmts(b, n.Then, depth+1)
+			if len(n.Else) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", ind)
+				writeStmts(b, n.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *Assign:
+			fmt.Fprintf(b, "%s%s = %s\n", ind, exprString(n.Dst), exprString(n.Src))
+		default:
+			fmt.Fprintf(b, "%s/* unknown statement %T */\n", ind, s)
+		}
+	}
+}
+
+func exprString(e Expr) string {
+	switch n := e.(type) {
+	case nil:
+		return "<nil>"
+	case *Const:
+		return fmt.Sprint(n.V)
+	case *Scalar:
+		return n.Name
+	case *Bin:
+		return fmt.Sprintf("(%s %s %s)", exprString(n.L), n.Op, exprString(n.R))
+	case *Index:
+		var b strings.Builder
+		b.WriteString(n.Arr.Name)
+		for _, ix := range n.Idx {
+			fmt.Fprintf(&b, "[%s]", exprString(ix))
+		}
+		return b.String()
+	case *PtrIndex:
+		return fmt.Sprintf("%s[%s]:%s", exprString(n.Ptr), exprString(n.Idx), n.Elem)
+	case *FieldRef:
+		return fmt.Sprintf("%s->%s", exprString(n.Ptr), n.Field)
+	case *Deref:
+		return fmt.Sprintf("*(%s):%s", exprString(n.Ptr), n.Elem)
+	case *AddrOf:
+		var b strings.Builder
+		fmt.Fprintf(&b, "&%s", n.Arr.Name)
+		for _, ix := range n.Idx {
+			fmt.Fprintf(&b, "[%s]", exprString(ix))
+		}
+		return b.String()
+	}
+	return fmt.Sprintf("<%T>", e)
+}

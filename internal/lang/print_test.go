@@ -1,0 +1,74 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestProgramString checks the pseudo-C renderer covers every node kind
+// with stable, readable output — shrunk reproducers are reported through
+// it, so it must never drop a construct silently.
+func TestProgramString(t *testing.T) {
+	node := NewStruct("node", Field{Name: "val", Type: I64})
+	node.Append("next", PtrT{Elem: node})
+	arr := &Array{Name: "a", Elem: I64, Dims: []int64{8}}
+	head := &Array{Name: "lh", Elem: PtrT{Elem: node}, Dims: []int64{1}, Heap: true}
+	p := &Program{
+		Name:    "demo",
+		Arrays:  []*Array{arr, head},
+		Scalars: []string{"i", "p", "s"},
+		Body: []Stmt{
+			&For{Var: "i", Lo: C(0), Hi: C(8), Step: 2, Body: []Stmt{
+				&Assign{Dst: S("s"), Src: B(Add, S("s"), Ix(arr, S("i")))},
+			}},
+			&Assign{Dst: S("p"), Src: Ix(head, C(0))},
+			&While{Cond: B(Ne, S("p"), C(0)), Body: []Stmt{
+				&Assign{Dst: S("s"), Src: &FieldRef{Ptr: S("p"), Struct: node, Field: "val"}},
+				&Assign{Dst: S("p"), Src: &FieldRef{Ptr: S("p"), Struct: node, Field: "next"}},
+			}},
+			&If{Cond: B(Lt, S("s"), C(10)),
+				Then: []Stmt{&Assign{Dst: S("s"), Src: C(0)}},
+				Else: []Stmt{&Assign{Dst: S("s"), Src: C(1)}},
+			},
+			&Assign{Dst: &PtrIndex{Ptr: S("p"), Elem: I64, Idx: C(3)}, Src: C(7)},
+			&Assign{Dst: S("s"), Src: &Deref{Ptr: S("p"), Elem: I32}},
+			&Assign{Dst: S("s"), Src: &AddrOf{Arr: arr, Idx: []Expr{C(2)}}},
+		},
+	}
+	src := p.String()
+	for _, want := range []string{
+		"program demo {",
+		"var a int64[8]",
+		"var lh *struct node[1] // heap",
+		"var i, p, s int64",
+		"for i = 0; i < 8; i += 2 {",
+		"s = (s + a[i])",
+		"while (p != 0) {",
+		"p->next",
+		"if (s < 10) {",
+		"} else {",
+		"p[3]:int64 = 7",
+		"*(p):int32",
+		"&a[2]",
+	} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("rendered program missing %q:\n%s", want, src)
+		}
+	}
+}
+
+// TestBinOpString covers every operator.
+func TestBinOpString(t *testing.T) {
+	ops := map[BinOp]string{
+		Add: "+", Sub: "-", Mul: "*", Div: "/", Rem: "%", And: "&", Or: "|",
+		Xor: "^", Shl: "<<", Shr: ">>", Lt: "<", Eq: "==", Ne: "!=", Ge: ">=",
+	}
+	for op, want := range ops {
+		if got := op.String(); got != want {
+			t.Fatalf("op %d renders %q, want %q", int(op), got, want)
+		}
+	}
+	if got := BinOp(99).String(); !strings.Contains(got, "99") {
+		t.Fatalf("unknown op renders %q", got)
+	}
+}

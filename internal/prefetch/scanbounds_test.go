@@ -1,0 +1,169 @@
+package prefetch
+
+import (
+	"sort"
+	"testing"
+
+	"grp/internal/isa"
+)
+
+// boundsMem is a MemReader with explicit heap bounds that records every word
+// address the scanner reads.
+type boundsMem struct {
+	words     map[uint64]uint64
+	base, lim uint64
+	reads     []uint64
+}
+
+func (f *boundsMem) Read64(addr uint64) uint64 {
+	f.reads = append(f.reads, addr)
+	return f.words[addr]
+}
+func (f *boundsMem) Read32(addr uint64) uint32 { return uint32(f.Read64(addr)) }
+func (f *boundsMem) InHeap(addr uint64) bool   { return addr >= f.base && addr < f.lim }
+
+const (
+	heapBase = uint64(0x10000)
+	heapLim  = uint64(0x20000)
+	scanLine = uint64(0x40000) // the block whose contents get scanned
+)
+
+// scanOnce arms the pointer scanner on scanLine, delivers its data, and
+// returns the prefetch candidates the scan produced.
+func scanOnce(t *testing.T, f *boundsMem) (*GRP, []uint64) {
+	t.Helper()
+	g := NewGRP(GRPConfig{PtrBlocks: 2, RecursionDepth: 1}, f)
+	g.OnL2DemandMiss(MissEvent{Addr: scanLine + 8, Hint: isa.HintPointer})
+	g.OnArrival(scanLine)
+	var got []uint64
+	for {
+		b, ok := g.Pop(func(uint64) bool { return false })
+		if !ok {
+			break
+		}
+		got = append(got, b)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	return g, got
+}
+
+// TestScanBounds pins the base-and-bounds pointer test of Section 3.2 at
+// the heap-range edges: values at exactly the heap base and at limit-1 are
+// pointers, the limit itself and base-1 are not, and word position within
+// the line (first word, last word) does not matter.
+func TestScanBounds(t *testing.T) {
+	target := heapBase + 0x800 // well inside the heap
+	targetBlk := target &^ uint64(BlockBytes-1)
+	cases := []struct {
+		name  string
+		words map[uint64]uint64 // line contents; unset words read as 0
+		found uint64            // expected PointersFound
+		want  []uint64          // expected candidate blocks, sorted
+	}{
+		{
+			name:  "pointer in first word of line",
+			words: map[uint64]uint64{scanLine: target},
+			found: 1,
+			want:  []uint64{targetBlk, targetBlk + uint64(BlockBytes)},
+		},
+		{
+			name:  "pointer in last word of line",
+			words: map[uint64]uint64{scanLine + uint64(BlockBytes) - 8: target},
+			found: 1,
+			want:  []uint64{targetBlk, targetBlk + uint64(BlockBytes)},
+		},
+		{
+			name:  "value exactly at heap base is a pointer",
+			words: map[uint64]uint64{scanLine + 16: heapBase},
+			found: 1,
+			want:  []uint64{heapBase, heapBase + uint64(BlockBytes)},
+		},
+		{
+			name:  "value at limit-1 is a pointer",
+			words: map[uint64]uint64{scanLine + 16: heapLim - 1},
+			found: 1,
+			want: []uint64{(heapLim - 1) &^ uint64(BlockBytes-1),
+				((heapLim - 1) &^ uint64(BlockBytes-1)) + uint64(BlockBytes)},
+		},
+		{
+			name:  "value exactly at heap limit is not a pointer",
+			words: map[uint64]uint64{scanLine + 16: heapLim},
+			found: 0,
+		},
+		{
+			name:  "value just below heap base is not a pointer",
+			words: map[uint64]uint64{scanLine + 16: heapBase - 1},
+			found: 0,
+		},
+		{
+			name: "small integers and zero are not pointers",
+			words: map[uint64]uint64{
+				scanLine:      0,
+				scanLine + 8:  1,
+				scanLine + 16: 42,
+				scanLine + 24: uint64(BlockBytes),
+			},
+			found: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := &boundsMem{words: tc.words, base: heapBase, lim: heapLim}
+			g, got := scanOnce(t, f)
+			st := g.Stats()
+			if st.PointerScans != 1 {
+				t.Fatalf("PointerScans = %d, want 1", st.PointerScans)
+			}
+			if st.PointersFound != tc.found {
+				t.Fatalf("PointersFound = %d, want %d", st.PointersFound, tc.found)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("candidates = %#x, want %#x", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("candidates = %#x, want %#x", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestScanStaysInLine checks the scanner reads exactly the eight 8-byte
+// words of the arriving line — never a byte before its base or past its
+// end (Sec. 3.3.1: the hardware inspects the returned cache line only).
+func TestScanStaysInLine(t *testing.T) {
+	f := &boundsMem{words: map[uint64]uint64{}, base: heapBase, lim: heapLim}
+	scanOnce(t, f)
+	if len(f.reads) != BlockBytes/8 {
+		t.Fatalf("scan performed %d reads, want %d", len(f.reads), BlockBytes/8)
+	}
+	seen := map[uint64]bool{}
+	for _, a := range f.reads {
+		if a < scanLine || a+8 > scanLine+uint64(BlockBytes) {
+			t.Fatalf("scan read %#x, outside line [%#x,%#x)", a, scanLine, scanLine+uint64(BlockBytes))
+		}
+		if a%8 != 0 {
+			t.Fatalf("scan read %#x is not 8-byte aligned", a)
+		}
+		if seen[a] {
+			t.Fatalf("scan read %#x twice", a)
+		}
+		seen[a] = true
+	}
+}
+
+// TestScanNotArmedWithoutHint checks an unhinted miss never arms the
+// scanner: GRP's pointer machinery is strictly compiler-guided.
+func TestScanNotArmedWithoutHint(t *testing.T) {
+	f := &boundsMem{words: map[uint64]uint64{scanLine: heapBase + 0x800}, base: heapBase, lim: heapLim}
+	g := NewGRP(GRPConfig{PtrBlocks: 2}, f)
+	g.OnL2DemandMiss(MissEvent{Addr: scanLine})
+	g.OnArrival(scanLine)
+	if st := g.Stats(); st.PointerScans != 0 {
+		t.Fatalf("PointerScans = %d, want 0 for unhinted miss", st.PointerScans)
+	}
+	if len(f.reads) != 0 {
+		t.Fatalf("scanner read %d words on unhinted miss", len(f.reads))
+	}
+}

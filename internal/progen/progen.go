@@ -1,0 +1,560 @@
+// Package progen is the seeded generative workload engine shared by the
+// compiler's differential fuzz tests and the conformance harness
+// (internal/conformance). It generates random structured lang programs
+// whose grammar covers the paper's memory idioms — dense and strided array
+// sweeps, a[b[i]] indirection (the PREFI pattern of Section 4.3), pointer
+// chasing over linked lists, recursive descent of binary trees, heap
+// arrays of row pointers (Figure 4's buf[i][j]), and stores through all of
+// them — so generated programs stress the pointer scanner and the
+// indirect-prefetch path, not just arithmetic.
+//
+// Every generated program terminates by construction: counted loops have
+// constant bounds, array subscripts are masked in-bounds, linked
+// structures are finite and acyclic, and generated stores never target
+// memory holding structure pointers. Generation is deterministic in the
+// seed, and the Init closure is re-runnable: it performs its own heap
+// allocation and data initialization against whatever fresh memory it is
+// handed, so the interpreter oracle and every simulated scheme see
+// byte-identical initial images.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"grp/internal/lang"
+	"grp/internal/mem"
+)
+
+// Config parameterizes the generator.
+type Config struct {
+	// Arith restricts the grammar to the scalar/array/control-flow subset
+	// (the compiler fuzzer's original grammar): no heap structures, no
+	// pointers, no indirection.
+	Arith bool
+	// MaxDepth bounds statement nesting (default 3).
+	MaxDepth int
+}
+
+// Workload is one generated program plus its data initializer.
+type Workload struct {
+	Prog *lang.Program
+	// Init populates a fresh memory after placement: array contents, heap
+	// structures, and the pointers linking them. addr resolves an array
+	// name to its placed base address.
+	Init func(m *mem.Memory, addr func(name string) uint64)
+}
+
+// Gen generates one program per instance (construct with New per seed).
+type Gen struct {
+	r   *rand.Rand
+	cfg Config
+
+	// dataArrays hold plain integers and are legal store targets.
+	dataArrays []*lang.Array
+	// idx is the 4-byte index array for a[b[i]] indirection; its contents
+	// are pre-masked in Init and it is never a store target, so unmasked
+	// indirect subscripts stay in bounds.
+	idx *lang.Array
+
+	scalars       []string
+	loopVarsInUse map[string]bool
+	// forsLeft caps how many For statements may still be generated: the
+	// compiler allocates one persistent register per declared scalar and one
+	// per For (the hoisted loop bound), out of a pool of maxScalarRegs.
+	forsLeft int
+
+	// Heap features, chosen per program in full mode.
+	hasList, hasTree, hasRows bool
+	nodeT, tnodeT             *lang.StructT
+	listHead, treeRoot        *lang.Array
+	treeKeys, rowsArr         *lang.Array
+	listLen, treeLen          int
+	rowsN, rowLen             int64
+
+	inits []func(m *mem.Memory, addr func(string) uint64)
+}
+
+// Sizes of the fixed object set. dataLen is a power of two so constant
+// masks keep subscripts in bounds.
+const (
+	dataLen   = 512 // a: 4 KB of int64 — big enough to span several regions
+	gridDim   = 16  // b: 16x16 int64
+	smallLen  = 256 // w: 4-byte elements
+	idxLen    = 256 // index array for a[b[i]]
+	rowLenDef = 64  // elements per heap row
+)
+
+// maxScalarRegs mirrors the compiler's persistent-register pool: registers
+// 1..19 hold declared scalars plus one hoisted bound per For statement, so
+// generation keeps len(scalars) + #For <= maxScalarRegs or compilation
+// fails with "out of scalar registers".
+const maxScalarRegs = 19
+
+// tailFors is the worst-case number of For statements the guaranteed
+// full-mode tail in Program appends (chase fallback, gather, row sweep,
+// dense sweep); the body generator leaves this many unspent.
+const tailFors = 4
+
+// New builds a generator for one program.
+func New(seed int64, cfg Config) *Gen {
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 3
+	}
+	g := &Gen{
+		r:             rand.New(rand.NewSource(seed)),
+		cfg:           cfg,
+		loopVarsInUse: map[string]bool{},
+		scalars:       []string{"i", "j", "k", "s", "t", "u", "acc"},
+	}
+	if cfg.Arith {
+		g.dataArrays = []*lang.Array{
+			{Name: "a", Elem: lang.I64, Dims: []int64{32}},
+			{Name: "b", Elem: lang.I64, Dims: []int64{8, 8}},
+			{Name: "w", Elem: lang.I32, Dims: []int64{64}},
+		}
+	} else {
+		g.dataArrays = []*lang.Array{
+			{Name: "a", Elem: lang.I64, Dims: []int64{dataLen}},
+			{Name: "b", Elem: lang.I64, Dims: []int64{gridDim, gridDim}},
+			{Name: "w", Elem: lang.I32, Dims: []int64{smallLen}},
+		}
+		g.idx = &lang.Array{Name: "idx", Elem: lang.I32, Dims: []int64{idxLen}}
+		g.chooseFeatures()
+	}
+	g.forsLeft = maxScalarRegs - len(g.scalars)
+	if !cfg.Arith {
+		g.forsLeft -= tailFors // reserved for Program's guaranteed tail
+	}
+	g.addDataInit()
+	return g
+}
+
+// chooseFeatures picks which heap idioms this program exercises. At least
+// one is always on, so full-mode programs always touch the heap.
+func (g *Gen) chooseFeatures() {
+	for !g.hasList && !g.hasTree && !g.hasRows {
+		g.hasList = g.r.Intn(2) == 0
+		g.hasTree = g.r.Intn(2) == 0
+		g.hasRows = g.r.Intn(2) == 0
+	}
+	if g.hasList {
+		g.buildList()
+	}
+	if g.hasTree {
+		g.buildTree()
+	}
+	if g.hasRows {
+		g.buildRows()
+	}
+	g.scalars = append(g.scalars, "p", "q", "row")
+}
+
+// addDataInit fills the plain arrays (and the index array) with
+// deterministic pseudorandom contents. Index elements are pre-masked into
+// [0, dataLen) so a[idx[i]] is in bounds without a masking expression,
+// which is what lets the compiler's indirect analysis recognize the
+// pattern and emit PREFI.
+func (g *Gen) addDataInit() {
+	seed := g.r.Int63()
+	arrays := append([]*lang.Array{}, g.dataArrays...)
+	idx := g.idx
+	g.inits = append(g.inits, func(m *mem.Memory, addr func(string) uint64) {
+		r := rand.New(rand.NewSource(seed))
+		for _, a := range arrays {
+			base := addr(a.Name)
+			for off := int64(0); off < a.Bytes(); off += 8 {
+				m.Write64(base+uint64(off), uint64(r.Int63n(1<<32)))
+			}
+		}
+		if idx != nil {
+			base := addr(idx.Name)
+			for i := int64(0); i < idxLen; i++ {
+				m.Write32(base+uint64(i*4), uint32(r.Int63n(dataLen)))
+			}
+		}
+	})
+}
+
+// buildList declares a singly linked list of val/pad/next nodes reached
+// through a one-element heap head array. Half the time the nodes are
+// shuffled so the chase has no spatial locality (parser/twolf); otherwise
+// they sit in allocation order (ammp).
+func (g *Gen) buildList() {
+	g.nodeT = lang.NewStruct("node",
+		lang.Field{Name: "val", Type: lang.I64},
+		lang.Field{Name: "pad", Type: lang.I64},
+	)
+	g.nodeT.Append("next", lang.PtrT{Elem: g.nodeT})
+	g.listHead = &lang.Array{Name: "lh", Elem: lang.PtrT{Elem: g.nodeT}, Dims: []int64{1}, Heap: true}
+	g.listLen = 48 + g.r.Intn(144)
+	shuffle := g.r.Intn(2) == 0
+	gap := uint64(g.r.Intn(3)) * 40
+	seed := g.r.Int63()
+	n, st := g.listLen, g.nodeT
+	g.inits = append(g.inits, func(m *mem.Memory, addr func(string) uint64) {
+		r := rand.New(rand.NewSource(seed))
+		nodes := allocNodes(m, uint64(st.Size()), n, shuffle, gap, r)
+		for i, a := range nodes {
+			m.Write64(a, uint64(r.Int63n(1<<24))) // val
+			var nxt uint64
+			if i+1 < n {
+				nxt = nodes[i+1]
+			}
+			m.Write64(a+16, nxt)
+		}
+		m.Write64(addr("lh"), nodes[0])
+	})
+}
+
+// buildTree declares a balanced binary search tree at shuffled node
+// addresses plus a key array to query it with (mcf's search idiom).
+func (g *Gen) buildTree() {
+	g.tnodeT = lang.NewStruct("tnode",
+		lang.Field{Name: "key", Type: lang.I64},
+	)
+	g.tnodeT.Append("l", lang.PtrT{Elem: g.tnodeT})
+	g.tnodeT.Append("r", lang.PtrT{Elem: g.tnodeT})
+	g.treeRoot = &lang.Array{Name: "rt", Elem: lang.PtrT{Elem: g.tnodeT}, Dims: []int64{1}, Heap: true}
+	g.treeKeys = &lang.Array{Name: "keys", Elem: lang.I64, Dims: []int64{32}}
+	g.treeLen = 63 + g.r.Intn(192)
+	seed := g.r.Int63()
+	n, st := g.treeLen, g.tnodeT
+	g.inits = append(g.inits, func(m *mem.Memory, addr func(string) uint64) {
+		r := rand.New(rand.NewSource(seed))
+		nodes := allocNodes(m, uint64(st.Size()), n, true, 24, r)
+		next := 0
+		var rec func(lo, hi int) uint64
+		rec = func(lo, hi int) uint64 {
+			if lo > hi {
+				return 0
+			}
+			mid := (lo + hi) / 2
+			a := nodes[next]
+			next++
+			m.Write64(a, uint64(int64(mid)*5))
+			l := rec(lo, mid-1)
+			rr := rec(mid+1, hi)
+			m.Write64(a+8, l)
+			m.Write64(a+16, rr)
+			return a
+		}
+		root := rec(0, n-1)
+		m.Write64(addr("rt"), root)
+		for q := int64(0); q < 32; q++ {
+			m.Write64(addr("keys")+uint64(q*8), uint64(int64(r.Intn(n))*5))
+		}
+	})
+}
+
+// buildRows declares a heap array of row pointers, each row a separately
+// allocated block of int64 (equake's buf[i][j] idiom, paper Figure 4).
+func (g *Gen) buildRows() {
+	g.rowsN = 16 << g.r.Intn(2) // 16 or 32 rows
+	g.rowLen = rowLenDef
+	g.rowsArr = &lang.Array{Name: "rows", Elem: lang.PtrT{Elem: lang.I64}, Dims: []int64{g.rowsN}, Heap: true}
+	seed := g.r.Int63()
+	rowsN, rowLen := g.rowsN, g.rowLen
+	g.inits = append(g.inits, func(m *mem.Memory, addr func(string) uint64) {
+		r := rand.New(rand.NewSource(seed))
+		for i := int64(0); i < rowsN; i++ {
+			row := m.Alloc(uint64(rowLen*8), 64)
+			m.Write64(addr("rows")+uint64(i*8), row)
+			for j := int64(0); j < rowLen; j++ {
+				m.Write64(row+uint64(j*8), uint64(r.Int63n(1<<24)))
+			}
+		}
+	})
+}
+
+// ------------------------------------------------------------ expressions --
+
+// arithScalars are the scalars free-form expressions may read.
+var arithScalars = []string{"i", "j", "k", "s", "t", "u", "acc"}
+
+// tempScalars are the scalars free-form assignments may write (never loop
+// variables, never pointer variables).
+var tempScalars = []string{"s", "t", "u", "acc"}
+
+// expr generates a random arithmetic expression; memLoads controls
+// whether array loads may appear.
+func (g *Gen) expr(depth int, memLoads bool) lang.Expr {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return lang.C(int64(g.r.Intn(64)))
+		default:
+			return lang.S(arithScalars[g.r.Intn(len(arithScalars))])
+		}
+	}
+	if memLoads && g.r.Intn(4) == 0 {
+		return g.indexExpr(depth - 1)
+	}
+	ops := []lang.BinOp{lang.Add, lang.Sub, lang.Mul, lang.And, lang.Or,
+		lang.Xor, lang.Lt, lang.Eq, lang.Ne, lang.Ge}
+	return lang.B(ops[g.r.Intn(len(ops))], g.expr(depth-1, memLoads), g.expr(depth-1, memLoads))
+}
+
+// indexExpr generates an in-bounds data-array reference: subscripts are
+// masked with And so any scalar value stays a legal index.
+func (g *Gen) indexExpr(depth int) *lang.Index {
+	arr := g.dataArrays[g.r.Intn(len(g.dataArrays))]
+	idx := make([]lang.Expr, len(arr.Dims))
+	for d := range arr.Dims {
+		idx[d] = lang.B(lang.And, g.expr(depth, false), lang.C(arr.Dims[d]-1))
+	}
+	return lang.Ix(arr, idx...)
+}
+
+// ------------------------------------------------------------- statements --
+
+func (g *Gen) stmt(depth int) lang.Stmt {
+	n := 6
+	if !g.cfg.Arith {
+		n = 9 // cases 6..8 are the heap/indirect idioms
+	}
+	switch g.r.Intn(n) {
+	case 0, 1:
+		return &lang.Assign{
+			Dst: lang.S(tempScalars[g.r.Intn(len(tempScalars))]),
+			Src: g.expr(depth, true),
+		}
+	case 2:
+		return &lang.Assign{Dst: g.indexExpr(1), Src: g.expr(depth, true)}
+	case 3:
+		return &lang.If{
+			Cond: g.expr(1, false),
+			Then: g.stmts(depth-1, 2),
+			Else: g.stmts(depth-1, 1),
+		}
+	case 4, 5:
+		return g.forStmt(depth, func(v string) []lang.Stmt { return g.stmts(depth-1, 2) })
+	case 6:
+		return g.chaseStmt()
+	case 7:
+		return g.indirectStmt()
+	case 8:
+		return g.rowSweepStmt()
+	}
+	panic("unreachable")
+}
+
+// forStmt builds a bounded counted loop over a free loop variable, falling
+// back to a scalar assignment when i, j, and k are all in use by enclosing
+// loops (reusing one would reset the outer counter and never terminate) or
+// when the For register budget is spent.
+func (g *Gen) forStmt(depth int, body func(v string) []lang.Stmt) lang.Stmt {
+	var v string
+	for _, cand := range []string{"i", "j", "k"} {
+		if !g.loopVarsInUse[cand] {
+			v = cand
+			break
+		}
+	}
+	if v == "" || g.forsLeft <= 0 {
+		return &lang.Assign{Dst: lang.S("s"), Src: g.expr(depth, true)}
+	}
+	g.forsLeft--
+	lo := int64(g.r.Intn(4))
+	hi := lo + int64(1+g.r.Intn(12))
+	g.loopVarsInUse[v] = true
+	b := body(v)
+	g.loopVarsInUse[v] = false
+	return &lang.For{
+		Var: v, Lo: lang.C(lo), Hi: lang.C(hi), Step: int64(1 + g.r.Intn(2)),
+		Body: b,
+	}
+}
+
+// chaseStmt walks the linked list or searches the tree; both terminate
+// because the structures are finite, acyclic, and never stored through.
+func (g *Gen) chaseStmt() lang.Stmt {
+	useList := g.hasList && (!g.hasTree || g.r.Intn(2) == 0)
+	if !useList && !g.hasTree {
+		return g.rowSweepStmt()
+	}
+	if useList {
+		// p = lh[0]; while p != 0 { acc += p->val; [p->val = e]; p = p->next }
+		body := []lang.Stmt{
+			&lang.Assign{Dst: lang.S("acc"), Src: lang.B(lang.Add, lang.S("acc"),
+				&lang.FieldRef{Ptr: lang.S("p"), Struct: g.nodeT, Field: "val"})},
+		}
+		if g.r.Intn(3) == 0 {
+			body = append(body, &lang.Assign{
+				Dst: &lang.FieldRef{Ptr: lang.S("p"), Struct: g.nodeT, Field: "val"},
+				Src: g.expr(1, false),
+			})
+		}
+		body = append(body, &lang.Assign{Dst: lang.S("p"),
+			Src: &lang.FieldRef{Ptr: lang.S("p"), Struct: g.nodeT, Field: "next"}})
+		return &lang.If{
+			Cond: lang.C(1),
+			Then: []lang.Stmt{
+				&lang.Assign{Dst: lang.S("p"), Src: lang.Ix(g.listHead, lang.C(0))},
+				&lang.While{Cond: lang.B(lang.Ne, lang.S("p"), lang.C(0)), Body: body},
+			},
+		}
+	}
+	// t = keys[c]; q = rt[0]; while q != 0 { s = q->key; acc += s;
+	// if t < s { q = q->l } else { q = q->r } }
+	return &lang.If{
+		Cond: lang.C(1),
+		Then: []lang.Stmt{
+			&lang.Assign{Dst: lang.S("t"), Src: lang.Ix(g.treeKeys, lang.C(int64(g.r.Intn(32))))},
+			&lang.Assign{Dst: lang.S("q"), Src: lang.Ix(g.treeRoot, lang.C(0))},
+			&lang.While{Cond: lang.B(lang.Ne, lang.S("q"), lang.C(0)), Body: []lang.Stmt{
+				&lang.Assign{Dst: lang.S("s"), Src: &lang.FieldRef{Ptr: lang.S("q"), Struct: g.tnodeT, Field: "key"}},
+				&lang.Assign{Dst: lang.S("acc"), Src: lang.B(lang.Add, lang.S("acc"), lang.S("s"))},
+				&lang.If{
+					Cond: lang.B(lang.Lt, lang.S("t"), lang.S("s")),
+					Then: []lang.Stmt{&lang.Assign{Dst: lang.S("q"),
+						Src: &lang.FieldRef{Ptr: lang.S("q"), Struct: g.tnodeT, Field: "l"}}},
+					Else: []lang.Stmt{&lang.Assign{Dst: lang.S("q"),
+						Src: &lang.FieldRef{Ptr: lang.S("q"), Struct: g.tnodeT, Field: "r"}}},
+				},
+			}},
+		},
+	}
+}
+
+// indirectStmt builds the a[b[i]] gather/scatter loop. Both the index
+// subscript and the gathered subscript are unmasked — generated loop
+// bounds stay below idxLen, and Init pre-masks idx contents into
+// [0, dataLen) — because a masking And would break the compiler's
+// Section 4.3 s*b(i)+e pattern match and PREFI would never be emitted.
+func (g *Gen) indirectStmt() lang.Stmt {
+	store := g.r.Intn(3) == 0
+	return g.forStmt(2, func(v string) []lang.Stmt {
+		ref := lang.Ix(g.dataArrays[0], lang.Ix(g.idx, lang.S(v)))
+		if store {
+			return []lang.Stmt{&lang.Assign{Dst: ref, Src: g.expr(1, false)}}
+		}
+		return []lang.Stmt{&lang.Assign{
+			Dst: lang.S(tempScalars[g.r.Intn(len(tempScalars))]),
+			Src: lang.B(lang.Add, lang.S("acc"), ref),
+		}}
+	})
+}
+
+// rowSweepStmt loads a heap row pointer and sweeps the row (buf[i][j]).
+func (g *Gen) rowSweepStmt() lang.Stmt {
+	if !g.hasRows {
+		return g.indirectStmt()
+	}
+	store := g.r.Intn(4) == 0
+	rowSel := &lang.Assign{Dst: lang.S("row"),
+		Src: lang.Ix(g.rowsArr, lang.B(lang.And, g.expr(1, false), lang.C(g.rowsN-1)))}
+	sweep := g.forStmt(2, func(v string) []lang.Stmt {
+		ref := &lang.PtrIndex{Ptr: lang.S("row"), Elem: lang.I64,
+			Idx: lang.B(lang.And, lang.S(v), lang.C(g.rowLen-1))}
+		if store {
+			return []lang.Stmt{&lang.Assign{Dst: ref, Src: g.expr(1, false)}}
+		}
+		return []lang.Stmt{&lang.Assign{Dst: lang.S("acc"),
+			Src: lang.B(lang.Add, lang.S("acc"), ref)}}
+	})
+	return &lang.If{Cond: lang.C(1), Then: []lang.Stmt{rowSel, sweep}}
+}
+
+func (g *Gen) stmts(depth, n int) []lang.Stmt {
+	if depth <= 0 {
+		return []lang.Stmt{&lang.Assign{Dst: lang.S("s"), Src: g.expr(1, false)}}
+	}
+	var out []lang.Stmt
+	for i := 0; i < 1+g.r.Intn(n); i++ {
+		out = append(out, g.stmt(depth))
+	}
+	return out
+}
+
+// Program generates the workload. Call it once per Gen.
+func (g *Gen) Program(name string) *Workload {
+	arrays := append([]*lang.Array{}, g.dataArrays...)
+	if g.idx != nil {
+		arrays = append(arrays, g.idx)
+	}
+	if g.hasList {
+		arrays = append(arrays, g.listHead)
+	}
+	if g.hasTree {
+		arrays = append(arrays, g.treeRoot, g.treeKeys)
+	}
+	if g.hasRows {
+		arrays = append(arrays, g.rowsArr)
+	}
+	body := g.stmts(g.cfg.MaxDepth, 3)
+	if !g.cfg.Arith {
+		// Every full-grammar program ends with one guaranteed round of each
+		// enabled idiom plus a dense sweep, so no seed degenerates into pure
+		// scalar arithmetic that never touches the prefetch paths. The tail
+		// spends the For budget reserved in New.
+		g.forsLeft = tailFors
+		body = append(body, g.chaseStmt())
+		// Deterministic gather starting at 0: the compiler guards PREFI on
+		// i&15 == 0, so a zero lower bound guarantees the indirect prefetch
+		// path actually executes (three PREFIs over 48 iterations).
+		g.forsLeft--
+		body = append(body, &lang.For{
+			Var: "i", Lo: lang.C(0), Hi: lang.C(48), Step: 1,
+			Body: []lang.Stmt{&lang.Assign{
+				Dst: lang.S("acc"),
+				Src: lang.B(lang.Add, lang.S("acc"),
+					lang.Ix(g.dataArrays[0], lang.Ix(g.idx, lang.S("i")))),
+			}},
+		})
+		if g.hasRows {
+			body = append(body, g.rowSweepStmt())
+		}
+		g.forsLeft--
+		body = append(body, &lang.For{
+			Var: "i", Lo: lang.C(0), Hi: lang.C(dataLen / 2), Step: 1,
+			Body: []lang.Stmt{&lang.Assign{
+				Dst: lang.S("acc"),
+				Src: lang.B(lang.Add, lang.S("acc"), lang.Ix(g.dataArrays[0], lang.S("i"))),
+			}},
+		})
+	}
+	p := &lang.Program{
+		Name:    name,
+		Arrays:  arrays,
+		Scalars: append([]string{}, g.scalars...),
+		Body:    body,
+	}
+	inits := g.inits
+	return &Workload{
+		Prog: p,
+		Init: func(m *mem.Memory, addr func(string) uint64) {
+			for _, f := range inits {
+				f(m, addr)
+			}
+		},
+	}
+}
+
+// allocNodes allocates n fixed-size heap objects and returns their
+// addresses in traversal order: allocation order when shuffle is false,
+// a deterministic permutation otherwise. gap inserts dead bytes between
+// allocations, modeling heap fragmentation.
+func allocNodes(m *mem.Memory, size uint64, n int, shuffle bool, gap uint64, r *rand.Rand) []uint64 {
+	addrs := make([]uint64, n)
+	for i := range addrs {
+		addrs[i] = m.Alloc(size, 8)
+		if gap > 0 {
+			m.Alloc(gap, 8)
+		}
+	}
+	if shuffle {
+		out := make([]uint64, n)
+		for i, j := range r.Perm(n) {
+			out[i] = addrs[j]
+		}
+		return out
+	}
+	return addrs
+}
+
+// Generate is the convenience one-shot: a fresh generator's program for
+// the seed.
+func Generate(seed int64, cfg Config) *Workload {
+	return New(seed, cfg).Program(fmt.Sprintf("gen%d", seed))
+}

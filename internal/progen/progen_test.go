@@ -1,0 +1,95 @@
+package progen
+
+import (
+	"strings"
+	"testing"
+
+	"grp/internal/compiler"
+	"grp/internal/mem"
+)
+
+// initDigest places the workload's arrays in a fresh memory, runs Init, and
+// returns the memory digest.
+func initDigest(w *Workload) uint64 {
+	m := mem.New()
+	lay := compiler.Place(w.Prog, m)
+	w.Init(m, func(name string) uint64 { return lay.Addr[name] })
+	return m.Digest()
+}
+
+// TestGenerateValid checks every generated program over both grammars is
+// well-formed and the full grammar always reaches the heap idioms it
+// promises (the guaranteed tail).
+func TestGenerateValid(t *testing.T) {
+	for seed := int64(1); seed <= 60; seed++ {
+		for _, arith := range []bool{false, true} {
+			w := Generate(seed, Config{Arith: arith})
+			if err := w.Prog.Validate(); err != nil {
+				t.Fatalf("seed %d arith=%v: invalid program: %v", seed, arith, err)
+			}
+			if arith {
+				continue
+			}
+			src := w.Prog.String()
+			if !strings.Contains(src, "idx[") {
+				t.Fatalf("seed %d: full-grammar program never indexes through idx:\n%s", seed, src)
+			}
+			if !strings.Contains(src, "heap") {
+				t.Fatalf("seed %d: full-grammar program declares no heap array:\n%s", seed, src)
+			}
+		}
+	}
+}
+
+// TestGenerateDeterministic checks the same seed yields the same program
+// text and the same initial memory image, run-to-run: the conformance
+// harness depends on Init being re-runnable against fresh memories.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		w1 := Generate(seed, Config{})
+		w2 := Generate(seed, Config{})
+		if w1.Prog.String() != w2.Prog.String() {
+			t.Fatalf("seed %d: program text differs between generations", seed)
+		}
+		d1 := initDigest(w1)
+		if d2 := initDigest(w2); d1 != d2 {
+			t.Fatalf("seed %d: init digest differs between generations: %#x vs %#x", seed, d1, d2)
+		}
+		// Re-running the same workload's Init on another fresh memory must
+		// reproduce the image exactly.
+		if d3 := initDigest(w1); d1 != d3 {
+			t.Fatalf("seed %d: init digest differs between runs: %#x vs %#x", seed, d1, d3)
+		}
+	}
+}
+
+// TestScalarRegisterBudget checks generated programs never exceed the
+// compiler's persistent scalar-register pool: every declared scalar plus
+// every For statement costs one register.
+func TestScalarRegisterBudget(t *testing.T) {
+	for seed := int64(1); seed <= 200; seed++ {
+		w := Generate(seed, Config{})
+		m := mem.New()
+		if _, _, _, err := compiler.CompileWorkload(w.Prog, m, compiler.PolicyDefault); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, w.Prog.String())
+		}
+	}
+}
+
+// FuzzProgGen lets the fuzzer pick seeds and grammar: generation must stay
+// total, valid, and deterministic for any seed.
+func FuzzProgGen(f *testing.F) {
+	f.Add(int64(1), false)
+	f.Add(int64(9), false)
+	f.Add(int64(1000), true)
+	f.Add(int64(-7), false)
+	f.Fuzz(func(t *testing.T, seed int64, arith bool) {
+		w := Generate(seed, Config{Arith: arith})
+		if err := w.Prog.Validate(); err != nil {
+			t.Fatalf("seed %d arith=%v: invalid program: %v", seed, arith, err)
+		}
+		if Generate(seed, Config{Arith: arith}).Prog.String() != w.Prog.String() {
+			t.Fatalf("seed %d arith=%v: nondeterministic generation", seed, arith)
+		}
+	})
+}

@@ -145,6 +145,13 @@ type MemSystem struct {
 	checkGap  uint64 // accesses between periodic invariant checks
 	sinceInv  uint64
 	cancelled int // cancelled entries still parked in the arrivals heap
+
+	// fillTamper, when non-nil, is invoked with the block address of every
+	// prefetch fill the moment it lands in the L2. It exists solely for the
+	// conformance harness's known-bad self-test: a tamperer that corrupts
+	// the block's backing data models a broken prefetch data path, which the
+	// differential harness must catch. Never set outside tests.
+	fillTamper func(block uint64)
 }
 
 // Histogram and series names the hierarchy registers; exported so drivers
@@ -304,6 +311,10 @@ func (ms *MemSystem) EnableInvariantChecks(every uint64) {
 // configuration).
 func (ms *MemSystem) SetPrioritizer(on bool) { ms.prioritizer = on }
 
+// SetFillTamper installs a test-only hook called with every prefetch
+// fill's block address as it lands in the L2 (see the fillTamper field).
+func (ms *MemSystem) SetFillTamper(fn func(block uint64)) { ms.fillTamper = fn }
+
 // Stats returns hierarchy-level statistics.
 func (ms *MemSystem) Stats() MemStats { return ms.stats }
 
@@ -337,6 +348,9 @@ func (ms *MemSystem) processArrivals(t uint64) {
 		v, evicted := ms.L2.Fill(ln.block, ln.prefetch, false)
 		if evicted && v.Dirty {
 			ms.Dram.Submit(v.Addr, dram.Writeback, ln.doneAt)
+		}
+		if ln.prefetch && ms.fillTamper != nil {
+			ms.fillTamper(ln.block)
 		}
 		// Pointer-scanning engines inspect every arriving line.
 		ms.Engine.OnArrival(ln.block)

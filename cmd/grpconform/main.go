@@ -7,7 +7,7 @@
 // Usage:
 //
 //	grpconform -n 500 -seed 1 -jobs 8 [-schemes base,srp,grp/var] \
-//	    [-faults 'light;heavy'] [-overlay l2.size=512K] [-arith] \
+//	    [-faults 'light;heavy'] [-overlay l2.size=512K] [-arith] [-timing] \
 //	    [-shrink] [-shrink-out repro.txt] [-q]
 //
 // The summary on stdout is deterministic: byte-identical across -jobs
@@ -47,6 +47,7 @@ func main() {
 		faultSpec = flag.String("faults", "", "semicolon-separated fault variants (preset names or key=value specs; empty/none = fault-free only)")
 		arith     = flag.Bool("arith", false, "restrict the generator to the arithmetic-only grammar (no heap idioms)")
 		maxSteps  = flag.Int("max-steps", 0, "interpreter oracle step cap; longer programs are skipped (0 = default)")
+		timing    = flag.Bool("timing", false, "rerun every clean cell on the legacy engine and require cycle-for-cycle equality")
 		shrink    = flag.Bool("shrink", false, "on failure, minimize the first failing program and print the reproducer")
 		shrinkOut = flag.String("shrink-out", "", "also write the shrunk reproducer to this file")
 		quiet     = flag.Bool("q", false, "suppress per-program progress lines")
@@ -75,14 +76,15 @@ func main() {
 	}
 
 	cfg := conformance.Config{
-		N:        *n,
-		Seed:     *seed,
-		Jobs:     *jobs,
-		Schemes:  scs,
-		Variants: variants,
-		Base:     base,
-		Gen:      progen.Config{Arith: *arith},
-		MaxSteps: *maxSteps,
+		N:           *n,
+		Seed:        *seed,
+		Jobs:        *jobs,
+		Schemes:     scs,
+		Variants:    variants,
+		Base:        base,
+		Gen:         progen.Config{Arith: *arith},
+		MaxSteps:    *maxSteps,
+		TimingCheck: *timing,
 	}
 	if !*quiet {
 		cfg.Progress = func(done, total, failed int) {

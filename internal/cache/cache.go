@@ -84,14 +84,24 @@ type line struct {
 }
 
 // Cache is a set-associative write-back, write-allocate cache with true-LRU
-// replacement. Each set is maintained as an ordered list, index 0 = MRU,
-// index assoc-1 = LRU.
+// replacement. Each set is an ordered window of the flat line array,
+// index 0 = MRU, index assoc-1 = LRU. Storing every set contiguously in
+// one backing array (instead of a slice-of-slices) drops a pointer chase
+// from every probe on the simulator's hot path and keeps neighbouring
+// sets on shared cache lines of the host.
 type Cache struct {
 	cfg      Config
-	sets     [][]line
+	lines    []line
+	nsets    int
 	setMask  uint64
 	blkShift uint
 	stats    Stats
+}
+
+// ways returns set's MRU→LRU window of the flat line array.
+func (c *Cache) ways(set uint64) []line {
+	lo := int(set) * c.cfg.Assoc
+	return c.lines[lo : lo+c.cfg.Assoc : lo+c.cfg.Assoc]
 }
 
 // New builds a cache from cfg, or reports why the configuration is
@@ -103,11 +113,9 @@ func New(cfg Config) (*Cache, error) {
 	nsets := cfg.SizeBytes / (cfg.Assoc * cfg.BlockBytes)
 	c := &Cache{
 		cfg:     cfg,
-		sets:    make([][]line, nsets),
+		lines:   make([]line, nsets*cfg.Assoc),
+		nsets:   nsets,
 		setMask: uint64(nsets - 1),
-	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Assoc)
 	}
 	for b := cfg.BlockBytes; b > 1; b >>= 1 {
 		c.blkShift++
@@ -159,8 +167,9 @@ func (c *Cache) Contains(addr uint64) bool {
 		return true
 	}
 	set, tag := c.index(addr)
-	for i := range c.sets[set] {
-		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
+	ways := c.ways(set)
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
 			return true
 		}
 	}
@@ -179,7 +188,7 @@ func (c *Cache) Access(addr uint64, write bool) (hit, wasPrefetched bool) {
 		return true, false
 	}
 	set, tag := c.index(addr)
-	ways := c.sets[set]
+	ways := c.ways(set)
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
 			c.stats.Hits++
@@ -211,7 +220,7 @@ func (c *Cache) MarkDirty(addr uint64) bool {
 		return true
 	}
 	set, tag := c.index(addr)
-	ways := c.sets[set]
+	ways := c.ways(set)
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
 			ways[i].dirty = true
@@ -236,7 +245,7 @@ func (c *Cache) Fill(addr uint64, prefetch, dirty bool) (v Victim, evicted bool)
 		return Victim{}, false
 	}
 	set, tag := c.index(addr)
-	ways := c.sets[set]
+	ways := c.ways(set)
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
 			if dirty {
@@ -279,7 +288,7 @@ func (c *Cache) Fill(addr uint64, prefetch, dirty bool) (v Victim, evicted bool)
 // it was dirty. Used by tests and by writeback handling.
 func (c *Cache) Invalidate(addr uint64) (wasDirty, wasPresent bool) {
 	set, tag := c.index(addr)
-	ways := c.sets[set]
+	ways := c.ways(set)
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
 			wasDirty = ways[i].dirty
@@ -302,14 +311,14 @@ func (c *Cache) reconstruct(_, tag uint64) uint64 {
 }
 
 // NumSets returns the number of sets.
-func (c *Cache) NumSets() int { return len(c.sets) }
+func (c *Cache) NumSets() int { return c.nsets }
 
 // WaysOf returns the block addresses currently valid in addr's set, MRU
 // first. Intended for tests and debugging.
 func (c *Cache) WaysOf(addr uint64) []uint64 {
 	set, _ := c.index(addr)
 	var out []uint64
-	for _, w := range c.sets[set] {
+	for _, w := range c.ways(set) {
 		if w.valid {
 			out = append(out, c.reconstruct(set, w.tag))
 		}

@@ -23,7 +23,12 @@ import (
 //
 // 2: Result gained MemDigest; cached JSON from schema 1 would deserialize
 // it as zero.
-const cacheSchemaVersion = 2
+//
+// 3: the hot-path overhaul made same-doneAt arrivals drain in FIFO issue
+// order (the legacy heap's tie order was unspecified), which decides L2
+// LRU state and pointer-scan order — pre-overhaul cached cells are
+// timing-incompatible. Options also gained LegacyEngine, now in the key.
+const cacheSchemaVersion = 3
 
 // schemeVersions fingerprints each prefetch-engine implementation. The
 // workload side of a cell is content-addressed through the compiled
@@ -83,6 +88,9 @@ func canonicalize(bench string, sc core.Scheme, opt core.Options, progHash uint6
 	// presence must still split the key so a tampered run can never serve
 	// as a clean cache hit (or vice versa).
 	set("tamper", opt.TamperPrefetchFill != nil)
+	// The two engines are cycle-exact twins, but they are different code;
+	// a legacy-engine run must never satisfy (or poison) a new-engine hit.
+	set("legacy_engine", opt.LegacyEngine)
 
 	memCfg := sim.DefaultMemConfig()
 	if opt.Mem != nil {

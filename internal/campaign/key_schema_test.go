@@ -1,0 +1,49 @@
+package campaign
+
+import (
+	"testing"
+
+	"grp/internal/core"
+	"grp/internal/workloads"
+)
+
+// schema2McfGRPVarDigest is the content address the (mcf, grp/var, Test)
+// cell had under cache schema 2, recorded immediately before the hot-path
+// overhaul. The overhaul changed same-cycle fill ordering (FIFO by issue
+// seq), so results cached under the old schema must be unreachable: the
+// schema bump to 3 retires this key.
+const schema2McfGRPVarDigest = "120b7bf81bb9a4a962ea5e32718e536c8f298e4c017eca8408334c33e01c24e6"
+
+// TestSchemaBumpRetiresOldKeys recomputes the (mcf, grp/var, Test) key
+// with today's canonicalization — same recipe that recorded the schema-2
+// digest — and demands it moved. If this fails, either the schema was
+// rolled back or canonicalize no longer folds the schema in; both would
+// let stale pre-overhaul cells serve as cache hits.
+func TestSchemaBumpRetiresOldKeys(t *testing.T) {
+	if cacheSchemaVersion < 3 {
+		t.Fatalf("cacheSchemaVersion = %d, want >= 3 after the hot-path overhaul", cacheSchemaVersion)
+	}
+	opt := core.Options{Factor: workloads.Test}
+	ph, err := newHashMemo().get("mcf", opt.Factor, opt.Policy, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := cellKey("mcf", core.GRPVar, opt, ph)
+	if k.Digest == schema2McfGRPVarDigest {
+		t.Fatalf("(mcf, grp/var, Test) still maps to its schema-2 digest %s; stale cached cells would hit", k.Digest)
+	}
+}
+
+// TestLegacyEngineSplitsKey pins that the retained legacy engine gets its
+// own cache identity: cycle-exact twins or not, a legacy-engine run and a
+// new-engine run are different code and must never share a cell.
+func TestLegacyEngineSplitsKey(t *testing.T) {
+	base := core.Options{Factor: workloads.Test}
+	legacy := base
+	legacy.LegacyEngine = true
+	k1 := cellKey("mcf", core.GRPVar, base, 42)
+	k2 := cellKey("mcf", core.GRPVar, legacy, 42)
+	if k1.Digest == k2.Digest {
+		t.Fatal("LegacyEngine does not split the cell key")
+	}
+}

@@ -73,6 +73,14 @@ type Config struct {
 	// known-bad self-test: with a corrupting tamperer the harness must
 	// report failures.
 	Tamper func(m *mem.Memory, block uint64)
+	// TimingCheck reruns every clean (fault-free) realistic-scheme cell on
+	// the retained legacy engine (core.Options.LegacyEngine) and demands
+	// cycle-for-cycle equality with the overhauled hot path. It is the
+	// timing-equivalence mode guarding the event-queue/pool rewrite:
+	// architectural digests alone would let a timing regression slip
+	// through, since prefetching only perturbs timing. Failures carry the
+	// kind "timing-divergence". Roughly doubles campaign cost.
+	TimingCheck bool
 	// Progress, when non-nil, is called after each checked program with
 	// the completion count, total, and failures so far. Serialized.
 	Progress func(done, total, failed int)
@@ -91,7 +99,7 @@ type Failure struct {
 	Seed    int64
 	Scheme  core.Scheme
 	Variant string // "" for the fault-free pass
-	Kind    string // run-error, no-halt, oracle-divergence, scheme-divergence, metric, cycle-bound
+	Kind    string // run-error, no-halt, oracle-divergence, scheme-divergence, metric, cycle-bound, timing-divergence
 	Detail  string
 }
 
@@ -285,7 +293,7 @@ func CheckWorkload(cfg Config, seed int64, w *progen.Workload) *ProgramReport {
 	if ref != nil {
 		archRef = ref
 	}
-	var baseClean *core.Result         // fault-free no-prefetch cell, the coverage baseline
+	var baseClean *core.Result // fault-free no-prefetch cell, the coverage baseline
 	type namedResult struct {
 		r       *core.Result
 		variant string
@@ -315,6 +323,9 @@ func CheckWorkload(cfg Config, seed int64, w *progen.Workload) *ProgramReport {
 			}
 			checkMetrics(r, ref, fail, sc, v.Name)
 			clean = append(clean, namedResult{r: r, variant: v.Name})
+			if cfg.TimingCheck && v.Plan == nil {
+				checkTiming(cfg, spec, r, pr, fail, sc)
+			}
 		}
 	}
 	// Coverage against the no-prefetch baseline: structurally bounded above
@@ -329,6 +340,33 @@ func CheckWorkload(cfg Config, seed int64, w *progen.Workload) *ProgramReport {
 		}
 	}
 	return pr
+}
+
+// checkTiming reruns one clean cell on the legacy engine and asserts the
+// two hot paths are cycle-exact twins: same cycle count and same
+// architectural and memory digests. Any difference is a bug in the
+// overhauled engine (or a behavioral drift in the retained legacy copy).
+func checkTiming(cfg Config, spec *workloads.Spec, r *core.Result, pr *ProgramReport, fail func(core.Scheme, string, string, string), sc core.Scheme) {
+	opt := cloneOptions(cfg.Base)
+	opt.CheckInvariants = true
+	opt.TamperPrefetchFill = cfg.Tamper
+	opt.LegacyEngine = true
+	pr.Cells++
+	lr, err := core.Run(spec, sc, opt)
+	if err != nil {
+		fail(sc, "legacy", "run-error", err.Error())
+		return
+	}
+	if lr.CPU.Cycles != r.CPU.Cycles {
+		fail(sc, "legacy", "timing-divergence",
+			fmt.Sprintf("new engine %d cycles, legacy engine %d", r.CPU.Cycles, lr.CPU.Cycles))
+		return
+	}
+	if lr.ArchDigest != r.ArchDigest || lr.MemDigest != r.MemDigest {
+		fail(sc, "legacy", "timing-divergence",
+			fmt.Sprintf("digest drift: new arch %016x mem %016x, legacy arch %016x mem %016x",
+				r.ArchDigest, r.MemDigest, lr.ArchDigest, lr.MemDigest))
+	}
 }
 
 // checkMetrics asserts the metric sanity invariants on one cell.

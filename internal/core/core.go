@@ -139,6 +139,13 @@ type Options struct {
 	// check must catch). Never set outside tests; runs with it set bypass
 	// the campaign result cache's semantics, so the cache key records it.
 	TamperPrefetchFill func(m *mem.Memory, block uint64)
+	// LegacyEngine runs the pre-overhaul hot path: sim.LegacyMemSystem
+	// (container/heap arrival queue, map-backed in-flight table) and the
+	// map-based CPU slot tables. It is cycle-identical to the default
+	// engine by construction and exists only as the reference for the
+	// golden snapshots, the conformance timing-equivalence mode, and the
+	// hot-path speedup benchmark baseline.
+	LegacyEngine bool
 }
 
 // Validate checks the run options: any overridden CPU, cache, or DRAM
@@ -212,6 +219,24 @@ func (r *Result) IPC() float64 { return r.CPU.IPC() }
 // the paper's Table 5 accuracy metric does.
 func (r *Result) Accuracy() float64 { return accuracy(r.L2, r.Mem) }
 
+// memSystem is the surface Run drives, satisfied by both engine
+// generations (*sim.MemSystem and *sim.LegacyMemSystem), so the
+// LegacyEngine option swaps the whole hot path without duplicating the
+// run wiring.
+type memSystem interface {
+	cpu.MemoryTiming
+	SetPrioritizer(on bool)
+	SetFaults(inj *faults.Injector)
+	SetWatchdog(cfg sim.WatchdogConfig) *sim.Watchdog
+	EnableInvariantChecks(every uint64)
+	SetFillTamper(fn func(block uint64))
+	AttachTelemetry(reg *metrics.Registry, smp *metrics.Sampler, tl *trace.Timeline)
+	Drain()
+	Stats() sim.MemStats
+	FaultCounts() faults.Counts
+	Hierarchy() (l1, l2 *cache.Cache, dc *dram.Controller)
+}
+
 // Run simulates one benchmark under one scheme.
 func Run(spec *workloads.Spec, scheme Scheme, opt Options) (*Result, error) {
 	if err := opt.Validate(); err != nil {
@@ -248,7 +273,14 @@ func Run(spec *workloads.Spec, scheme Scheme, opt Options) (*Result, error) {
 	}
 
 	engine := engineFor(scheme, spec, m, opt)
-	ms, err := sim.NewMemSystem(memCfg, engine)
+	var ms memSystem
+	if opt.LegacyEngine {
+		lms, lerr := sim.NewLegacyMemSystem(memCfg, engine)
+		ms, err = lms, lerr
+	} else {
+		nms, nerr := sim.NewMemSystem(memCfg, engine)
+		ms, err = nms, nerr
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: building memory system: %w", err)
 	}
@@ -287,6 +319,7 @@ func Run(spec *workloads.Spec, scheme Scheme, opt Options) (*Result, error) {
 	if opt.CPU != nil {
 		cpuCfg = *opt.CPU
 	}
+	cpuCfg.LegacyScheduler = opt.LegacyEngine
 	cpuCfg.MaxInstrs = built.MaxInstrs
 	if opt.MaxInstrs != 0 {
 		cpuCfg.MaxInstrs = opt.MaxInstrs
@@ -328,16 +361,17 @@ func Run(spec *workloads.Spec, scheme Scheme, opt Options) (*Result, error) {
 	}
 
 	md := m.Digest()
+	l1, l2, dc := ms.Hierarchy()
 	return &Result{
 		Bench:        spec.Name,
 		Scheme:       scheme,
 		CPU:          cres,
-		L1:           ms.L1.Stats(),
-		L2:           ms.L2.Stats(),
+		L1:           l1.Stats(),
+		L2:           l2.Stats(),
 		Mem:          ms.Stats(),
-		Dram:         ms.Dram.Stats(),
+		Dram:         dc.Stats(),
 		PF:           engine.Stats(),
-		TrafficBytes: ms.Dram.TrafficBytes(),
+		TrafficBytes: dc.TrafficBytes(),
 		Hints:        prog.CountHints(),
 		Metrics:      snap,
 		ArchDigest:   archDigest(c, cres, md),

@@ -64,6 +64,12 @@ type Config struct {
 	// MaxInstrs bounds simulated instruction count; 0 means unlimited
 	// (run to HALT).
 	MaxInstrs uint64
+
+	// LegacyScheduler selects the pre-overhaul map-based slot tables
+	// instead of the epoch-tagged ring buffers. Cycle-identical by
+	// construction; kept only as the reference engine behind
+	// core.Options.LegacyEngine.
+	LegacyScheduler bool
 }
 
 // Validate checks the configuration for internal consistency.
@@ -123,25 +129,118 @@ func opLatency(op isa.Op) uint64 {
 	}
 }
 
-// slotTable tracks per-cycle resource usage (issue slots, memory ports)
-// sparsely; old cycles are pruned as the fetch front advances past them.
+// slotWindow is the ring's cycle span. It is a perf knob, not a
+// correctness bound: probes further than this ahead of the fetch frontier
+// fall back to the spill map.
+const slotWindow = 1 << 15
+
+// slotTable tracks per-cycle resource usage (issue slots, memory ports).
+//
+// The default representation is an epoch-tagged ring buffer: slot
+// c&(slotWindow-1) holds the count for cycle c while epoch records which
+// cycle the entry belongs to. Every probe happens at a cycle strictly
+// above the fetch frontier (reserveWith receives it), and the frontier is
+// monotonic, so any entry whose epoch is at or below it is dead and can
+// be reclaimed in place — no eager clearing, no per-entry allocation, no
+// hashing on the hot path. The count for a cycle lives in exactly one
+// place: the ring iff the cycle is inside the window and owns its slot
+// (epoch match); otherwise the spill map. Reclaiming a dead slot pulls
+// any spill count for the new cycle into the ring, which keeps that
+// invariant across frontier advances. Far-future probes (≥ slotWindow
+// ahead) and live ring collisions go to the spill map, which stays empty
+// in practice.
+//
+// The pre-overhaul sparse map lives on behind legacy for the reference
+// engine; both representations reserve identical cycles.
 type slotTable struct {
+	limit uint8
+
+	ring  []uint8  // per-cycle counts, indexed by cycle & (slotWindow-1)
+	epoch []uint64 // cycle each ring entry belongs to
+	base  uint64   // fetch frontier: cycles ≤ base are dead
+	spill map[uint64]uint8
+
+	legacy bool
 	counts map[uint64]uint8
-	limit  uint8
 }
 
-func newSlotTable(limit int) *slotTable {
-	return &slotTable{counts: make(map[uint64]uint8), limit: uint8(limit)}
+func newSlotTable(limit int, legacy bool) *slotTable {
+	s := &slotTable{limit: uint8(limit), legacy: legacy}
+	if legacy {
+		s.counts = make(map[uint64]uint8)
+	} else {
+		s.ring = make([]uint8, slotWindow)
+		s.epoch = make([]uint64, slotWindow)
+		s.spill = make(map[uint64]uint8)
+	}
+	return s
+}
+
+// countAt returns the reservation count at cycle c (c > s.base).
+func (s *slotTable) countAt(c uint64) uint8 {
+	if c-s.base < slotWindow {
+		idx := c & (slotWindow - 1)
+		switch {
+		case s.epoch[idx] == c:
+			return s.ring[idx]
+		case s.epoch[idx] <= s.base:
+			return s.spill[c] // dead slot; any count for c is spilled
+		}
+	}
+	return s.spill[c]
+}
+
+// claim records one reservation at cycle c (c > s.base).
+func (s *slotTable) claim(c uint64) {
+	if c-s.base < slotWindow {
+		idx := c & (slotWindow - 1)
+		if s.epoch[idx] == c {
+			s.ring[idx]++
+			return
+		}
+		if s.epoch[idx] <= s.base {
+			// Reclaim the dead slot, absorbing any spilled count so the
+			// cycle's tally lives in exactly one place.
+			s.epoch[idx] = c
+			v := s.spill[c]
+			if v != 0 {
+				delete(s.spill, c)
+			}
+			s.ring[idx] = v + 1
+			return
+		}
+	}
+	s.spill[c]++
 }
 
 // reserveWith finds the first cycle >= at with a free slot in both s and
-// (when other != nil) other, and claims one slot in each.
-func (s *slotTable) reserveWith(at uint64, other *slotTable) uint64 {
+// (when other != nil) other, and claims one slot in each. frontier is the
+// caller's fetch cycle: every probe, now and in the future, is strictly
+// above it, which is what licenses in-place reclamation of older entries.
+func (s *slotTable) reserveWith(at, frontier uint64, other *slotTable) uint64 {
+	if s.legacy {
+		for {
+			if s.counts[at] < s.limit && (other == nil || other.counts[at] < other.limit) {
+				s.counts[at]++
+				if other != nil {
+					other.counts[at]++
+				}
+				return at
+			}
+			at++
+		}
+	}
+	if frontier > s.base {
+		s.base = frontier
+	}
+	if other != nil && frontier > other.base {
+		other.base = frontier
+	}
 	for {
-		if s.counts[at] < s.limit && (other == nil || other.counts[at] < other.limit) {
-			s.counts[at]++
+		if s.countAt(at) < s.limit && (other == nil || other.countAt(at) < other.limit) {
+			s.claim(at)
 			if other != nil {
-				other.counts[at]++
+				other.claim(at)
 			}
 			return at
 		}
@@ -150,12 +249,21 @@ func (s *slotTable) reserveWith(at uint64, other *slotTable) uint64 {
 }
 
 func (s *slotTable) pruneBelow(c uint64) {
-	if len(s.counts) < 1<<15 {
+	if s.legacy {
+		if len(s.counts) < 1<<15 {
+			return
+		}
+		for k := range s.counts {
+			if k < c {
+				delete(s.counts, k)
+			}
+		}
 		return
 	}
-	for k := range s.counts {
+	// The ring self-reclaims; only dead spill entries need sweeping.
+	for k := range s.spill {
 		if k < c {
-			delete(s.counts, k)
+			delete(s.spill, k)
 		}
 	}
 }
@@ -222,8 +330,8 @@ func (c *Core) Run(p *isa.Program) (Result, error) {
 	var regReady [isa.NumRegs]uint64
 	robCommit := make([]uint64, c.cfg.ROBSize) // commit cycle by ROB slot
 
-	issueSlots := newSlotTable(c.cfg.IssueWidth)
-	memSlots := newSlotTable(c.cfg.MemPorts)
+	issueSlots := newSlotTable(c.cfg.IssueWidth, c.cfg.LegacyScheduler)
+	memSlots := newSlotTable(c.cfg.MemPorts, c.cfg.LegacyScheduler)
 
 	var fetchCycle uint64 = 1
 	fetchedThisCycle := 0
@@ -365,7 +473,7 @@ func (c *Core) Run(p *isa.Program) (Result, error) {
 			// A software prefetch consumes an issue slot and a memory
 			// port like a load — its runtime overhead is the point of the
 			// comparison — but binds no register and never stalls.
-			issueAt := issueSlots.reserveWith(readyAt, memSlots)
+			issueAt := issueSlots.reserveWith(readyAt, fetchCycle, memSlots)
 			c.msys.SoftwarePrefetch(addr, issueAt)
 			doneAt = issueAt + 1
 		case in.IsLoad():
@@ -375,7 +483,7 @@ func (c *Core) Run(p *isa.Program) (Result, error) {
 			if storeAddrReadyMax > readyAt {
 				readyAt = storeAddrReadyMax
 			}
-			issueAt := issueSlots.reserveWith(readyAt, memSlots)
+			issueAt := issueSlots.reserveWith(readyAt, fetchCycle, memSlots)
 			// Forward from an in-flight older store to the same address.
 			forwarded := false
 			for j := len(recentStores) - 1; j >= 0; j-- {
@@ -398,7 +506,7 @@ func (c *Core) Run(p *isa.Program) (Result, error) {
 			}
 		case in.IsStore():
 			res.Stores++
-			issueAt := issueSlots.reserveWith(readyAt, memSlots)
+			issueAt := issueSlots.reserveWith(readyAt, fetchCycle, memSlots)
 			// The store enters the store buffer; the cache access happens
 			// in the background and does not block commit.
 			c.msys.Store(ipc, addr, issueAt)
@@ -413,7 +521,7 @@ func (c *Core) Run(p *isa.Program) (Result, error) {
 				recentStores = recentStores[len(recentStores)-c.cfg.ROBSize:]
 			}
 		default:
-			issueAt := issueSlots.reserveWith(readyAt, nil)
+			issueAt := issueSlots.reserveWith(readyAt, fetchCycle, nil)
 			doneAt = issueAt + opLatency(in.Op)
 		}
 

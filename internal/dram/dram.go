@@ -96,6 +96,16 @@ type Controller struct {
 	stats     Stats
 	rowBlocks uint64
 
+	// Shift/mask fast path for Map when every geometry parameter is a
+	// power of two (the paper's configuration is); pow2 guards it.
+	pow2      bool
+	blkShift  uint
+	chanMask  uint64
+	chanShift uint
+	rowShift  uint
+	bankMask  uint64
+	bankShift uint
+
 	// chanBusy accumulates data-bus occupancy per channel, the numerator
 	// of the utilization telemetry series. One add per transfer.
 	chanBusy []uint64
@@ -114,6 +124,24 @@ func New(cfg Config) (*Controller, error) {
 		banks:     make([][]bank, cfg.Channels),
 		rowBlocks: uint64(cfg.RowBytes / cfg.BlockBytes),
 		chanBusy:  make([]uint64, cfg.Channels),
+	}
+	pow2 := func(n int) bool { return n > 0 && n&(n-1) == 0 }
+	if pow2(cfg.BlockBytes) && pow2(cfg.Channels) && pow2(int(c.rowBlocks)) && pow2(cfg.BanksPerChannel) {
+		log2 := func(n int) uint {
+			var s uint
+			for n > 1 {
+				n >>= 1
+				s++
+			}
+			return s
+		}
+		c.pow2 = true
+		c.blkShift = log2(cfg.BlockBytes)
+		c.chanMask = uint64(cfg.Channels - 1)
+		c.chanShift = log2(cfg.Channels)
+		c.rowShift = log2(int(c.rowBlocks))
+		c.bankMask = uint64(cfg.BanksPerChannel - 1)
+		c.bankShift = log2(cfg.BanksPerChannel)
 	}
 	for i := range c.banks {
 		c.banks[i] = make([]bank, cfg.BanksPerChannel)
@@ -134,6 +162,14 @@ func (c *Controller) Config() Config { return c.cfg }
 // blocks round-robin across channels; consecutive channel-local blocks fill
 // a row before moving to the next bank.
 func (c *Controller) Map(addr uint64) (ch, bk int, row int64) {
+	if c.pow2 {
+		blk := addr >> c.blkShift
+		ch = int(blk & c.chanMask)
+		rowIdx := blk >> c.chanShift >> c.rowShift
+		bk = int(rowIdx & c.bankMask)
+		row = int64(rowIdx >> c.bankShift)
+		return ch, bk, row
+	}
 	blk := addr / uint64(c.cfg.BlockBytes)
 	ch = int(blk % uint64(c.cfg.Channels))
 	local := blk / uint64(c.cfg.Channels)

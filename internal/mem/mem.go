@@ -31,6 +31,12 @@ const (
 type Memory struct {
 	pages map[uint64]*[PageSize]byte
 
+	// Last-page cache: accesses are overwhelmingly sequential or looped,
+	// so remembering the most recent page short-circuits the map lookup
+	// on the hot Read/Write path. lastPage == nil means cold.
+	lastPN   uint64
+	lastPage *[PageSize]byte
+
 	heapStart uint64
 	heapBrk   uint64 // next free heap byte (bump pointer)
 }
@@ -76,11 +82,15 @@ func (m *Memory) HeapBytes() uint64 { return m.heapBrk - m.heapStart }
 
 func (m *Memory) page(addr uint64) *[PageSize]byte {
 	pn := addr / PageSize
+	if pn == m.lastPN && m.lastPage != nil {
+		return m.lastPage
+	}
 	p := m.pages[pn]
 	if p == nil {
 		p = new([PageSize]byte)
 		m.pages[pn] = p
 	}
+	m.lastPN, m.lastPage = pn, p
 	return p
 }
 
@@ -175,12 +185,15 @@ func (m *Memory) Write32(addr uint64, val uint32) { m.Write(addr, 4, uint64(val)
 // useful in tests asserting sparseness.
 func (m *Memory) PagesTouched() int { return len(m.pages) }
 
-// Digest returns an FNV-1a hash of memory contents plus the heap bounds.
-// All-zero pages are excluded: reads materialize pages too (the GRP
-// pointer scanner reads speculatively), so which zero pages exist depends
-// on timing-layer behavior, while the *contents* of memory do not. The
-// digest therefore captures exactly the architectural state, making it
-// the memory half of the metamorphic fault-injection check.
+// Digest returns an FNV-1a-style hash of memory contents plus the heap
+// bounds, folded a 64-bit word at a time (page contents are hashed as 512
+// little-endian words, not 4096 bytes: the byte-serial multiply chain was
+// a fixed per-cell cost visible in profiles). All-zero pages are
+// excluded: reads materialize pages too (the GRP pointer scanner reads
+// speculatively), so which zero pages exist depends on timing-layer
+// behavior, while the *contents* of memory do not. The digest therefore
+// captures exactly the architectural state, making it the memory half of
+// the metamorphic fault-injection check.
 func (m *Memory) Digest() uint64 {
 	// Hash pages in page-number order for a deterministic result.
 	pns := make([]uint64, 0, len(m.pages))
@@ -197,19 +210,16 @@ func (m *Memory) Digest() uint64 {
 	)
 	h := uint64(offset64)
 	h1 := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= prime64
-			v >>= 8
-		}
+		h ^= v
+		h *= prime64
 	}
 	h1(m.heapStart)
 	h1(m.heapBrk)
 	for _, pn := range pns {
 		h1(pn)
-		for _, b := range m.pages[pn] {
-			h ^= uint64(b)
-			h *= prime64
+		p := m.pages[pn]
+		for off := 0; off < PageSize; off += 8 {
+			h1(binary.LittleEndian.Uint64(p[off:]))
 		}
 	}
 	return h

@@ -1,0 +1,236 @@
+// Package oamap provides small open-addressed hash tables keyed by
+// uint64, used on the simulator's hot paths in place of Go maps: the sim
+// package's in-flight line table and the prefetch engines' pointer-scan
+// counters sit on the per-access path, where the runtime map's hashing
+// and bucket chasing dominated profiles. Linear probing with
+// backward-shift deletion keeps probes short without tombstones, and the
+// backing arrays are reused across grow cycles, so steady-state
+// operation allocates nothing.
+//
+// The tables are not a general map replacement: values are tiny (uint8
+// counters, int32 indices), iteration order is unspecified, and the
+// tables are single-goroutine like the rest of the simulator.
+package oamap
+
+// fib is the 64-bit Fibonacci hashing multiplier; block addresses are
+// near-sequential, and the multiply spreads them across the high bits the
+// index uses.
+const fib = 0x9E3779B97F4A7C15
+
+const minCap = 16
+
+// U8 maps uint64 keys to uint8 values (the prefetch engines' pointer
+// counters and issued-block sets).
+type U8 struct {
+	keys  []uint64
+	vals  []uint8
+	used  []bool
+	n     int
+	shift uint
+}
+
+// NewU8 returns an empty table.
+func NewU8() *U8 {
+	t := &U8{}
+	t.init(minCap)
+	return t
+}
+
+func (t *U8) init(capacity int) {
+	t.keys = make([]uint64, capacity)
+	t.vals = make([]uint8, capacity)
+	t.used = make([]bool, capacity)
+	t.shift = 64
+	for c := capacity; c > 1; c >>= 1 {
+		t.shift--
+	}
+}
+
+func (t *U8) idx(k uint64) uint64 { return (k * fib) >> t.shift }
+
+// Len returns the number of live entries.
+func (t *U8) Len() int { return t.n }
+
+// Get returns the value for k (zero when absent) and whether it exists.
+func (t *U8) Get(k uint64) (uint8, bool) {
+	mask := uint64(len(t.keys) - 1)
+	for i := t.idx(k); ; i = (i + 1) & mask {
+		if !t.used[i] {
+			return 0, false
+		}
+		if t.keys[i] == k {
+			return t.vals[i], true
+		}
+	}
+}
+
+// Set inserts or overwrites k's value.
+func (t *U8) Set(k uint64, v uint8) {
+	if 4*(t.n+1) >= 3*len(t.keys) {
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	for i := t.idx(k); ; i = (i + 1) & mask {
+		if !t.used[i] {
+			t.used[i], t.keys[i], t.vals[i] = true, k, v
+			t.n++
+			return
+		}
+		if t.keys[i] == k {
+			t.vals[i] = v
+			return
+		}
+	}
+}
+
+// Delete removes k if present, backward-shifting the probe chain so no
+// tombstones accumulate.
+func (t *U8) Delete(k uint64) {
+	mask := uint64(len(t.keys) - 1)
+	i := t.idx(k)
+	for {
+		if !t.used[i] {
+			return
+		}
+		if t.keys[i] == k {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	j := i
+	for {
+		j = (j + 1) & mask
+		if !t.used[j] {
+			break
+		}
+		if h := t.idx(t.keys[j]); (j-h)&mask >= (j-i)&mask {
+			t.keys[i], t.vals[i] = t.keys[j], t.vals[j]
+			i = j
+		}
+	}
+	t.used[i] = false
+	t.n--
+}
+
+// Reset empties the table in place, keeping its capacity.
+func (t *U8) Reset() {
+	for i := range t.used {
+		t.used[i] = false
+	}
+	t.n = 0
+}
+
+func (t *U8) grow() {
+	keys, vals, used := t.keys, t.vals, t.used
+	t.init(2 * len(keys))
+	t.n = 0
+	for i, u := range used {
+		if u {
+			t.Set(keys[i], vals[i])
+		}
+	}
+}
+
+// I32 maps uint64 keys to int32 values (the sim package's block → pooled
+// line index table).
+type I32 struct {
+	keys  []uint64
+	vals  []int32
+	used  []bool
+	n     int
+	shift uint
+}
+
+// NewI32 returns an empty table.
+func NewI32() *I32 {
+	t := &I32{}
+	t.init(minCap)
+	return t
+}
+
+func (t *I32) init(capacity int) {
+	t.keys = make([]uint64, capacity)
+	t.vals = make([]int32, capacity)
+	t.used = make([]bool, capacity)
+	t.shift = 64
+	for c := capacity; c > 1; c >>= 1 {
+		t.shift--
+	}
+}
+
+func (t *I32) idx(k uint64) uint64 { return (k * fib) >> t.shift }
+
+// Len returns the number of live entries.
+func (t *I32) Len() int { return t.n }
+
+// Get returns the value for k (zero when absent) and whether it exists.
+func (t *I32) Get(k uint64) (int32, bool) {
+	mask := uint64(len(t.keys) - 1)
+	for i := t.idx(k); ; i = (i + 1) & mask {
+		if !t.used[i] {
+			return 0, false
+		}
+		if t.keys[i] == k {
+			return t.vals[i], true
+		}
+	}
+}
+
+// Set inserts or overwrites k's value.
+func (t *I32) Set(k uint64, v int32) {
+	if 4*(t.n+1) >= 3*len(t.keys) {
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	for i := t.idx(k); ; i = (i + 1) & mask {
+		if !t.used[i] {
+			t.used[i], t.keys[i], t.vals[i] = true, k, v
+			t.n++
+			return
+		}
+		if t.keys[i] == k {
+			t.vals[i] = v
+			return
+		}
+	}
+}
+
+// Delete removes k if present, backward-shifting the probe chain so no
+// tombstones accumulate.
+func (t *I32) Delete(k uint64) {
+	mask := uint64(len(t.keys) - 1)
+	i := t.idx(k)
+	for {
+		if !t.used[i] {
+			return
+		}
+		if t.keys[i] == k {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	j := i
+	for {
+		j = (j + 1) & mask
+		if !t.used[j] {
+			break
+		}
+		if h := t.idx(t.keys[j]); (j-h)&mask >= (j-i)&mask {
+			t.keys[i], t.vals[i] = t.keys[j], t.vals[j]
+			i = j
+		}
+	}
+	t.used[i] = false
+	t.n--
+}
+
+func (t *I32) grow() {
+	keys, vals, used := t.keys, t.vals, t.used
+	t.init(2 * len(keys))
+	t.n = 0
+	for i, u := range used {
+		if u {
+			t.Set(keys[i], vals[i])
+		}
+	}
+}

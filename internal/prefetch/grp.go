@@ -1,6 +1,9 @@
 package prefetch
 
-import "grp/internal/isa"
+import (
+	"grp/internal/isa"
+	"grp/internal/oamap"
+)
 
 // MemReader is the slice of simulated memory the pointer-scanning hardware
 // needs: word reads (the engine inspects returned cache lines) and the
@@ -42,7 +45,12 @@ type GRP struct {
 	// bound is the most recent SETBOUND value (loop trip count).
 	bound uint64
 	// scanCtr maps blocks awaiting arrival to their pointer-chase counter.
-	scanCtr map[uint64]uint8
+	scanCtr *oamap.U8
+
+	// Indirect's per-call region-coalescing scratch (≤ 16 targets per
+	// PREFI); kept on the engine so the hot path allocates nothing.
+	indBase [16]uint64
+	indBits [16]uint64
 }
 
 // NewGRP builds a GRP engine reading scanned lines from mem.
@@ -53,7 +61,7 @@ func NewGRP(cfg GRPConfig, mem MemReader) *GRP {
 	if cfg.RecursionDepth == 0 {
 		cfg.RecursionDepth = 6
 	}
-	return &GRP{cfg: cfg, mem: mem, stats: newStats(), scanCtr: make(map[uint64]uint8)}
+	return &GRP{cfg: cfg, mem: mem, stats: newStats(), scanCtr: oamap.NewU8()}
 }
 
 // Name implements Engine.
@@ -113,8 +121,8 @@ func (g *GRP) OnL2DemandMiss(ev MissEvent) {
 		default:
 			return
 		}
-		if g.scanCtr[miss] < want {
-			g.scanCtr[miss] = want
+		if cur, _ := g.scanCtr.Get(miss); cur < want {
+			g.scanCtr.Set(miss, want)
 		}
 		return
 	}
@@ -138,9 +146,9 @@ func (g *GRP) OnL2DemandMiss(ev MissEvent) {
 
 	switch {
 	case ev.Hint.Has(isa.HintRecursive):
-		g.scanCtr[miss] = g.cfg.RecursionDepth
+		g.scanCtr.Set(miss, g.cfg.RecursionDepth)
 	case ev.Hint.Has(isa.HintPointer):
-		g.scanCtr[miss] = 1
+		g.scanCtr.Set(miss, 1)
 	}
 }
 
@@ -152,11 +160,11 @@ func (*GRP) OnDemandHitPrefetched(uint64) {}
 // base-and-bounds test queues a two-block prefetch whose entry inherits the
 // decremented counter (Sec. 3.3.1).
 func (g *GRP) OnArrival(block uint64) {
-	ctr, ok := g.scanCtr[block]
+	ctr, ok := g.scanCtr.Get(block)
 	if !ok {
 		return
 	}
-	delete(g.scanCtr, block)
+	g.scanCtr.Delete(block)
 	if ctr == 0 {
 		return
 	}
@@ -197,7 +205,7 @@ func (g *GRP) Pop(present func(uint64) bool) (uint64, bool) {
 	}
 	g.stats.CandidatesPopped++
 	if ctr > 0 {
-		g.scanCtr[b] = ctr
+		g.scanCtr.Set(b, ctr)
 	}
 	return b, true
 }
@@ -210,7 +218,7 @@ func (g *GRP) PopOpenFirst(present, rowOpen func(uint64) bool) (uint64, bool) {
 	}
 	g.stats.CandidatesPopped++
 	if ctr > 0 {
-		g.scanCtr[b] = ctr
+		g.scanCtr.Set(b, ctr)
 	}
 	return b, true
 }
@@ -226,9 +234,9 @@ func (g *GRP) Indirect(indexElemAddr, base uint64, shift uint) {
 	g.stats.IndirectInstrs++
 	idxBlock := indexElemAddr &^ uint64(BlockBytes-1)
 	// Coalesce targets by region, preserving first-appearance order so the
-	// simulation stays deterministic.
-	groups := make(map[uint64]uint64)
-	var order []uint64
+	// simulation stays deterministic. At most 16 targets per PREFI, so a
+	// linear scan of the scratch arrays beats a heap-allocated map.
+	n := 0
 	const regionSize = uint64(RegionBlocks) * BlockBytes
 	for off := uint64(0); off < BlockBytes; off += 4 {
 		idx := uint64(g.mem.Read32(idxBlock + off))
@@ -236,13 +244,22 @@ func (g *GRP) Indirect(indexElemAddr, base uint64, shift uint) {
 		g.stats.IndirectPrefetches++
 		rbase := target &^ (regionSize - 1)
 		pos := (target - rbase) / BlockBytes
-		if _, seen := groups[rbase]; !seen {
-			order = append(order, rbase)
+		slot := -1
+		for i := 0; i < n; i++ {
+			if g.indBase[i] == rbase {
+				slot = i
+				break
+			}
 		}
-		groups[rbase] |= 1 << uint(pos)
+		if slot < 0 {
+			slot = n
+			g.indBase[slot], g.indBits[slot] = rbase, 0
+			n++
+		}
+		g.indBits[slot] |= 1 << uint(pos)
 	}
-	for _, rbase := range order {
-		bits := groups[rbase]
+	for k := 0; k < n; k++ {
+		rbase, bits := g.indBase[k], g.indBits[k]
 		if i := g.q.find(rbase); i >= 0 {
 			g.q.entries[i].bits |= bits
 			g.q.moveToHead(i)

@@ -446,7 +446,7 @@ func TestPopOpenFirstGRPCarriesCounter(t *testing.T) {
 	if !ok {
 		t.Fatal("expected a candidate")
 	}
-	if _, armed := g.scanCtr[b]; !armed {
+	if _, armed := g.scanCtr.Get(b); !armed {
 		t.Error("popped pointer target should be armed for scanning")
 	}
 }

@@ -1,5 +1,7 @@
 package prefetch
 
+import "grp/internal/oamap"
+
 // PointerOnly is the pure hardware pointer prefetcher of Section 3.2
 // (evaluated in Figure 9): with no compiler information at all, it greedily
 // scans every cache line returned on an L2 miss and prefetches any 8-byte
@@ -10,7 +12,7 @@ type PointerOnly struct {
 	mem     MemReader
 	depth   uint8
 	q       regionQueue
-	scanCtr map[uint64]uint8
+	scanCtr *oamap.U8
 	stats   Stats
 }
 
@@ -20,7 +22,7 @@ func NewPointerOnly(mem MemReader, depth uint8) *PointerOnly {
 	if depth == 0 {
 		depth = 6
 	}
-	return &PointerOnly{mem: mem, depth: depth, scanCtr: make(map[uint64]uint8), stats: newStats()}
+	return &PointerOnly{mem: mem, depth: depth, scanCtr: oamap.NewU8(), stats: newStats()}
 }
 
 // Name implements Engine.
@@ -32,12 +34,12 @@ func (p *PointerOnly) OnL2DemandMiss(ev MissEvent) {
 	if ev.Merged {
 		// The merged request shares the MSHR; the counter is already set
 		// unless the line is an in-flight prefetch, in which case arm it.
-		if p.scanCtr[blk] < p.depth {
-			p.scanCtr[blk] = p.depth
+		if cur, _ := p.scanCtr.Get(blk); cur < p.depth {
+			p.scanCtr.Set(blk, p.depth)
 		}
 		return
 	}
-	p.scanCtr[blk] = p.depth
+	p.scanCtr.Set(blk, p.depth)
 }
 
 // OnDemandHitPrefetched implements Engine.
@@ -45,11 +47,11 @@ func (*PointerOnly) OnDemandHitPrefetched(uint64) {}
 
 // OnArrival implements Engine.
 func (p *PointerOnly) OnArrival(block uint64) {
-	ctr, ok := p.scanCtr[block]
+	ctr, ok := p.scanCtr.Get(block)
 	if !ok {
 		return
 	}
-	delete(p.scanCtr, block)
+	p.scanCtr.Delete(block)
 	if ctr == 0 {
 		return
 	}
@@ -74,7 +76,7 @@ func (p *PointerOnly) Pop(present func(uint64) bool) (uint64, bool) {
 	}
 	p.stats.CandidatesPopped++
 	if ctr > 0 {
-		p.scanCtr[b] = ctr
+		p.scanCtr.Set(b, ctr)
 	}
 	return b, true
 }

@@ -1,5 +1,7 @@
 package prefetch
 
+import "grp/internal/oamap"
+
 // Stride implements a Sherwood-style predictor-directed stream buffer
 // prefetcher (Section 5.1: a 4-way, 1K-entry PC-indexed stride history
 // table feeding 8 stream buffers of 8 entries each). It is the pure
@@ -31,8 +33,8 @@ type streamBuffer struct {
 	valid   bool
 	next    uint64 // next address to prefetch in the stream
 	stride  int64
-	pending []uint64 // candidate blocks not yet popped
-	issued  map[uint64]bool
+	pending []uint64  // candidate blocks not yet popped
+	issued  *oamap.U8 // dedupe set of already-issued blocks
 	lastBlk uint64
 	used    uint64
 }
@@ -155,12 +157,22 @@ func (s *Stride) allocBuffer(addr uint64, stride int64) {
 			victim = &s.buffers[i]
 		}
 	}
+	// Reuse the victim's dedupe table and pending backing array: stream
+	// reallocation is frequent, and fresh maps here dominated the
+	// engine's allocation profile.
+	issued := victim.issued
+	if issued == nil {
+		issued = oamap.NewU8()
+	} else {
+		issued.Reset()
+	}
 	*victim = streamBuffer{
-		valid:  true,
-		next:   next,
-		stride: stride,
-		issued: make(map[uint64]bool),
-		used:   s.tick,
+		valid:   true,
+		next:    next,
+		stride:  stride,
+		pending: victim.pending[:0],
+		issued:  issued,
+		used:    s.tick,
 	}
 	for n := 0; n < s.cfgDepth; n++ {
 		s.extend(victim)
@@ -199,15 +211,16 @@ func (s *Stride) extend(b *streamBuffer) {
 		if blk == b.lastBlk && b.lastBlk != 0 {
 			continue
 		}
-		if b.issued[blk] {
+		if _, dup := b.issued.Get(blk); dup {
 			continue
 		}
 		b.lastBlk = blk
-		b.issued[blk] = true
-		if len(b.issued) > 4*s.cfgDepth {
+		b.issued.Set(blk, 1)
+		if b.issued.Len() > 4*s.cfgDepth {
 			// Bound the issued set; forget the oldest by resetting. The
 			// pending list retains correctness; this only affects dedupe.
-			b.issued = map[uint64]bool{blk: true}
+			b.issued.Reset()
+			b.issued.Set(blk, 1)
 		}
 		b.pending = append(b.pending, blk)
 		return
@@ -220,7 +233,10 @@ func (s *Stride) OnDemandHitPrefetched(block uint64) {
 	s.tick++
 	for i := range s.buffers {
 		b := &s.buffers[i]
-		if b.valid && b.issued[block] {
+		if !b.valid {
+			continue
+		}
+		if _, hit := b.issued.Get(block); hit {
 			b.used = s.tick
 			s.extend(b)
 			return

@@ -5,7 +5,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"strings"
 
@@ -14,6 +13,7 @@ import (
 	"grp/internal/faults"
 	"grp/internal/isa"
 	"grp/internal/metrics"
+	"grp/internal/oamap"
 	"grp/internal/prefetch"
 	"grp/internal/trace"
 )
@@ -80,8 +80,13 @@ type MemStats struct {
 }
 
 type inflightLine struct {
-	block    uint64
-	doneAt   uint64
+	block  uint64
+	doneAt uint64
+	// seq is the issue sequence number: arrivals sharing a doneAt drain in
+	// FIFO issue order. The tie-break is explicit so the arrival queue's
+	// data structure can change without silently reordering same-cycle
+	// fills (fill order decides L2 LRU state and OnArrival scan order).
+	seq      uint64
 	prefetch bool
 	// merged marks a prefetch a demand access has since merged with: the
 	// demand's completion depends on doneAt, so the line is no longer
@@ -94,8 +99,13 @@ type inflightLine struct {
 
 type arrivalHeap []*inflightLine
 
-func (h arrivalHeap) Len() int            { return len(h) }
-func (h arrivalHeap) Less(i, j int) bool  { return h[i].doneAt < h[j].doneAt }
+func (h arrivalHeap) Len() int { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool {
+	if h[i].doneAt != h[j].doneAt {
+		return h[i].doneAt < h[j].doneAt
+	}
+	return h[i].seq < h[j].seq
+}
 func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(*inflightLine)) }
 func (h *arrivalHeap) Pop() interface{} {
@@ -117,12 +127,24 @@ type MemSystem struct {
 
 	l2MSHR *cache.MSHRFile
 
-	inflight map[uint64]*inflightLine
-	arrivals arrivalHeap
+	// In-flight lines live in a slab pool and are addressed by index; the
+	// block → index table is open-addressed and the arrival queue is a
+	// bucketed calendar queue (see queue.go). Together they replace the
+	// legacy map + container/heap pair with allocation-free structures.
+	pool     linePool
+	inflight *oamap.I32
+	arrivals calendarQueue
+
+	// presentFn/rowOpenFn are ms.present and ms.Dram.RowOpen bound once:
+	// passing the method values inline would allocate a closure on every
+	// prefetch-pump iteration.
+	presentFn func(uint64) bool
+	rowOpenFn func(uint64) bool
 
 	cursor      uint64 // prefetch pump has run up to this cycle
 	inflightPF  int
 	lastSubmit  uint64 // monotonic clamp for request submission times
+	nextSeq     uint64 // issue sequence numbers for arrival tie-breaking
 	stats       MemStats
 	prioritizer bool // issue prefetches only into idle channels
 
@@ -254,9 +276,12 @@ func NewMemSystem(cfg MemConfig, engine prefetch.Engine) (*MemSystem, error) {
 		Dram:        dc,
 		Engine:      engine,
 		l2MSHR:      cache.NewMSHRFile(cfg.L2.MSHRs),
-		inflight:    make(map[uint64]*inflightLine),
+		inflight:    oamap.NewI32(),
 		prioritizer: true,
 	}
+	ms.arrivals.pool = &ms.pool
+	ms.presentFn = ms.present
+	ms.rowOpenFn = ms.Dram.RowOpen
 	return ms, nil
 }
 
@@ -318,58 +343,107 @@ func (ms *MemSystem) SetFillTamper(fn func(block uint64)) { ms.fillTamper = fn }
 // Stats returns hierarchy-level statistics.
 func (ms *MemSystem) Stats() MemStats { return ms.stats }
 
+// Hierarchy exposes the caches and DRAM controller so drivers can collect
+// stats through the engine-generation-neutral interface in core.
+func (ms *MemSystem) Hierarchy() (l1, l2 *cache.Cache, dc *dram.Controller) {
+	return ms.L1, ms.L2, ms.Dram
+}
+
 // present reports whether a block is in the L2 or already on its way.
 func (ms *MemSystem) present(block uint64) bool {
 	if ms.L2.Contains(block) {
 		return true
 	}
-	_, inf := ms.inflight[block]
+	_, inf := ms.inflight.Get(block)
 	return inf
+}
+
+// nextArrival returns the earliest queued arrival's completion cycle.
+func (ms *MemSystem) nextArrival() (uint64, bool) {
+	idx := ms.arrivals.peek()
+	if idx < 0 {
+		return 0, false
+	}
+	return ms.pool.at(idx).doneAt, true
+}
+
+// addInflight registers a new in-flight line. The returned pointer is
+// valid only until the pool's next alloc.
+func (ms *MemSystem) addInflight(block, doneAt uint64, pf bool) *inflightLine {
+	idx := ms.pool.alloc()
+	ln := ms.pool.at(idx)
+	*ln = inflightLine{block: block, doneAt: doneAt, seq: ms.nextSeq, prefetch: pf}
+	ms.nextSeq++
+	ms.inflight.Set(block, idx)
+	ms.arrivals.insert(idx)
+	return ln
 }
 
 // processArrivals applies all fills whose data has arrived by cycle t.
 func (ms *MemSystem) processArrivals(t uint64) {
-	for len(ms.arrivals) > 0 && ms.arrivals[0].doneAt <= t {
-		ln := heap.Pop(&ms.arrivals).(*inflightLine)
-		if ln.cancelled {
+	for {
+		idx := ms.arrivals.peek()
+		if idx < 0 {
+			return
+		}
+		ln := ms.pool.at(idx)
+		if ln.doneAt > t {
+			return
+		}
+		ms.arrivals.pop()
+		block, doneAt, pf, cancelled := ln.block, ln.doneAt, ln.prefetch, ln.cancelled
+		ms.pool.release(idx)
+		if cancelled {
 			// A fault-cancelled prefetch: its map entry and inflightPF slot
 			// were released at cancellation time, and its block may since
 			// have been re-fetched under a fresh line — touch nothing.
 			ms.cancelled--
 			continue
 		}
-		delete(ms.inflight, ln.block)
-		if ln.prefetch {
+		ms.inflight.Delete(block)
+		if pf {
 			ms.inflightPF--
 		}
 		if ms.watchdog != nil {
-			ms.watchdog.NoteMem(ln.doneAt)
+			ms.watchdog.NoteMem(doneAt)
 		}
-		v, evicted := ms.L2.Fill(ln.block, ln.prefetch, false)
+		v, evicted := ms.L2.Fill(block, pf, false)
 		if evicted && v.Dirty {
-			ms.Dram.Submit(v.Addr, dram.Writeback, ln.doneAt)
+			ms.Dram.Submit(v.Addr, dram.Writeback, doneAt)
 		}
-		if ln.prefetch && ms.fillTamper != nil {
-			ms.fillTamper(ln.block)
+		if pf && ms.fillTamper != nil {
+			ms.fillTamper(block)
 		}
 		// Pointer-scanning engines inspect every arriving line.
-		ms.Engine.OnArrival(ln.block)
+		ms.Engine.OnArrival(block)
 	}
 }
 
-// cancelOnePrefetch cancels the first cancellable in-flight prefetch (a
-// prefetch line no demand has merged with): the line leaves the inflight
-// map and releases its pump slot immediately, and its heap entry is
-// marked to be skipped on arrival. Cancelling is always architecturally
+// cancelOnePrefetch cancels the oldest-issued cancellable in-flight
+// prefetch (a prefetch line no demand has merged with): the line leaves
+// the inflight map and releases its pump slot immediately, and its queue
+// entry is marked to be skipped on arrival. The victim choice is by issue
+// sequence number — explicit and independent of the arrival queue's
+// internal layout, so the queue implementation can change without moving
+// which prefetch a fault cancels. Cancelling is always architecturally
 // safe — the block simply is not filled, exactly as if the prioritizer
 // had starved the issue.
 func (ms *MemSystem) cancelOnePrefetch() {
-	for _, ln := range ms.arrivals {
+	victim := int32(-1)
+	var vseq uint64
+	ms.arrivals.forEach(func(idx int32) {
+		ln := ms.pool.at(idx)
 		if !ln.prefetch || ln.merged || ln.cancelled {
-			continue
+			return
 		}
+		if victim < 0 || ln.seq < vseq {
+			victim, vseq = idx, ln.seq
+		}
+	})
+	if victim >= 0 {
+		ln := ms.pool.at(victim)
 		ln.cancelled = true
-		delete(ms.inflight, ln.block)
+		ms.inflight.Delete(ln.block)
 		ms.inflightPF--
 		ms.cancelled++
 		ms.stats.PrefetchesCancelled++
@@ -410,11 +484,8 @@ func (ms *MemSystem) Advance(now uint64) {
 		ms.processArrivals(t)
 		if ms.inflightPF >= ms.cfg.MaxInflightPrefetches {
 			// Wait for a prefetch slot to free.
-			if len(ms.arrivals) == 0 {
-				break
-			}
-			next := ms.arrivals[0].doneAt
-			if next >= now {
+			next, ok := ms.nextArrival()
+			if !ok || next >= now {
 				break
 			}
 			t = next
@@ -430,9 +501,9 @@ func (ms *MemSystem) Advance(now uint64) {
 		} else {
 			var ok bool
 			if opa, isOPA := ms.Engine.(prefetch.OpenPageAware); ms.cfg.OpenPageFirst && isOPA {
-				cand, ok = opa.PopOpenFirst(ms.present, ms.Dram.RowOpen)
+				cand, ok = opa.PopOpenFirst(ms.presentFn, ms.rowOpenFn)
 			} else {
-				cand, ok = ms.Engine.Pop(ms.present)
+				cand, ok = ms.Engine.Pop(ms.presentFn)
 			}
 			if !ok {
 				break
@@ -461,9 +532,7 @@ func (ms *MemSystem) Advance(now uint64) {
 		if ms.timeline != nil {
 			ms.timeline.PrefetchIssue(cand, start, done, false)
 		}
-		ln := &inflightLine{block: cand, doneAt: done, prefetch: true}
-		ms.inflight[cand] = ln
-		heap.Push(&ms.arrivals, ln)
+		ms.addInflight(cand, done, true)
 		ms.inflightPF++
 		ms.stats.PrefetchesIssued++
 		t = start + ms.cfg.DRAM.TransferCycles // issue bandwidth pacing
@@ -515,7 +584,8 @@ func (ms *MemSystem) access(pc, addr uint64, write bool, hint isa.Hint, coeff ui
 	// keeps accesses from hitting that fill before the data arrives. The
 	// merged access still pays at least the L1-miss + L2-lookup time;
 	// without this floor a timely prefetch could beat a perfect L2.
-	if ln, ok := ms.inflight[block]; ok {
+	if li, ok := ms.inflight.Get(block); ok {
+		ln := ms.pool.at(li)
 		ms.stats.InflightMerges++
 		// The demand now depends on this line's arrival; fault injection
 		// must no longer cancel it.
@@ -531,7 +601,7 @@ func (ms *MemSystem) access(pc, addr uint64, write bool, hint isa.Hint, coeff ui
 		// the pointer counters live in the L2 MSHRs).
 		ms.Engine.OnL2DemandMiss(prefetch.MissEvent{
 			PC: pc, Addr: addr, Hint: hint, Coeff: coeff, Merged: true,
-			Present: ms.present,
+			Present: ms.presentFn,
 		})
 		d := ln.doneAt
 		if m := now + l1lat + l2lat; m > d {
@@ -558,7 +628,7 @@ func (ms *MemSystem) access(pc, addr uint64, write bool, hint isa.Hint, coeff ui
 	// Demand L2 miss: notify the prefetch engine, then go to DRAM through
 	// the L2 MSHRs.
 	ms.Engine.OnL2DemandMiss(prefetch.MissEvent{
-		PC: pc, Addr: addr, Hint: hint, Coeff: coeff, Present: ms.present,
+		PC: pc, Addr: addr, Hint: hint, Coeff: coeff, Present: ms.presentFn,
 	})
 
 	lookupDone := now + l1lat + l2lat
@@ -579,9 +649,7 @@ func (ms *MemSystem) access(pc, addr uint64, write bool, hint isa.Hint, coeff ui
 		ms.timeline.DemandMiss(pc, block, now, dramDone)
 	}
 
-	ln := &inflightLine{block: block, doneAt: dramDone}
-	ms.inflight[block] = ln
-	heap.Push(&ms.arrivals, ln)
+	ms.addInflight(block, dramDone, false)
 	// Fill the L1 now; the in-flight entry (checked before the L1 probe)
 	// prevents later accesses from using the fill before the data lands.
 	ms.fillL1(addr, write, dramDone)
@@ -613,7 +681,7 @@ func (ms *MemSystem) SoftwarePrefetch(addr, now uint64) {
 	ms.Advance(now)
 
 	block := ms.L2.BlockAddr(addr)
-	if _, inf := ms.inflight[block]; inf || ms.L1.Contains(addr) || ms.L2.Contains(addr) {
+	if _, inf := ms.inflight.Get(block); inf || ms.L1.Contains(addr) || ms.L2.Contains(addr) {
 		ms.stats.SWPrefetchDrops++
 		return
 	}
@@ -630,9 +698,7 @@ func (ms *MemSystem) SoftwarePrefetch(addr, now uint64) {
 	if ms.timeline != nil {
 		ms.timeline.PrefetchIssue(block, start, done, true)
 	}
-	ln := &inflightLine{block: block, doneAt: done, prefetch: true}
-	ms.inflight[block] = ln
-	heap.Push(&ms.arrivals, ln)
+	ms.addInflight(block, done, true)
 	ms.inflightPF++
 }
 
@@ -646,8 +712,12 @@ func (ms *MemSystem) Indirect(indexAddr, base uint64, shift uint) {
 
 // Drain lets all outstanding traffic land; call at end of simulation.
 func (ms *MemSystem) Drain() {
-	for len(ms.arrivals) > 0 {
-		ms.Advance(ms.arrivals[0].doneAt)
+	for {
+		next, ok := ms.nextArrival()
+		if !ok {
+			break
+		}
+		ms.Advance(next)
 	}
 	if ms.checkInv {
 		ms.mustHoldInvariants(ms.cursor)
@@ -693,34 +763,48 @@ func (ms *MemSystem) CheckInvariants() error {
 		}
 	}
 
-	// Heap / map / slot-count agreement.
-	livePF, cancelled := 0, 0
-	for _, ln := range ms.arrivals {
+	// Queue / table / pool / slot-count agreement.
+	livePF, cancelled, entries := 0, 0, 0
+	var qerr error
+	ms.arrivals.forEach(func(idx int32) {
+		entries++
+		ln := ms.pool.at(idx)
 		if ln.cancelled {
 			cancelled++
-			continue
+			return
 		}
-		got, ok := ms.inflight[ln.block]
-		if !ok {
-			return fmt.Errorf("arrival heap entry %#x missing from inflight map", ln.block)
+		got, ok := ms.inflight.Get(ln.block)
+		if !ok && qerr == nil {
+			qerr = fmt.Errorf("arrival queue entry %#x missing from inflight table", ln.block)
 		}
-		if got != ln {
-			return fmt.Errorf("inflight map entry %#x does not match its heap entry", ln.block)
+		if ok && got != idx && qerr == nil {
+			qerr = fmt.Errorf("inflight table entry %#x does not match its queue entry", ln.block)
 		}
 		if ln.prefetch {
 			livePF++
 		}
+	})
+	if qerr != nil {
+		return qerr
 	}
-	if live := len(ms.arrivals) - cancelled; len(ms.inflight) != live {
-		return fmt.Errorf("inflight map holds %d lines, arrivals heap %d live entries",
-			len(ms.inflight), live)
+	if entries != ms.arrivals.len() {
+		return fmt.Errorf("arrival queue size %d does not match bucket contents %d",
+			ms.arrivals.len(), entries)
+	}
+	if ms.pool.live() != entries {
+		return fmt.Errorf("line pool holds %d live slots, arrival queue %d entries",
+			ms.pool.live(), entries)
+	}
+	if live := entries - cancelled; ms.inflight.Len() != live {
+		return fmt.Errorf("inflight table holds %d lines, arrival queue %d live entries",
+			ms.inflight.Len(), live)
 	}
 	if cancelled != ms.cancelled {
-		return fmt.Errorf("cancelled-entry count %d does not match heap contents %d",
+		return fmt.Errorf("cancelled-entry count %d does not match queue contents %d",
 			ms.cancelled, cancelled)
 	}
 	if livePF != ms.inflightPF {
-		return fmt.Errorf("inflight prefetch count %d does not match heap contents %d",
+		return fmt.Errorf("inflight prefetch count %d does not match queue contents %d",
 			ms.inflightPF, livePF)
 	}
 	// No hard cap check on inflightPF: software PREFs are demand-priority
@@ -780,10 +864,11 @@ func (ms *MemSystem) DiagnosticDump(now uint64) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "memsys state at cycle %d:\n", now)
 	fmt.Fprintf(&b, "  pump: cursor=%d lastSubmit=%d\n", ms.cursor, ms.lastSubmit)
-	fmt.Fprintf(&b, "  inflight: %d lines (%d prefetch slots of %d), %d cancelled in heap, %d heap entries\n",
-		len(ms.inflight), ms.inflightPF, ms.cfg.MaxInflightPrefetches, ms.cancelled, len(ms.arrivals))
-	if len(ms.arrivals) > 0 {
-		fmt.Fprintf(&b, "  next arrival: block %#x at cycle %d\n", ms.arrivals[0].block, ms.arrivals[0].doneAt)
+	fmt.Fprintf(&b, "  inflight: %d lines (%d prefetch slots of %d), %d cancelled in queue, %d queue entries\n",
+		ms.inflight.Len(), ms.inflightPF, ms.cfg.MaxInflightPrefetches, ms.cancelled, ms.arrivals.len())
+	if idx := ms.arrivals.peek(); idx >= 0 {
+		ln := ms.pool.at(idx)
+		fmt.Fprintf(&b, "  next arrival: block %#x at cycle %d\n", ln.block, ln.doneAt)
 	}
 	fmt.Fprintf(&b, "  l2 mshr: %d/%d busy at cursor, peak %d, fault pressure %d\n",
 		ms.l2MSHR.BusyAt(ms.cursor), ms.l2MSHR.Size(), ms.l2MSHR.Peak(), ms.l2MSHR.Pressure())

@@ -62,16 +62,16 @@ func TestDemandAfterCancelledPrefetch(t *testing.T) {
 	ms := newSys(prefetch.NewNull())
 	ms.EnableInvariantChecks(1)
 	ms.SoftwarePrefetch(0x30000, 100)
-	if len(ms.arrivals) != 1 {
-		t.Fatalf("expected one in-flight prefetch, have %d", len(ms.arrivals))
+	if ms.arrivals.len() != 1 {
+		t.Fatalf("expected one in-flight prefetch, have %d", ms.arrivals.len())
 	}
 	ms.cancelOnePrefetch()
 	if ms.Stats().PrefetchesCancelled != 1 {
 		t.Fatalf("cancelled = %d, want 1", ms.Stats().PrefetchesCancelled)
 	}
 	block := ms.L2.BlockAddr(0x30000)
-	if _, ok := ms.inflight[block]; ok {
-		t.Fatal("cancelled line still in the inflight map")
+	if _, ok := ms.inflight.Get(block); ok {
+		t.Fatal("cancelled line still in the inflight table")
 	}
 	// The demand must not merge with the corpse: full DRAM miss.
 	d := ms.Load(0, 0x30000, isa.HintNone, isa.FixedRegion, 110)
@@ -132,9 +132,9 @@ func TestCancelUnderSRP(t *testing.T) {
 	if ms.Stats().PrefetchesCancelled == 0 {
 		t.Error("cancel-everything plan cancelled nothing")
 	}
-	if len(ms.inflight) != 0 || len(ms.arrivals) != 0 || ms.cancelled != 0 {
+	if ms.inflight.Len() != 0 || ms.arrivals.len() != 0 || ms.cancelled != 0 {
 		t.Errorf("drain left inflight=%d arrivals=%d cancelled=%d",
-			len(ms.inflight), len(ms.arrivals), ms.cancelled)
+			ms.inflight.Len(), ms.arrivals.len(), ms.cancelled)
 	}
 }
 

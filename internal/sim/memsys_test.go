@@ -135,8 +135,8 @@ func TestDrainLandsEverything(t *testing.T) {
 	ms := newSys(prefetch.NewSRP())
 	ms.Load(0, 0x30000, isa.HintNone, isa.FixedRegion, 100)
 	ms.Drain()
-	if len(ms.arrivals) != 0 || len(ms.inflight) != 0 {
-		t.Errorf("drain left %d arrivals, %d inflight", len(ms.arrivals), len(ms.inflight))
+	if ms.arrivals.len() != 0 || ms.inflight.Len() != 0 {
+		t.Errorf("drain left %d arrivals, %d inflight", ms.arrivals.len(), ms.inflight.Len())
 	}
 }
 

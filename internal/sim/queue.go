@@ -1,0 +1,155 @@
+package sim
+
+// This file holds the overhauled arrival machinery: a slab pool of
+// in-flight lines addressed by index, and a bucketed calendar queue
+// ordered by (doneAt, seq) that replaces the container/heap arrivalHeap.
+// Both are allocation-free in steady state — the pool recycles slots and
+// the bucket slices keep their capacity — and both order arrivals by the
+// explicit (doneAt, seq) key, so drain order is identical to the legacy
+// heap by construction (see arrival_order_test.go).
+
+// linePool is a slab allocator for inflightLine records. Lines are
+// referred to by index rather than pointer: indices stay valid across the
+// backing array's growth, and a freed slot is recycled before the slab
+// grows again, so a cell's steady state allocates nothing.
+type linePool struct {
+	lines []inflightLine
+	free  []int32
+}
+
+// alloc returns a zeroed line slot. The returned index is stable; the
+// *inflightLine from at() is invalidated by the next alloc (growth may
+// move the slab).
+func (p *linePool) alloc() int32 {
+	if n := len(p.free); n > 0 {
+		idx := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.lines[idx] = inflightLine{}
+		return idx
+	}
+	p.lines = append(p.lines, inflightLine{})
+	return int32(len(p.lines) - 1)
+}
+
+// release returns a slot to the free list.
+func (p *linePool) release(idx int32) { p.free = append(p.free, idx) }
+
+// at returns the line at idx; the pointer is valid only until the next
+// alloc.
+func (p *linePool) at(idx int32) *inflightLine { return &p.lines[idx] }
+
+// live returns the number of slots currently allocated.
+func (p *linePool) live() int { return len(p.lines) - len(p.free) }
+
+// Calendar-queue geometry: calDays buckets of calWidth cycles each. The
+// horizon (calDays × calWidth = 16384 cycles) comfortably covers the
+// DRAM round trip plus queueing, so in practice every queued arrival
+// lands within the current "year" and peek touches one or two buckets.
+// Entries beyond the horizon are still correct — each bucket is ordered
+// and peek checks the head's day — they only cost longer cursor walks.
+const (
+	calDays  = 256
+	calShift = 6 // bucket width 64 cycles
+)
+
+// calendarQueue is a priority queue of pooled line indices keyed by
+// (doneAt, seq). Bucket b holds the entries of every day d with
+// d % calDays == b, each bucket insertion-sorted by the key; the day
+// cursor tracks the minimum live day, advancing over empty days on peek
+// and snapping back on inserts behind it.
+type calendarQueue struct {
+	pool    *linePool
+	buckets [calDays][]int32
+	day     uint64 // cursor ≤ the minimum live day
+	size    int
+}
+
+func (q *calendarQueue) len() int { return q.size }
+
+// insert queues the pooled line at idx by its (doneAt, seq) key.
+func (q *calendarQueue) insert(idx int32) {
+	ln := q.pool.at(idx)
+	day := ln.doneAt >> calShift
+	if q.size == 0 || day < q.day {
+		q.day = day
+	}
+	b := q.buckets[day%calDays]
+	lo, hi := 0, len(b)
+	for lo < hi {
+		m := (lo + hi) / 2
+		lm := q.pool.at(b[m])
+		if lm.doneAt < ln.doneAt || (lm.doneAt == ln.doneAt && lm.seq < ln.seq) {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	b = append(b, 0)
+	copy(b[lo+1:], b[lo:])
+	b[lo] = idx
+	q.buckets[day%calDays] = b
+	q.size++
+}
+
+// peek returns the index of the minimum entry without removing it, or -1
+// when empty. It advances the day cursor over empty days; if a full lap
+// finds only future-year heads (arrivals beyond the horizon), it jumps
+// the cursor straight to the global minimum.
+func (q *calendarQueue) peek() int32 {
+	if q.size == 0 {
+		return -1
+	}
+	day := q.day
+	for lap := 0; lap < calDays; lap++ {
+		if b := q.buckets[day%calDays]; len(b) > 0 {
+			if q.pool.at(b[0]).doneAt>>calShift == day {
+				q.day = day
+				return b[0]
+			}
+		}
+		day++
+	}
+	// Sparse far-future case: every bucket head (the bucket minimum) is a
+	// candidate; the smallest key among them is the global minimum.
+	best := int32(-1)
+	for d := range q.buckets {
+		b := q.buckets[d]
+		if len(b) == 0 {
+			continue
+		}
+		if best < 0 {
+			best = b[0]
+			continue
+		}
+		lb, lc := q.pool.at(b[0]), q.pool.at(best)
+		if lb.doneAt < lc.doneAt || (lb.doneAt == lc.doneAt && lb.seq < lc.seq) {
+			best = b[0]
+		}
+	}
+	q.day = q.pool.at(best).doneAt >> calShift
+	return best
+}
+
+// pop removes and returns the minimum entry, or -1 when empty.
+func (q *calendarQueue) pop() int32 {
+	idx := q.peek()
+	if idx < 0 {
+		return -1
+	}
+	b := q.buckets[q.day%calDays]
+	copy(b, b[1:])
+	q.buckets[q.day%calDays] = b[:len(b)-1]
+	q.size--
+	return idx
+}
+
+// forEach visits every queued entry in unspecified order (diagnostics,
+// invariant audits, and fault victim selection, which orders by seq
+// itself).
+func (q *calendarQueue) forEach(f func(idx int32)) {
+	for d := range q.buckets {
+		for _, idx := range q.buckets[d] {
+			f(idx)
+		}
+	}
+}

@@ -8,7 +8,7 @@
 //
 //	grpconform -n 500 -seed 1 -jobs 8 [-schemes base,srp,grp/var] \
 //	    [-faults 'light;heavy'] [-overlay l2.size=512K] [-arith] [-timing] \
-//	    [-shrink] [-shrink-out repro.txt] [-q]
+//	    [-shrink] [-shrink-out repro.txt] [-q] [-listen localhost:6060]
 //
 // The summary on stdout is deterministic: byte-identical across -jobs
 // settings. Exit status: 0 all programs conform, 1 conformance failures
@@ -21,12 +21,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"grp/internal/campaign"
 	"grp/internal/conformance"
 	"grp/internal/core"
+	"grp/internal/obs"
 	"grp/internal/progen"
 )
 
@@ -51,6 +53,7 @@ func main() {
 		shrink    = flag.Bool("shrink", false, "on failure, minimize the first failing program and print the reproducer")
 		shrinkOut = flag.String("shrink-out", "", "also write the shrunk reproducer to this file")
 		quiet     = flag.Bool("q", false, "suppress per-program progress lines")
+		listen    = flag.String("listen", "", "serve /metrics (Prometheus text) and /debug/pprof/ on this address during the run, e.g. localhost:6060")
 	)
 	var overlays overlayFlags
 	flag.Var(&overlays, "overlay", "config overlay axis key=value (repeatable; same axes as the campaign spec grammar)")
@@ -86,10 +89,33 @@ func main() {
 		MaxSteps:    *maxSteps,
 		TimingCheck: *timing,
 	}
-	if !*quiet {
-		cfg.Progress = func(done, total, failed int) {
-			fmt.Fprintf(os.Stderr, "grpconform: program %d/%d checked (%d failing)\n", done, total, failed)
+	workers := *jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	reporter := obs.NewReporter(*n, workers)
+	if *listen != "" {
+		srv, err := obs.NewServer(*listen, reporter)
+		if err != nil {
+			log.Printf("error: %v", err)
+			os.Exit(2)
 		}
+		defer srv.Close()
+		log.Printf("debug endpoint on http://%s (/metrics, /debug/pprof/)", srv.Addr())
+	}
+	cfg.OnProgramStart = reporter.CellStart
+	cfg.Progress = func(done, total, failed int) {
+		reporter.CellDone(false)
+		if *quiet {
+			return
+		}
+		s := reporter.Snapshot()
+		line := fmt.Sprintf("grpconform: program %d/%d checked (%d failing)  %.1f prog/s  util %.0f%%",
+			done, total, failed, s.CellsPerSec, 100*s.Utilization)
+		if s.ETA > 0 {
+			line += fmt.Sprintf("  eta %s", s.ETA.Round(time.Second))
+		}
+		fmt.Fprintln(os.Stderr, line)
 	}
 
 	names := make([]string, len(scs))

@@ -10,6 +10,11 @@
 // -metrics-out dumps the full snapshot as JSON; -perfetto writes a Chrome
 // trace-event timeline loadable at ui.perfetto.dev.
 //
+// Attribution: -attrib attaches the prefetch lifecycle ledger
+// (internal/attrib) — every issued prefetch is followed to a terminal
+// outcome and the report gains the outcome taxonomy plus per-region and
+// per-trigger-PC breakdowns; -attrib-out dumps the summary as JSON.
+//
 // Robustness: -faults arms deterministic fault injection (see
 // internal/faults for the spec grammar; presets light, heavy, chaos) and
 // -check-invariants audits the memory hierarchy as it runs. Faults perturb
@@ -17,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -45,6 +51,8 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write the metrics snapshot as JSON to this file (\"-\" for stdout; implies -metrics)")
 		sampleInt  = flag.Int64("sample-interval", 4096, "sampler period in cycles when -metrics is on (must be positive)")
 		perfetto   = flag.String("perfetto", "", "write a Chrome trace-event timeline JSON to this file")
+		attribOn   = flag.Bool("attrib", false, "attach the prefetch-attribution ledger (outcome/region/PC tables join the report)")
+		attribOut  = flag.String("attrib-out", "", "write the attribution summary as JSON to this file (\"-\" for stdout; implies -attrib)")
 		faultSpec  = flag.String("faults", "", "fault plan: preset[,key=value,...] (presets "+strings.Join(faults.PresetNames(), ", ")+"); empty = no faults")
 		checkInv   = flag.Bool("check-invariants", false, "audit memory-hierarchy invariants during the run")
 		jobs       = flag.Int("jobs", 0, "simulation worker goroutines (default GOMAXPROCS; matters with -compare)")
@@ -76,6 +84,7 @@ func main() {
 		Policy:          parsePolicy(*policy),
 		Metrics:         *metricsOn || *metricsOut != "",
 		SampleInterval:  uint64(*sampleInt),
+		Attrib:          *attribOn || *attribOut != "",
 		CheckInvariants: *checkInv,
 	}
 	if plan.Active() {
@@ -91,6 +100,7 @@ func main() {
 	}
 	metricsFile := openOut(*metricsOut)
 	perfettoFile := openOut(*perfetto)
+	attribFile := openOut(*attribOut)
 
 	// Both the main run and the -compare baseline go through the campaign
 	// engine: with -cache an unchanged cell (the baseline in particular)
@@ -104,6 +114,7 @@ func main() {
 		baseOpt := opt
 		baseOpt.Timeline = nil
 		baseOpt.Metrics = false
+		baseOpt.Attrib = false
 		jobsList = append(jobsList, campaign.Job{Bench: spec.Name, Scheme: core.NoPrefetch, Opt: baseOpt})
 	}
 	results, err := eng.Run(jobsList)
@@ -125,6 +136,13 @@ func main() {
 
 	if metricsFile != nil {
 		writeOut(metricsFile, r.Metrics.WriteJSON)
+	}
+	if attribFile != nil {
+		writeOut(attribFile, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(r.Attrib)
+		})
 	}
 	if perfettoFile != nil {
 		writeOut(perfettoFile, tl.WriteJSON)

@@ -12,7 +12,10 @@
 // artifact is byte-identical across -jobs settings and across warm/cold
 // cache runs; re-running an unchanged campaign is all cache hits and
 // simulates nothing. Progress and cache statistics go to stderr, the
-// artifact to stdout or -out.
+// artifact to stdout or -out. Progress lines carry live fleet telemetry
+// (cells/s, worker utilization, cache hit count, ETA); -listen
+// additionally serves the same numbers as Prometheus text on /metrics
+// alongside net/http/pprof for profiling a running campaign.
 package main
 
 import (
@@ -21,11 +24,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"grp/internal/campaign"
 	"grp/internal/compiler"
 	"grp/internal/core"
+	"grp/internal/obs"
 	"grp/internal/stats"
 	"grp/internal/workloads"
 )
@@ -57,6 +62,7 @@ func main() {
 		format   = flag.String("format", "ascii", "artifact format: ascii, json, csv")
 		out      = flag.String("out", "", "write the artifact to this file (default stdout)")
 		quiet    = flag.Bool("q", false, "suppress per-cell progress lines")
+		listen   = flag.String("listen", "", "serve /metrics (Prometheus text) and /debug/pprof/ on this address during the run, e.g. localhost:6060")
 	)
 	flag.Parse()
 	if *spec == "" {
@@ -88,9 +94,29 @@ func main() {
 		Cache:    *cacheOn && !*noCache,
 		CacheDir: *cacheDir,
 	}
-	if !*quiet {
-		cfg.Progress = func(done, total, hits int) {
-			fmt.Fprintf(os.Stderr, "grpsweep: cell %d/%d done (%d cached)\n", done, total, hits)
+	workers := *jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// The reporter turns cell start/finish events into live throughput,
+	// worker utilization, and ETA; -listen additionally serves the same
+	// numbers over HTTP for fleet scraping.
+	rep := obs.NewReporter(len(grid.Cells), workers)
+	if *listen != "" {
+		srv, err := obs.NewServer(*listen, rep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("debug endpoint on http://%s (/metrics, /debug/pprof/)", srv.Addr())
+	}
+	cfg.OnCellStart = rep.CellStart
+	prevHits := 0
+	cfg.Progress = func(done, total, hits int) {
+		rep.CellDone(hits > prevHits) // Progress calls are serialized
+		prevHits = hits
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "grpsweep: %s\n", rep.Line())
 		}
 	}
 	eng := campaign.New(cfg)

@@ -40,6 +40,7 @@ func main() {
 		benches  = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
 		skipSens = flag.Bool("skip-sensitivity", false, "skip the Section 5.4 policy sweep (3x extra simulation)")
 		charts   = flag.Bool("charts", false, "also render Figures 1 and 12 as ASCII bar charts (ascii format only)")
+		attribOn = flag.Bool("attrib", false, "run with the attribution ledger and add the per-scheme outcome exhibit")
 		format   = flag.String("format", "ascii", "output format: ascii, json")
 		jobs     = flag.Int("jobs", 0, "simulation worker goroutines (default GOMAXPROCS)")
 		cacheOn  = flag.Bool("cache", false, "reuse unchanged simulations from the result cache")
@@ -65,7 +66,7 @@ func main() {
 	if *benches != "" {
 		names = strings.Split(*benches, ",")
 	}
-	opt := core.Options{Factor: f}
+	opt := core.Options{Factor: f, Attrib: *attribOn}
 
 	eng := campaign.New(campaign.Config{Jobs: *jobs, Cache: *cacheOn, CacheDir: *cacheDir})
 
@@ -127,6 +128,12 @@ func main() {
 	t6, err := suite.Table6()
 	fatal(err)
 	add("table6", t6)
+
+	if *attribOn {
+		ta, err := suite.TableAttrib()
+		fatal(err)
+		add("attrib", ta)
+	}
 
 	if !*skipSens {
 		log.Printf("running Section 5.4 policy sweep...")

@@ -67,19 +67,27 @@ func record(args []string) {
 			log.Fatalf("record: -o must contain a %q placeholder when tracing multiple benchmarks", "%s")
 		}
 		specs := make([]*workloads.Spec, len(benches))
+		files := make([]*os.File, len(benches))
 		for i, b := range benches {
 			spec, err := workloads.ByName(b)
 			if err != nil {
 				log.Fatal(err)
 			}
 			specs[i] = spec
+			// Every output file opens before any recording starts: one
+			// unwritable path must not waste the traces already recorded.
+			file, err := os.Create(fmt.Sprintf(*out, spec.Name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			files[i] = file
 		}
 		n := *jobs
 		if n <= 0 {
 			n = runtime.GOMAXPROCS(0)
 		}
 		err := campaign.ParallelFor(len(specs), n, func(i int) error {
-			return recordOne(specs[i], f, fmt.Sprintf(*out, specs[i].Name))
+			return recordOne(specs[i], f, files[i])
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -90,13 +98,19 @@ func record(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := recordOne(spec, f, *out); err != nil {
+	file, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := recordOne(spec, f, file); err != nil {
 		log.Fatal(err)
 	}
 }
 
-// recordOne traces one benchmark's reference stream into path.
-func recordOne(spec *workloads.Spec, f workloads.Factor, path string) error {
+// recordOne traces one benchmark's reference stream into an already-open
+// file (paths are validated and opened before any recording work).
+func recordOne(spec *workloads.Spec, f workloads.Factor, file *os.File) error {
+	defer file.Close()
 	built := spec.Build(f)
 	m := mem.New()
 	prog, lay, _, err := compiler.CompileWorkload(built.Prog, m, compiler.PolicyDefault)
@@ -105,11 +119,6 @@ func recordOne(spec *workloads.Spec, f workloads.Factor, path string) error {
 	}
 	built.Init(m, lay)
 
-	file, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer file.Close()
 	w, err := trace.NewWriter(file)
 	if err != nil {
 		return err
@@ -133,7 +142,7 @@ func recordOne(spec *workloads.Spec, f workloads.Factor, path string) error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	fmt.Printf("recorded %d events from %d instructions to %s\n", w.Count(), res.Instrs, path)
+	fmt.Printf("recorded %d events from %d instructions to %s\n", w.Count(), res.Instrs, file.Name())
 	return nil
 }
 

@@ -1,0 +1,584 @@
+// Package attrib is the prefetch lifecycle attribution ledger: it follows
+// every prefetch the memory system issues from the hint (or hardware
+// trigger) that caused it, through the prioritizer's decision, to its fill
+// and final outcome, and classifies each one into a closed taxonomy with a
+// conservation invariant — every issued prefetch lands in exactly one
+// outcome class, so class totals always sum to the issue count.
+//
+// The paper argues in aggregates (accuracy, coverage, pollution); the
+// ledger supplies the *causes*: which 4 KB region, which triggering PC,
+// and which prioritizer decision produced the useful — or wasted —
+// traffic. That per-outcome attribution is exactly the signal a
+// feedback-directed scheme (the ROADMAP's grp-adaptive item) consumes.
+//
+// The implementation follows the hot-path idiom of internal/sim: entries
+// live in a slab indexed by int32 with a free list, the block → entry
+// table is open-addressed (internal/oamap), and per-region/per-PC
+// aggregates are plain maps that stop growing once the working set is
+// resident — zero heap allocations in steady state. Every public method
+// is safe on a nil *Ledger, so the memory system guards instrumentation
+// with a single nil check exactly like its other telemetry sinks.
+package attrib
+
+import (
+	"fmt"
+	"sync"
+
+	"grp/internal/oamap"
+)
+
+// Class is a terminal outcome in the closed taxonomy. Every issued
+// prefetch is assigned exactly one Class by the time Finalize runs.
+type Class uint8
+
+// The outcome taxonomy (DESIGN.md §11 defines each precisely).
+const (
+	// ClassUseful: the block was demand-referenced after its fill landed
+	// in the L2 — the prefetch fully hid the miss.
+	ClassUseful Class = iota
+	// ClassLate: a demand access merged with the prefetch while it was
+	// still in flight — correct but only partially hiding the latency.
+	ClassLate
+	// ClassEvictedUnused: the filled block was evicted untouched without
+	// having displaced live demand data (its fill victim was invalid or
+	// itself an unused prefetch).
+	ClassEvictedUnused
+	// ClassPollution: the prefetch was never demand-referenced and its
+	// fill evicted a valid demand-resident line — wasted traffic that also
+	// displaced useful data (victim-caused pollution).
+	ClassPollution
+	// ClassRedundant: the fill was a no-op because the block was already
+	// present in the L2 when the data arrived.
+	ClassRedundant
+	// ClassCancelled: fault injection cancelled the in-flight prefetch
+	// before its data landed.
+	ClassCancelled
+	// ClassResidentUnused: still untouched (resident or in flight) when
+	// the run ended — not demonstrably wasted, just never paid off.
+	ClassResidentUnused
+
+	NumClasses = int(ClassResidentUnused) + 1
+)
+
+var classNames = [NumClasses]string{
+	"useful", "late", "evicted-unused", "pollution", "redundant",
+	"cancelled", "resident-unused",
+}
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if int(c) < NumClasses {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// ClassNames lists the taxonomy in Class order, for table headers.
+func ClassNames() []string {
+	out := make([]string, NumClasses)
+	copy(out, classNames[:])
+	return out
+}
+
+// RegionBytes is the attribution granularity: the paper's 4 KB region.
+const RegionBytes = 4096
+
+// RegionOf returns the 4 KB-aligned region base of a block address.
+func RegionOf(block uint64) uint64 { return block &^ uint64(RegionBytes-1) }
+
+const noClass Class = 0xff
+
+// entry is one prefetch in the slab. A terminal entry is not deleted:
+// it stays in the slab and in byBlock as a corpse (live=false), and a
+// re-issue of the same block reuses its slot in place. That trades slab
+// high-water mark (distinct blocks prefetched, instead of simultaneously
+// live ones) for zero backward-shift deletions on the classify path —
+// the table memory is pooled across runs anyway (see Recycle).
+type entry struct {
+	block        uint64
+	pc           uint64 // triggering PC (0: hardware-internal trigger)
+	class        Class  // noClass until classified
+	victimDemand bool   // the fill evicted a valid demand-resident line
+	live         bool
+}
+
+// Counts carries one tally per taxonomy class. The JSON field names are
+// stable: they are serialized into campaign cache entries.
+type Counts struct {
+	Useful         uint64 `json:"useful"`
+	Late           uint64 `json:"late"`
+	EvictedUnused  uint64 `json:"evicted_unused"`
+	Pollution      uint64 `json:"pollution"`
+	Redundant      uint64 `json:"redundant"`
+	Cancelled      uint64 `json:"cancelled"`
+	ResidentUnused uint64 `json:"resident_unused"`
+}
+
+// add increments the tally for class c.
+func (k *Counts) add(c Class) {
+	switch c {
+	case ClassUseful:
+		k.Useful++
+	case ClassLate:
+		k.Late++
+	case ClassEvictedUnused:
+		k.EvictedUnused++
+	case ClassPollution:
+		k.Pollution++
+	case ClassRedundant:
+		k.Redundant++
+	case ClassCancelled:
+		k.Cancelled++
+	case ClassResidentUnused:
+		k.ResidentUnused++
+	}
+}
+
+// Get returns the tally for class c.
+func (k Counts) Get(c Class) uint64 {
+	switch c {
+	case ClassUseful:
+		return k.Useful
+	case ClassLate:
+		return k.Late
+	case ClassEvictedUnused:
+		return k.EvictedUnused
+	case ClassPollution:
+		return k.Pollution
+	case ClassRedundant:
+		return k.Redundant
+	case ClassCancelled:
+		return k.Cancelled
+	case ClassResidentUnused:
+		return k.ResidentUnused
+	}
+	return 0
+}
+
+// Total sums every class tally.
+func (k Counts) Total() uint64 {
+	return k.Useful + k.Late + k.EvictedUnused + k.Pollution +
+		k.Redundant + k.Cancelled + k.ResidentUnused
+}
+
+// groupStats is the per-region / per-PC accumulator.
+type groupStats struct {
+	issued uint64
+	counts Counts
+}
+
+// Ledger is the event ledger. Attach one per run via the memory system;
+// it is not safe for concurrent use (the simulation is single-goroutine,
+// like the rest of the telemetry layer).
+type Ledger struct {
+	// Hot per-event state leads the struct so the fields every Hint/Issue
+	// touches share the ledger's first host cache line.
+	lastRegion uint64 // Hint one-entry cache: last missing region...
+	lastPC     uint64 // ...and the PC that missed it
+	issued     uint64
+	hintsSeen  uint64
+	// byBlock maps a block to its slab entry (live or corpse). victims
+	// tracks demand-resident blocks displaced by prefetch fills, so later
+	// re-misses to them can be counted (VictimReMisses). regionPC
+	// remembers the last demand-missing PC per 4 KB region — the
+	// attribution link from a hardware-triggered region prefetch back to
+	// the instruction whose miss (and hint) opened the region — written
+	// on every demand L2 miss through the lastRegion/lastPC cache (misses
+	// stream through a region before moving on, so consecutive writes
+	// usually repeat the same pair).
+	byBlock  *oamap.I32
+	victims  *oamap.U8
+	regionPC *oamap.U64
+	haveLast bool
+
+	entries []entry
+
+	perRegion map[uint64]*groupStats
+	perPC     map[uint64]*groupStats
+
+	// One-entry caches over the aggregate maps: a region prefetch issues
+	// up to 64 blocks with one region and one trigger PC, so consecutive
+	// fold calls overwhelmingly repeat the same group.
+	rgKey uint64
+	rg    *groupStats
+	pcKey uint64
+	pg    *groupStats
+
+	holdsBusy    uint64
+	dropsHeld    uint64
+	dropsSW      uint64
+	victimRemiss uint64
+	classTotals  Counts
+}
+
+// ledgerPool recycles ledgers across runs: a campaign executes thousands
+// of cells per process, and each ledger carries ~100 KB of slab and table
+// backing that would otherwise be fresh garbage per cell.
+var ledgerPool = sync.Pool{New: func() any {
+	// Pre-size for a typical cell: the slab's high-water mark tracks the
+	// simultaneously resident prefetched lines (hundreds to a few
+	// thousand), and growing mid-run costs a rehash per doubling on the
+	// per-issue path.
+	return &Ledger{
+		entries:   make([]entry, 0, 1024),
+		byBlock:   oamap.NewI32Sized(1024),
+		victims:   oamap.NewU8(),
+		regionPC:  oamap.NewU64Sized(256),
+		perRegion: make(map[uint64]*groupStats, 64),
+		perPC:     make(map[uint64]*groupStats, 64),
+	}
+}}
+
+// NewLedger returns an empty ledger, reusing a recycled one when
+// available (see Recycle).
+func NewLedger() *Ledger {
+	return ledgerPool.Get().(*Ledger)
+}
+
+// Recycle resets the ledger and returns it to the pool for a later
+// NewLedger call. The caller must drop every reference first; Summarize
+// copies everything it exports, so a taken Summary stays valid.
+func (l *Ledger) Recycle() {
+	if l == nil {
+		return
+	}
+	l.entries = l.entries[:0]
+	l.byBlock.Reset()
+	l.victims.Reset()
+	l.regionPC.Reset()
+	clear(l.perRegion)
+	clear(l.perPC)
+	l.lastRegion, l.lastPC, l.haveLast = 0, 0, false
+	l.rgKey, l.rg, l.pcKey, l.pg = 0, nil, 0, nil
+	l.issued, l.hintsSeen, l.holdsBusy, l.dropsHeld, l.dropsSW = 0, 0, 0, 0, 0
+	l.victimRemiss = 0
+	l.classTotals = Counts{}
+	ledgerPool.Put(l)
+}
+
+// classify assigns the terminal class and retires the entry to a corpse.
+// Aggregation is deferred: the corpse's tallies fold into the class and
+// group totals when its slot is reused or at Finalize (see fold), so the
+// per-event path writes two bytes instead of updating three accumulators.
+func (l *Ledger) classify(idx int32, c Class) {
+	e := &l.entries[idx]
+	e.class = c
+	e.live = false
+}
+
+// fold adds one incarnation's issue and terminal outcome to the class
+// totals and both group aggregates. Every incarnation folds exactly once:
+// at slot reuse for the dying one, at Finalize for the slab's survivors.
+func (l *Ledger) fold(e *entry) {
+	l.classTotals.add(e.class)
+	g := l.regionGroup(RegionOf(e.block))
+	g.issued++
+	g.counts.add(e.class)
+	p := l.pcGroup(e.pc)
+	p.issued++
+	p.counts.add(e.class)
+}
+
+// regionGroup returns (creating if needed) the per-region accumulator,
+// through the one-entry cache. Groups are never deleted, so the cached
+// pointer can never go stale.
+func (l *Ledger) regionGroup(key uint64) *groupStats {
+	if l.rg != nil && l.rgKey == key {
+		return l.rg
+	}
+	g := l.perRegion[key]
+	if g == nil {
+		g = &groupStats{}
+		l.perRegion[key] = g
+	}
+	l.rgKey, l.rg = key, g
+	return g
+}
+
+// pcGroup is regionGroup for the per-PC aggregates.
+func (l *Ledger) pcGroup(key uint64) *groupStats {
+	if l.pg != nil && l.pcKey == key {
+		return l.pg
+	}
+	g := l.perPC[key]
+	if g == nil {
+		g = &groupStats{}
+		l.perPC[key] = g
+	}
+	l.pcKey, l.pg = key, g
+	return g
+}
+
+// Hint records a demand L2 miss — the event that plants hints into the
+// prefetch engine — attributing the missing PC to the block's region. It
+// also credits a victim re-miss when the missed block was previously
+// displaced by an unused prefetch fill (the demonstrated cost of
+// pollution). Nil-safe.
+func (l *Ledger) Hint(pc, block uint64) {
+	if l == nil {
+		return
+	}
+	l.hintsSeen++
+	// The fast path — same region and PC as the previous miss, no armed
+	// victims — stays small enough to inline into the memory system's
+	// demand-miss path; the table updates live in the slow halves.
+	if region := block &^ uint64(RegionBytes-1); !l.haveLast || region != l.lastRegion || pc != l.lastPC {
+		l.hintRegion(region, pc)
+	}
+	if l.victims.Len() > 0 {
+		l.hintVictim(block)
+	}
+}
+
+// hintRegion records a new region/PC attribution pair (Hint's slow path).
+func (l *Ledger) hintRegion(region, pc uint64) {
+	l.regionPC.Set(region, pc)
+	l.lastRegion, l.lastPC, l.haveLast = region, pc, true
+}
+
+// hintVictim credits a re-miss to a displaced victim (Hint's slow path).
+func (l *Ledger) hintVictim(block uint64) {
+	if _, ok := l.victims.Get(block); ok {
+		l.victims.Delete(block)
+		l.victimRemiss++
+	}
+}
+
+// Issue opens a ledger entry for a prefetch submitted to the memory
+// controller at cycle now. The triggering PC is resolved through the
+// region map (0 when the region was never demand-missed — a pure
+// hardware-internal trigger such as a pointer-chase target). It returns
+// the entry's slab index; the memory system stores it on its in-flight
+// line and hands it back to Fill, Late, and Cancel, so the in-flight
+// phase needs no block lookups at all. Nil-safe (returns -1).
+func (l *Ledger) Issue(block, now uint64, software bool) int32 {
+	if l == nil {
+		return -1
+	}
+	idx, ok := l.byBlock.Get(block)
+	if ok {
+		// Reuse the block's slab slot in place, folding out the previous
+		// incarnation. Normally it is a corpse; a still-live unclassified
+		// entry cannot happen (a present or in-flight block is never
+		// re-issued), but close it as resident-unused defensively rather
+		// than orphan the tally.
+		e := &l.entries[idx]
+		if e.class == noClass {
+			e.class = ClassResidentUnused
+		}
+		l.fold(e)
+	} else {
+		l.entries = append(l.entries, entry{})
+		idx = int32(len(l.entries) - 1)
+		l.byBlock.Set(block, idx)
+	}
+	// Resolve the triggering PC. A region prefetch bursts right after the
+	// demand miss that opened the region, so the Hint one-entry cache
+	// usually answers without probing the region table.
+	var pc uint64
+	if region := RegionOf(block); l.haveLast && region == l.lastRegion {
+		pc = l.lastPC
+	} else {
+		pc, _ = l.regionPC.Get(region)
+	}
+	l.entries[idx] = entry{block: block, pc: pc, class: noClass, live: true}
+	l.issued++
+	return idx
+}
+
+// HoldBusy records a prioritizer hold: a popped candidate parked because
+// no DRAM channel went idle inside the pump window. Nil-safe.
+func (l *Ledger) HoldBusy() {
+	if l != nil {
+		l.holdsBusy++
+	}
+}
+
+// DropHeldPresent records a held candidate discarded because its block
+// became cached (or in flight) while parked. Nil-safe.
+func (l *Ledger) DropHeldPresent() {
+	if l != nil {
+		l.dropsHeld++
+	}
+}
+
+// DropSoftware records a software PREF dropped pre-issue (block already
+// cached or in flight). Nil-safe.
+func (l *Ledger) DropSoftware() {
+	if l != nil {
+		l.dropsSW++
+	}
+}
+
+// Cancel classifies the in-flight prefetch at slab index idx (from
+// Issue) as fault-cancelled. Nil-safe, and a no-op on idx < 0.
+func (l *Ledger) Cancel(idx int32) {
+	if l == nil || idx < 0 {
+		return
+	}
+	if l.entries[idx].class == noClass {
+		l.classify(idx, ClassCancelled)
+	}
+}
+
+// Late marks the in-flight prefetch at slab index idx (from Issue) as
+// demand-merged: correct but not timely. The entry stays registered (its
+// fill still lands and the block remains tracked until the cache forgets
+// it) but its class is terminal now; later events on the block are
+// bookkeeping only. Nil-safe, and a no-op on idx < 0.
+func (l *Ledger) Late(idx int32) {
+	if l == nil || idx < 0 {
+		return
+	}
+	if e := &l.entries[idx]; e.class == noClass {
+		e.class = ClassLate
+	}
+}
+
+// Fill records the data of the prefetch at slab index idx (from Issue)
+// landing in the L2. filled is false when the cache fill was a no-op
+// (block already present — the redundant class). When the fill evicted a
+// victim, victimValid/victimPrefetched describe it: a valid non-prefetched
+// victim is live demand data, which arms the pollution classification and
+// the victim re-miss tracker. Nil-safe, and a no-op on idx < 0.
+func (l *Ledger) Fill(idx int32, now uint64, filled bool, victim uint64, victimValid, victimPrefetched bool) {
+	if l == nil || idx < 0 {
+		return
+	}
+	e := &l.entries[idx]
+	if !e.live {
+		return
+	}
+	if !filled {
+		if e.class == noClass {
+			l.classify(idx, ClassRedundant)
+		} else {
+			// Already terminal (late): the no-op fill ends tracking.
+			l.release(idx)
+		}
+		return
+	}
+	if victimValid && !victimPrefetched {
+		e.victimDemand = true
+		l.victims.Set(victim, 1)
+	}
+}
+
+// release ends tracking for an already-terminal entry (a late prefetch
+// whose block the cache finally forgot) without re-classifying.
+func (l *Ledger) release(idx int32) {
+	l.entries[idx].live = false
+}
+
+// DemandHit records a demand reference to a resident prefetched block —
+// the useful case — and ends tracking for it (the cache clears the
+// block's prefetched mark on the same access). Nil-safe.
+func (l *Ledger) DemandHit(block uint64) {
+	if l == nil {
+		return
+	}
+	idx, ok := l.byBlock.Get(block)
+	if !ok || !l.entries[idx].live {
+		return
+	}
+	if l.entries[idx].class == noClass {
+		l.classify(idx, ClassUseful)
+	} else {
+		l.release(idx)
+	}
+}
+
+// EvictPrefetched records the eviction of a still-prefetch-marked block.
+// An unclassified entry becomes evicted-unused, or pollution when its own
+// fill displaced live demand data. Nil-safe.
+func (l *Ledger) EvictPrefetched(block uint64) {
+	if l == nil {
+		return
+	}
+	idx, ok := l.byBlock.Get(block)
+	if !ok || !l.entries[idx].live {
+		return
+	}
+	if e := &l.entries[idx]; e.class == noClass {
+		if e.victimDemand {
+			l.classify(idx, ClassPollution)
+		} else {
+			l.classify(idx, ClassEvictedUnused)
+		}
+	} else {
+		l.release(idx)
+	}
+}
+
+// Finalize classifies every prefetch still unresolved at end of run as
+// resident-unused (still in the cache — or in flight — untouched) and
+// folds the whole slab into the deferred aggregates in one pass. Call
+// once, after the memory system drains. Nil-safe.
+func (l *Ledger) Finalize() {
+	if l == nil {
+		return
+	}
+	for i := range l.entries {
+		e := &l.entries[i]
+		if e.class == noClass {
+			e.class = ClassResidentUnused
+		}
+		e.live = false
+		l.fold(e)
+	}
+}
+
+// Issued returns the running issue count. Nil-safe.
+func (l *Ledger) Issued() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.issued
+}
+
+// Classified returns the count of prefetches folded into the class
+// totals so far (reused incarnations mid-run, everything after Finalize);
+// it can never exceed Issued. Nil-safe.
+func (l *Ledger) Classified() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.classTotals.Total()
+}
+
+// CheckConservation verifies the ledger's core invariant: every issued
+// prefetch is accounted in exactly one terminal class. It is meaningful
+// after Finalize; before that, still-live entries legitimately make the
+// class total fall short.
+func (l *Ledger) CheckConservation() error {
+	if l == nil {
+		return nil
+	}
+	if got := l.classTotals.Total(); got != l.issued {
+		return fmt.Errorf("attrib: class totals %d != issued %d (conservation violated)", got, l.issued)
+	}
+	var region, pc Counts
+	sumInto := func(dst *Counts, m map[uint64]*groupStats) uint64 {
+		var issued uint64
+		for _, g := range m {
+			issued += g.issued
+			dst.Useful += g.counts.Useful
+			dst.Late += g.counts.Late
+			dst.EvictedUnused += g.counts.EvictedUnused
+			dst.Pollution += g.counts.Pollution
+			dst.Redundant += g.counts.Redundant
+			dst.Cancelled += g.counts.Cancelled
+			dst.ResidentUnused += g.counts.ResidentUnused
+		}
+		return issued
+	}
+	if got := sumInto(&region, l.perRegion); got != l.issued || region != l.classTotals {
+		return fmt.Errorf("attrib: per-region totals (issued %d, classes %+v) disagree with ledger (issued %d, classes %+v)",
+			got, region, l.issued, l.classTotals)
+	}
+	if got := sumInto(&pc, l.perPC); got != l.issued || pc != l.classTotals {
+		return fmt.Errorf("attrib: per-PC totals (issued %d, classes %+v) disagree with ledger (issued %d, classes %+v)",
+			got, pc, l.issued, l.classTotals)
+	}
+	return nil
+}

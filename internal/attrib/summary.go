@@ -1,0 +1,120 @@
+package attrib
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GroupSummary is one per-region or per-PC attribution row.
+type GroupSummary struct {
+	// Key is the region base address (per-region rows) or the triggering
+	// PC (per-PC rows; 0 = hardware-internal trigger, e.g. pointer-chase
+	// targets whose region no demand access ever missed).
+	Key    uint64 `json:"key"`
+	Issued uint64 `json:"issued"`
+	Counts Counts `json:"counts"`
+}
+
+// Summary is the end-of-run attribution digest: small, deterministic, and
+// JSON-round-trippable, so it persists inside campaign cache entries. The
+// per-region and per-PC breakdowns keep the top MaxGroups rows by issue
+// count (ties broken by key) plus a count of groups beyond the cut.
+type Summary struct {
+	Issued    uint64 `json:"issued"`
+	Counts    Counts `json:"counts"`
+	HintsSeen uint64 `json:"hints_seen"`
+
+	// Prioritizer / pre-issue decisions (not part of the issued total:
+	// these prefetches never reached the controller as counted issues).
+	HoldsBusy        uint64 `json:"holds_busy"`
+	DropsHeldPresent uint64 `json:"drops_held_present"`
+	DropsSoftware    uint64 `json:"drops_software"`
+
+	// VictimReMisses counts demand misses to blocks that an unused
+	// prefetch fill had displaced — pollution's demonstrated cost.
+	VictimReMisses uint64 `json:"victim_remisses"`
+
+	Regions      []GroupSummary `json:"regions"`
+	PCs          []GroupSummary `json:"pcs"`
+	RegionsTotal int            `json:"regions_total"`
+	PCsTotal     int            `json:"pcs_total"`
+}
+
+// MaxGroups bounds the per-region and per-PC rows kept in a Summary.
+const MaxGroups = 64
+
+// Summarize freezes the ledger into its serializable digest. Call after
+// Finalize. Nil-safe (returns nil).
+func (l *Ledger) Summarize() *Summary {
+	if l == nil {
+		return nil
+	}
+	s := &Summary{
+		Issued:           l.issued,
+		Counts:           l.classTotals,
+		HintsSeen:        l.hintsSeen,
+		HoldsBusy:        l.holdsBusy,
+		DropsHeldPresent: l.dropsHeld,
+		DropsSoftware:    l.dropsSW,
+		VictimReMisses:   l.victimRemiss,
+		RegionsTotal:     len(l.perRegion),
+		PCsTotal:         len(l.perPC),
+	}
+	s.Regions = topGroups(l.perRegion)
+	s.PCs = topGroups(l.perPC)
+	return s
+}
+
+// topGroups flattens an aggregate map into rows sorted by issue count
+// descending (key ascending on ties — full determinism), cut at MaxGroups.
+func topGroups(m map[uint64]*groupStats) []GroupSummary {
+	rows := make([]GroupSummary, 0, len(m))
+	for k, g := range m {
+		if g.issued == 0 && g.counts.Total() == 0 {
+			continue
+		}
+		rows = append(rows, GroupSummary{Key: k, Issued: g.issued, Counts: g.counts})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Issued != rows[j].Issued {
+			return rows[i].Issued > rows[j].Issued
+		}
+		return rows[i].Key < rows[j].Key
+	})
+	if len(rows) > MaxGroups {
+		rows = rows[:MaxGroups]
+	}
+	return rows
+}
+
+// CheckConservation verifies the summary-level invariant: class totals
+// sum exactly to the issue count, and every kept row's classes sum to its
+// own issue count adjusted for rows below the cut.
+func (s *Summary) CheckConservation() error {
+	if s == nil {
+		return nil
+	}
+	if got := s.Counts.Total(); got != s.Issued {
+		return fmt.Errorf("attrib: summary class totals %d != issued %d", got, s.Issued)
+	}
+	for _, r := range s.Regions {
+		if r.Counts.Total() != r.Issued {
+			return fmt.Errorf("attrib: region %#x classes %d != issued %d", r.Key, r.Counts.Total(), r.Issued)
+		}
+	}
+	for _, r := range s.PCs {
+		if r.Counts.Total() != r.Issued {
+			return fmt.Errorf("attrib: pc %#x classes %d != issued %d", r.Key, r.Counts.Total(), r.Issued)
+		}
+	}
+	return nil
+}
+
+// Accuracy returns the ledger's accuracy view in percent: prefetches that
+// paid off (useful + late) over issued.
+func (s *Summary) Accuracy() float64 {
+	if s == nil || s.Issued == 0 {
+		return 0
+	}
+	return 100 * float64(s.Counts.Useful+s.Counts.Late) / float64(s.Issued)
+}

@@ -230,10 +230,13 @@ func (c *Cache) MarkDirty(addr uint64) bool {
 	return false
 }
 
-// Victim describes a block evicted by Fill.
+// Victim describes a block evicted by Fill. Prefetched reports that the
+// victim still carried its prefetched mark — it was filled by a prefetch
+// and evicted without ever being demand-referenced.
 type Victim struct {
-	Addr  uint64
-	Dirty bool
+	Addr       uint64
+	Dirty      bool
+	Prefetched bool
 }
 
 // Fill inserts the block containing addr. Demand fills insert at MRU;
@@ -241,8 +244,17 @@ type Victim struct {
 // if any. Filling a block already present is a no-op (it can happen when a
 // demand fill races a prefetch fill; the line keeps its current state).
 func (c *Cache) Fill(addr uint64, prefetch, dirty bool) (v Victim, evicted bool) {
+	v, evicted, _ = c.FillTracked(addr, prefetch, dirty)
+	return v, evicted
+}
+
+// FillTracked is Fill with the no-op case made visible: filled is false
+// when the block was already present and nothing changed. The attribution
+// ledger needs the distinction (a no-op prefetch fill is the redundant
+// class); callers that don't can keep using Fill.
+func (c *Cache) FillTracked(addr uint64, prefetch, dirty bool) (v Victim, evicted, filled bool) {
 	if c.cfg.Perfect {
-		return Victim{}, false
+		return Victim{}, false, false
 	}
 	set, tag := c.index(addr)
 	ways := c.ways(set)
@@ -251,7 +263,7 @@ func (c *Cache) Fill(addr uint64, prefetch, dirty bool) (v Victim, evicted bool)
 			if dirty {
 				ways[i].dirty = true
 			}
-			return Victim{}, false
+			return Victim{}, false, false
 		}
 	}
 	if prefetch {
@@ -264,7 +276,7 @@ func (c *Cache) Fill(addr uint64, prefetch, dirty bool) (v Victim, evicted bool)
 	old := ways[lru]
 	if old.valid {
 		evicted = true
-		v = Victim{Addr: c.reconstruct(set, old.tag), Dirty: old.dirty}
+		v = Victim{Addr: c.reconstruct(set, old.tag), Dirty: old.dirty, Prefetched: old.prefetched}
 		if old.dirty {
 			c.stats.Writebacks++
 		}
@@ -281,7 +293,7 @@ func (c *Cache) Fill(addr uint64, prefetch, dirty bool) (v Victim, evicted bool)
 		copy(ways[1:], ways[:lru])
 		ways[0] = nl
 	}
-	return v, evicted
+	return v, evicted, true
 }
 
 // Invalidate drops the block containing addr if present, returning whether

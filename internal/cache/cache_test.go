@@ -310,3 +310,51 @@ func mustNew(t *testing.T, cfg Config) *Cache {
 	}
 	return c
 }
+
+// TestFillTracked pins the no-op detection and the victim's prefetched
+// mark, the two signals the attribution ledger consumes.
+func TestFillTracked(t *testing.T) {
+	c, _ := New(testConfig())
+
+	if _, _, filled := c.FillTracked(0x1000, true, false); !filled {
+		t.Fatal("first fill reported as no-op")
+	}
+	if _, _, filled := c.FillTracked(0x1000, true, false); filled {
+		t.Fatal("refill of a present block not reported as no-op")
+	}
+
+	// The prefetch sits in the LRU slot, so the next fill to the same set
+	// (16 sets: +0x400 aliases) victimizes it while still marked.
+	v, evicted, filled := c.FillTracked(0x1400, false, false)
+	if !filled {
+		t.Fatal("demand fill reported as no-op")
+	}
+	if !evicted || v.Addr != 0x1000 {
+		t.Fatalf("evicted=%v victim=%#x, want the LRU prefetch 0x1000", evicted, v.Addr)
+	}
+	if !v.Prefetched {
+		t.Fatal("untouched prefetched victim lost its mark")
+	}
+
+	// A demand-referenced prefetch loses the mark before eviction.
+	c2, _ := New(testConfig())
+	c2.Fill(0x2000, true, false)
+	c2.Access(0x2000, false)
+	for i := 1; i <= 4; i++ {
+		if v, evicted, _ := c2.FillTracked(uint64(0x2000+i*0x400), false, false); evicted {
+			if v.Addr == 0x2000 && v.Prefetched {
+				t.Fatal("demand-referenced prefetch victim still marked prefetched")
+			}
+		}
+	}
+}
+
+// TestPerfectFillTracked: a perfect cache never fills.
+func TestPerfectFillTracked(t *testing.T) {
+	cfg := testConfig()
+	cfg.Perfect = true
+	c, _ := New(cfg)
+	if _, evicted, filled := c.FillTracked(0x1000, true, false); evicted || filled {
+		t.Fatal("perfect cache filled")
+	}
+}

@@ -36,6 +36,11 @@ type Config struct {
 	// the completion count, the grid size, and how many of the completed
 	// cells were cache hits. Calls are serialized.
 	Progress func(done, total, hits int)
+	// OnCellStart, when non-nil, is called as each cell begins processing
+	// (cache lookup included). Unlike Progress it is NOT serialized: it
+	// runs on the worker goroutine, so fleet reporters (internal/obs) see
+	// live worker occupancy. The callee must be safe for concurrent use.
+	OnCellStart func()
 }
 
 // Engine runs campaigns. One engine may run several grids; the cache and
@@ -104,6 +109,9 @@ func (e *Engine) Run(jobs []Job) ([]*core.Result, error) {
 	}
 
 	err := ParallelFor(len(jobs), e.Jobs(), func(i int) error {
+		if e.cfg.OnCellStart != nil {
+			e.cfg.OnCellStart()
+		}
 		r, hit, err := e.runOne(jobs[i])
 		if err != nil {
 			return err

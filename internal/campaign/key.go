@@ -28,7 +28,11 @@ import (
 // order (the legacy heap's tie order was unspecified), which decides L2
 // LRU state and pointer-scan order — pre-overhaul cached cells are
 // timing-incompatible. Options also gained LegacyEngine, now in the key.
-const cacheSchemaVersion = 3
+//
+// 4: Result gained the Attrib attribution summary and Options gained the
+// Attrib flag (now in the key); schema-3 cells would deserialize an
+// attribution-requesting cell with Attrib nil.
+const cacheSchemaVersion = 4
 
 // schemeVersions fingerprints each prefetch-engine implementation. The
 // workload side of a cell is content-addressed through the compiled
@@ -82,6 +86,7 @@ func canonicalize(bench string, sc core.Scheme, opt core.Options, progHash uint6
 	set("open_page_first", opt.OpenPageFirst)
 	set("metrics", opt.Metrics)
 	set("sample_interval", opt.SampleInterval)
+	set("attrib", opt.Attrib)
 	set("check_invariants", opt.CheckInvariants)
 	set("invariant_every", opt.InvariantEvery)
 	// The tamper hook is a function, invisible to content addressing; its

@@ -47,3 +47,17 @@ func TestLegacyEngineSplitsKey(t *testing.T) {
 		t.Fatal("LegacyEngine does not split the cell key")
 	}
 }
+
+// TestAttribSplitsKey pins that an attribution-carrying run gets its own
+// cache identity: a plain cell must never satisfy an -attrib request
+// (its cached Result has no summary) or vice versa.
+func TestAttribSplitsKey(t *testing.T) {
+	base := core.Options{Factor: workloads.Test}
+	attrib := base
+	attrib.Attrib = true
+	k1 := cellKey("mcf", core.GRPVar, base, 42)
+	k2 := cellKey("mcf", core.GRPVar, attrib, 42)
+	if k1.Digest == k2.Digest {
+		t.Fatal("Attrib does not split the cell key")
+	}
+}

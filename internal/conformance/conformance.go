@@ -84,6 +84,11 @@ type Config struct {
 	// Progress, when non-nil, is called after each checked program with
 	// the completion count, total, and failures so far. Serialized.
 	Progress func(done, total, failed int)
+	// OnProgramStart, when non-nil, is called as each program begins
+	// checking. Unlike Progress it is NOT serialized: it runs on the
+	// worker goroutine, so fleet reporters (internal/obs) see live worker
+	// occupancy. The callee must be safe for concurrent use.
+	OnProgramStart func()
 }
 
 // DefaultSchemes is the realistic-scheme set the harness differentiates
@@ -99,7 +104,7 @@ type Failure struct {
 	Seed    int64
 	Scheme  core.Scheme
 	Variant string // "" for the fault-free pass
-	Kind    string // run-error, no-halt, oracle-divergence, scheme-divergence, metric, cycle-bound, timing-divergence
+	Kind    string // run-error, no-halt, oracle-divergence, scheme-divergence, metric, attrib, cycle-bound, timing-divergence
 	Detail  string
 }
 
@@ -197,6 +202,9 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 	err := campaign.ParallelFor(cfg.N, cfg.Jobs, func(i int) error {
+		if cfg.OnProgramStart != nil {
+			cfg.OnProgramStart()
+		}
 		pr := CheckSeed(cfg, cfg.Seed+int64(i))
 		rep.Programs[i] = *pr
 		progress(len(pr.Failures))
@@ -268,6 +276,10 @@ func CheckWorkload(cfg Config, seed int64, w *progen.Workload) *ProgramReport {
 		opt.Faults = plan
 		opt.CheckInvariants = true
 		opt.TamperPrefetchFill = cfg.Tamper
+		// Every cell carries the attribution ledger: core.Run fails the
+		// cell outright on a conservation violation, and checkMetrics
+		// reconciles the ledger against the counter-based metrics.
+		opt.Attrib = true
 		pr.Cells++
 		r, err := core.Run(spec, sc, opt)
 		if err != nil {
@@ -384,6 +396,55 @@ func checkMetrics(r, perfect *core.Result, fail func(core.Scheme, string, string
 	if perfect != nil && r.CPU.Cycles < perfect.CPU.Cycles {
 		fail(sc, variant, "cycle-bound",
 			fmt.Sprintf("%d cycles beats perfect-L2 %d", r.CPU.Cycles, perfect.CPU.Cycles))
+	}
+	checkAttrib(r, fail, sc, variant)
+}
+
+// checkAttrib reconciles the attribution ledger's summary with the
+// counter-based metrics the rest of the report is built from. The ledger
+// is an independent second bookkeeping of the same prefetch lifecycle, so
+// any disagreement is a bug in one of the two. The legacy engine carries
+// no ledger (r.Attrib == nil) and is exempt.
+func checkAttrib(r *core.Result, fail func(core.Scheme, string, string, string), sc core.Scheme, variant string) {
+	s := r.Attrib
+	if s == nil {
+		return
+	}
+	if err := s.CheckConservation(); err != nil {
+		fail(sc, variant, "attrib", err.Error())
+		return
+	}
+	if s.Issued != r.Mem.PrefetchesIssued {
+		fail(sc, variant, "attrib",
+			fmt.Sprintf("ledger issued %d, MemStats issued %d", s.Issued, r.Mem.PrefetchesIssued))
+	}
+	if s.Counts.Cancelled != r.Mem.PrefetchesCancelled {
+		fail(sc, variant, "attrib",
+			fmt.Sprintf("ledger cancelled %d, MemStats cancelled %d", s.Counts.Cancelled, r.Mem.PrefetchesCancelled))
+	}
+	// Every issued prefetch either really filled the L2 (PrefetchFills),
+	// arrived to find its block already resident (Redundant), or was
+	// cancelled in flight — a three-way partition of the issue count.
+	if fills := r.L2.PrefetchFills + s.Counts.Redundant + s.Counts.Cancelled; fills != s.Issued {
+		fail(sc, variant, "attrib",
+			fmt.Sprintf("issued %d != L2 prefetch fills %d + redundant %d + cancelled %d",
+				s.Issued, r.L2.PrefetchFills, s.Counts.Redundant, s.Counts.Cancelled))
+	}
+	// The cache's useful/useless counters see every prefetched line,
+	// including re-prefetches of blocks whose ledger entry is already
+	// terminal, so the ledger's classes lower-bound them.
+	if s.Counts.Useful > r.L2.UsefulPrefetches {
+		fail(sc, variant, "attrib",
+			fmt.Sprintf("ledger useful %d exceeds L2 useful prefetches %d", s.Counts.Useful, r.L2.UsefulPrefetches))
+	}
+	if s.Counts.Late > r.Mem.PrefetchLates {
+		fail(sc, variant, "attrib",
+			fmt.Sprintf("ledger late %d exceeds MemStats lates %d", s.Counts.Late, r.Mem.PrefetchLates))
+	}
+	if dead := s.Counts.EvictedUnused + s.Counts.Pollution; dead > r.L2.UselessPrefetches {
+		fail(sc, variant, "attrib",
+			fmt.Sprintf("ledger evicted %d + pollution %d exceeds L2 useless prefetches %d",
+				s.Counts.EvictedUnused, s.Counts.Pollution, r.L2.UselessPrefetches))
 	}
 }
 

@@ -7,6 +7,7 @@ package core
 import (
 	"fmt"
 
+	"grp/internal/attrib"
 	"grp/internal/cache"
 	"grp/internal/compiler"
 	"grp/internal/cpu"
@@ -119,6 +120,12 @@ type Options struct {
 	// Timeline, when non-nil, receives per-event spans (demand misses,
 	// prefetch lifetimes, DRAM bank activity) for Perfetto export.
 	Timeline *trace.Timeline
+	// Attrib attaches the prefetch lifecycle attribution ledger: every
+	// issued prefetch is followed to a terminal outcome class and the
+	// digest lands in Result.Attrib. Run fails if the ledger's
+	// conservation invariant does not hold at drain. Ignored by the
+	// legacy engine (Result.Attrib stays nil).
+	Attrib bool
 	// Faults, when non-nil and active, arms deterministic fault injection
 	// across the hierarchy (see internal/faults). Faults perturb timing
 	// only; Result.ArchDigest is identical to the fault-free run.
@@ -209,6 +216,9 @@ type Result struct {
 	MemDigest uint64
 	// FaultCounts reports injected faults (zero without a fault plan).
 	FaultCounts faults.Counts
+	// Attrib is the prefetch lifecycle attribution digest (nil unless
+	// Options.Attrib was set on the current engine).
+	Attrib *attrib.Summary `json:",omitempty"`
 }
 
 // IPC returns committed instructions per cycle.
@@ -231,6 +241,7 @@ type memSystem interface {
 	EnableInvariantChecks(every uint64)
 	SetFillTamper(fn func(block uint64))
 	AttachTelemetry(reg *metrics.Registry, smp *metrics.Sampler, tl *trace.Timeline)
+	AttachLedger(l *attrib.Ledger)
 	Drain()
 	Stats() sim.MemStats
 	FaultCounts() faults.Counts
@@ -314,6 +325,11 @@ func Run(spec *workloads.Spec, scheme Scheme, opt Options) (*Result, error) {
 	if reg != nil || opt.Timeline != nil {
 		ms.AttachTelemetry(reg, smp, opt.Timeline)
 	}
+	var ledger *attrib.Ledger
+	if opt.Attrib && !opt.LegacyEngine {
+		ledger = attrib.NewLedger()
+		ms.AttachLedger(ledger)
+	}
 
 	cpuCfg := cpu.Default()
 	if opt.CPU != nil {
@@ -360,6 +376,19 @@ func Run(spec *workloads.Spec, scheme Scheme, opt Options) (*Result, error) {
 		snap = metrics.Snap(reg, smp)
 	}
 
+	var attribSummary *attrib.Summary
+	if ledger != nil {
+		ledger.Finalize()
+		if cerr := ledger.CheckConservation(); cerr != nil {
+			return nil, fmt.Errorf("core: running %s/%s: %w", spec.Name, scheme, cerr)
+		}
+		attribSummary = ledger.Summarize()
+		// The memory system is done with it (the run drained above), so
+		// hand the slab and tables to the next cell.
+		ms.AttachLedger(nil)
+		ledger.Recycle()
+	}
+
 	md := m.Digest()
 	l1, l2, dc := ms.Hierarchy()
 	return &Result{
@@ -377,6 +406,7 @@ func Run(spec *workloads.Spec, scheme Scheme, opt Options) (*Result, error) {
 		ArchDigest:   archDigest(c, cres, md),
 		MemDigest:    md,
 		FaultCounts:  ms.FaultCounts(),
+		Attrib:       attribSummary,
 	}, nil
 }
 

@@ -3,10 +3,13 @@ package core
 import (
 	"fmt"
 	"io"
+	"strings"
 
+	"grp/internal/attrib"
 	"grp/internal/cache"
 	"grp/internal/metrics"
 	"grp/internal/sim"
+	"grp/internal/stats"
 )
 
 // This file holds the human-readable run reporting shared by the grpsim
@@ -27,6 +30,7 @@ func FprintResult(w io.Writer, r *Result) {
 	fmt.Fprintf(w, "  hints            %d/%d mem instructions hinted (%.1f%%)\n",
 		r.Hints.Hinted(), r.Hints.MemInsts, r.Hints.HintRatio())
 	FprintLatencies(w, r.Metrics)
+	FprintAttrib(w, r.Attrib)
 }
 
 // FprintMemSummary writes the L2/traffic/prefetch block of the report
@@ -65,6 +69,81 @@ func FprintLatencies(w io.Writer, snap *metrics.Snapshot) {
 	}
 	line("demand latency", sim.HistDemandMissLatency)
 	line("prefetch latency", sim.HistPrefetchLatency)
+}
+
+// FprintAttrib writes the prefetch lifecycle attribution block: the
+// outcome taxonomy with shares of issued prefetches, the prioritizer
+// decision counters, and the top per-region and per-PC breakdowns. A
+// no-op when the run carried no ledger.
+func FprintAttrib(w io.Writer, s *attrib.Summary) {
+	if s == nil {
+		return
+	}
+	fmt.Fprintf(w, "\nprefetch attribution (%d issued, ledger accuracy %.1f%%):\n",
+		s.Issued, s.Accuracy())
+	fmt.Fprint(w, indent(stats.AttribOutcomeTable("outcome taxonomy", s).String(), "  "))
+	if len(s.Regions) > 0 {
+		fmt.Fprint(w, indent(stats.AttribRegionTable("top regions", s).String(), "  "))
+	}
+	if len(s.PCs) > 0 {
+		fmt.Fprint(w, indent(stats.AttribPCTable("top trigger PCs", s).String(), "  "))
+	}
+}
+
+// TableAttrib aggregates every cell's attribution ledger into one
+// per-scheme outcome table: issued prefetches summed across the suite's
+// benches, each lifecycle class as a share of issued. Schemes that issued
+// nothing (base, the perfect caches) are omitted. Errors when no cell in
+// the suite carried a ledger — the suite must run with Options.Attrib.
+func (s *Suite) TableAttrib() (*stats.Table, error) {
+	t := &stats.Table{
+		Title: "Prefetch attribution by scheme (ledger outcome shares, % of issued)",
+		Headers: []string{"scheme", "issued", "useful%", "late%", "evicted%",
+			"pollut%", "redund%", "cancel%", "resident%"},
+	}
+	ledgers := false
+	for _, sc := range AllSchemes() {
+		var issued uint64
+		var c attrib.Counts
+		for _, b := range s.Benches {
+			r := s.Get(b, sc)
+			if r == nil || r.Attrib == nil {
+				continue
+			}
+			ledgers = true
+			issued += r.Attrib.Issued
+			k := r.Attrib.Counts
+			c.Useful += k.Useful
+			c.Late += k.Late
+			c.EvictedUnused += k.EvictedUnused
+			c.Pollution += k.Pollution
+			c.Redundant += k.Redundant
+			c.Cancelled += k.Cancelled
+			c.ResidentUnused += k.ResidentUnused
+		}
+		if issued == 0 {
+			continue
+		}
+		pct := func(v uint64) string { return stats.Fmt(100*float64(v)/float64(issued), 1) }
+		t.Add(sc.String(), fmt.Sprint(issued), pct(c.Useful), pct(c.Late),
+			pct(c.EvictedUnused), pct(c.Pollution), pct(c.Redundant),
+			pct(c.Cancelled), pct(c.ResidentUnused))
+	}
+	if !ledgers {
+		return nil, fmt.Errorf("core: no attribution ledgers in suite (run with Options.Attrib)")
+	}
+	return t, nil
+}
+
+// indent prefixes every non-empty line of s.
+func indent(s, prefix string) string {
+	lines := strings.Split(s, "\n")
+	for i, ln := range lines {
+		if ln != "" {
+			lines[i] = prefix + ln
+		}
+	}
+	return strings.Join(lines, "\n")
 }
 
 // accuracy is the paper's Table 5 accuracy metric: the fraction (percent)

@@ -169,6 +169,11 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if q >= 1 {
 		return h.max
 	}
+	// Degenerate distributions answer exactly, not by interpolation: one
+	// sample (or all samples equal) has every quantile at that value.
+	if h.count == 1 || h.min == h.max {
+		return h.min
+	}
 	target := q * float64(h.count)
 	var cum float64
 	lower := h.min

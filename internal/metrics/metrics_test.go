@@ -273,3 +273,63 @@ func TestSnapshotNilInputs(t *testing.T) {
 		t.Error("missing histogram should be nil")
 	}
 }
+
+// TestHistogramQuantileEdgeCases is the table-driven sweep of the
+// degenerate distributions the interpolating path used to mishandle:
+// empty, a single sample, and all-equal samples (in interior and overflow
+// buckets), across the full quantile range.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	bounds := []float64{4, 8, 16}
+	cases := []struct {
+		name    string
+		samples []float64
+		q       float64
+		want    float64
+	}{
+		{"empty p50", nil, 0.5, 0},
+		{"empty p0", nil, 0, 0},
+		{"empty p100", nil, 1, 0},
+		{"one sample p0", []float64{6}, 0, 6},
+		{"one sample p50", []float64{6}, 0.5, 6},
+		{"one sample p99", []float64{6}, 0.99, 6},
+		{"one sample p100", []float64{6}, 1, 6},
+		{"one sample at bound", []float64{8}, 0.5, 8},
+		{"one sample overflow", []float64{100}, 0.5, 100},
+		{"one sample zero", []float64{0}, 0.5, 0},
+		{"all equal p25", []float64{7, 7, 7, 7}, 0.25, 7},
+		{"all equal p50", []float64{7, 7, 7, 7}, 0.5, 7},
+		{"all equal p99", []float64{7, 7, 7, 7}, 0.99, 7},
+		{"all equal at bound", []float64{16, 16, 16}, 0.9, 16},
+		{"all equal overflow", []float64{42, 42, 42}, 0.5, 42},
+		{"two equal one bucket", []float64{5, 5}, 0.75, 5},
+	}
+	for _, tc := range cases {
+		h := NewHistogram(bounds)
+		for _, v := range tc.samples {
+			h.Observe(v)
+		}
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%g) = %g, want %g", tc.name, tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestHistogramQuantileMonotonic: quantiles are nondecreasing in q and
+// stay inside [min, max] for a spread distribution.
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	h := NewHistogram(ExponentialBuckets(2, 2, 8))
+	for _, v := range []float64{1, 3, 5, 9, 17, 33, 100, 300, 1000} {
+		h.Observe(v)
+	}
+	prev := h.Quantile(0)
+	for q := 0.05; q <= 1.0001; q += 0.05 {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Errorf("Quantile(%g) = %g < previous %g (not monotonic)", q, got, prev)
+		}
+		if got < 1 || got > 1000 {
+			t.Errorf("Quantile(%g) = %g outside [min, max]", q, got)
+		}
+		prev = got
+	}
+}

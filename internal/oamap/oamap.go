@@ -19,14 +19,28 @@ const fib = 0x9E3779B97F4A7C15
 
 const minCap = 16
 
+// sizeFor returns the power-of-two capacity whose 3/4 load bound fits n.
+func sizeFor(n int) int {
+	c := minCap
+	for 4*n >= 3*c {
+		c <<= 1
+	}
+	return c
+}
+
 // U8 maps uint64 keys to uint8 values (the prefetch engines' pointer
-// counters and issued-block sets).
+// counters and issued-block sets). Slots are a single array of structs,
+// so a probe touches one cache line, not three parallel arrays.
 type U8 struct {
-	keys  []uint64
-	vals  []uint8
-	used  []bool
+	slots []u8Slot
 	n     int
 	shift uint
+}
+
+type u8Slot struct {
+	key  uint64
+	val  uint8
+	used bool
 }
 
 // NewU8 returns an empty table.
@@ -37,9 +51,7 @@ func NewU8() *U8 {
 }
 
 func (t *U8) init(capacity int) {
-	t.keys = make([]uint64, capacity)
-	t.vals = make([]uint8, capacity)
-	t.used = make([]bool, capacity)
+	t.slots = make([]u8Slot, capacity)
 	t.shift = 64
 	for c := capacity; c > 1; c >>= 1 {
 		t.shift--
@@ -53,31 +65,33 @@ func (t *U8) Len() int { return t.n }
 
 // Get returns the value for k (zero when absent) and whether it exists.
 func (t *U8) Get(k uint64) (uint8, bool) {
-	mask := uint64(len(t.keys) - 1)
+	mask := uint64(len(t.slots) - 1)
 	for i := t.idx(k); ; i = (i + 1) & mask {
-		if !t.used[i] {
+		s := &t.slots[i]
+		if !s.used {
 			return 0, false
 		}
-		if t.keys[i] == k {
-			return t.vals[i], true
+		if s.key == k {
+			return s.val, true
 		}
 	}
 }
 
 // Set inserts or overwrites k's value.
 func (t *U8) Set(k uint64, v uint8) {
-	if 4*(t.n+1) >= 3*len(t.keys) {
+	if 4*(t.n+1) >= 3*len(t.slots) {
 		t.grow()
 	}
-	mask := uint64(len(t.keys) - 1)
+	mask := uint64(len(t.slots) - 1)
 	for i := t.idx(k); ; i = (i + 1) & mask {
-		if !t.used[i] {
-			t.used[i], t.keys[i], t.vals[i] = true, k, v
+		s := &t.slots[i]
+		if !s.used {
+			*s = u8Slot{key: k, val: v, used: true}
 			t.n++
 			return
 		}
-		if t.keys[i] == k {
-			t.vals[i] = v
+		if s.key == k {
+			s.val = v
 			return
 		}
 	}
@@ -86,13 +100,13 @@ func (t *U8) Set(k uint64, v uint8) {
 // Delete removes k if present, backward-shifting the probe chain so no
 // tombstones accumulate.
 func (t *U8) Delete(k uint64) {
-	mask := uint64(len(t.keys) - 1)
+	mask := uint64(len(t.slots) - 1)
 	i := t.idx(k)
 	for {
-		if !t.used[i] {
+		if !t.slots[i].used {
 			return
 		}
-		if t.keys[i] == k {
+		if t.slots[i].key == k {
 			break
 		}
 		i = (i + 1) & mask
@@ -100,45 +114,176 @@ func (t *U8) Delete(k uint64) {
 	j := i
 	for {
 		j = (j + 1) & mask
-		if !t.used[j] {
+		if !t.slots[j].used {
 			break
 		}
-		if h := t.idx(t.keys[j]); (j-h)&mask >= (j-i)&mask {
-			t.keys[i], t.vals[i] = t.keys[j], t.vals[j]
+		if h := t.idx(t.slots[j].key); (j-h)&mask >= (j-i)&mask {
+			t.slots[i].key, t.slots[i].val = t.slots[j].key, t.slots[j].val
 			i = j
 		}
 	}
-	t.used[i] = false
+	t.slots[i].used = false
 	t.n--
 }
 
-// Reset empties the table in place, keeping its capacity.
+// Reset empties the table in place, keeping its capacity. clear zeroes
+// the slot array wholesale — a single memclr, far cheaper than a
+// per-slot flag loop when Reset runs once per simulated cell.
 func (t *U8) Reset() {
-	for i := range t.used {
-		t.used[i] = false
-	}
+	clear(t.slots)
 	t.n = 0
 }
 
 func (t *U8) grow() {
-	keys, vals, used := t.keys, t.vals, t.used
-	t.init(2 * len(keys))
+	old := t.slots
+	t.init(2 * len(old))
 	t.n = 0
-	for i, u := range used {
-		if u {
-			t.Set(keys[i], vals[i])
+	for i := range old {
+		if old[i].used {
+			t.Set(old[i].key, old[i].val)
+		}
+	}
+}
+
+// U64 maps uint64 keys to uint64 values (the attribution ledger's
+// region → last-missing-PC table, written on every demand L2 miss). Slots
+// are a single array of structs, so a probe touches one cache line, not
+// three parallel arrays.
+type U64 struct {
+	slots []u64Slot
+	n     int
+	shift uint
+}
+
+type u64Slot struct {
+	key  uint64
+	val  uint64
+	used bool
+}
+
+// NewU64 returns an empty table.
+func NewU64() *U64 {
+	t := &U64{}
+	t.init(minCap)
+	return t
+}
+
+// NewU64Sized returns an empty table pre-sized to hold about n entries
+// without growing (one allocation up front instead of log n rehashes).
+func NewU64Sized(n int) *U64 {
+	t := &U64{}
+	t.init(sizeFor(n))
+	return t
+}
+
+func (t *U64) init(capacity int) {
+	t.slots = make([]u64Slot, capacity)
+	t.shift = 64
+	for c := capacity; c > 1; c >>= 1 {
+		t.shift--
+	}
+}
+
+func (t *U64) idx(k uint64) uint64 { return (k * fib) >> t.shift }
+
+// Len returns the number of live entries.
+func (t *U64) Len() int { return t.n }
+
+// Get returns the value for k (zero when absent) and whether it exists.
+func (t *U64) Get(k uint64) (uint64, bool) {
+	mask := uint64(len(t.slots) - 1)
+	for i := t.idx(k); ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if !s.used {
+			return 0, false
+		}
+		if s.key == k {
+			return s.val, true
+		}
+	}
+}
+
+// Set inserts or overwrites k's value.
+func (t *U64) Set(k uint64, v uint64) {
+	if 4*(t.n+1) >= 3*len(t.slots) {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := t.idx(k); ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if !s.used {
+			*s = u64Slot{key: k, val: v, used: true}
+			t.n++
+			return
+		}
+		if s.key == k {
+			s.val = v
+			return
+		}
+	}
+}
+
+// Delete removes k if present, backward-shifting the probe chain so no
+// tombstones accumulate.
+func (t *U64) Delete(k uint64) {
+	mask := uint64(len(t.slots) - 1)
+	i := t.idx(k)
+	for {
+		if !t.slots[i].used {
+			return
+		}
+		if t.slots[i].key == k {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	j := i
+	for {
+		j = (j + 1) & mask
+		if !t.slots[j].used {
+			break
+		}
+		if h := t.idx(t.slots[j].key); (j-h)&mask >= (j-i)&mask {
+			t.slots[i].key, t.slots[i].val = t.slots[j].key, t.slots[j].val
+			i = j
+		}
+	}
+	t.slots[i].used = false
+	t.n--
+}
+
+// Reset empties the table in place, keeping its capacity. clear zeroes
+// the slot array wholesale — a single memclr, far cheaper than a
+// per-slot flag loop when Reset runs once per simulated cell.
+func (t *U64) Reset() {
+	clear(t.slots)
+	t.n = 0
+}
+
+func (t *U64) grow() {
+	old := t.slots
+	t.init(2 * len(old))
+	t.n = 0
+	for i := range old {
+		if old[i].used {
+			t.Set(old[i].key, old[i].val)
 		}
 	}
 }
 
 // I32 maps uint64 keys to int32 values (the sim package's block → pooled
-// line index table).
+// line index table). Like U64, slots are a single array of structs so a
+// probe touches one cache line.
 type I32 struct {
-	keys  []uint64
-	vals  []int32
-	used  []bool
+	slots []i32Slot
 	n     int
 	shift uint
+}
+
+type i32Slot struct {
+	key  uint64
+	val  int32
+	used bool
 }
 
 // NewI32 returns an empty table.
@@ -148,10 +293,16 @@ func NewI32() *I32 {
 	return t
 }
 
+// NewI32Sized returns an empty table pre-sized to hold about n entries
+// without growing (one allocation up front instead of log n rehashes).
+func NewI32Sized(n int) *I32 {
+	t := &I32{}
+	t.init(sizeFor(n))
+	return t
+}
+
 func (t *I32) init(capacity int) {
-	t.keys = make([]uint64, capacity)
-	t.vals = make([]int32, capacity)
-	t.used = make([]bool, capacity)
+	t.slots = make([]i32Slot, capacity)
 	t.shift = 64
 	for c := capacity; c > 1; c >>= 1 {
 		t.shift--
@@ -165,31 +316,33 @@ func (t *I32) Len() int { return t.n }
 
 // Get returns the value for k (zero when absent) and whether it exists.
 func (t *I32) Get(k uint64) (int32, bool) {
-	mask := uint64(len(t.keys) - 1)
+	mask := uint64(len(t.slots) - 1)
 	for i := t.idx(k); ; i = (i + 1) & mask {
-		if !t.used[i] {
+		s := &t.slots[i]
+		if !s.used {
 			return 0, false
 		}
-		if t.keys[i] == k {
-			return t.vals[i], true
+		if s.key == k {
+			return s.val, true
 		}
 	}
 }
 
 // Set inserts or overwrites k's value.
 func (t *I32) Set(k uint64, v int32) {
-	if 4*(t.n+1) >= 3*len(t.keys) {
+	if 4*(t.n+1) >= 3*len(t.slots) {
 		t.grow()
 	}
-	mask := uint64(len(t.keys) - 1)
+	mask := uint64(len(t.slots) - 1)
 	for i := t.idx(k); ; i = (i + 1) & mask {
-		if !t.used[i] {
-			t.used[i], t.keys[i], t.vals[i] = true, k, v
+		s := &t.slots[i]
+		if !s.used {
+			*s = i32Slot{key: k, val: v, used: true}
 			t.n++
 			return
 		}
-		if t.keys[i] == k {
-			t.vals[i] = v
+		if s.key == k {
+			s.val = v
 			return
 		}
 	}
@@ -198,13 +351,13 @@ func (t *I32) Set(k uint64, v int32) {
 // Delete removes k if present, backward-shifting the probe chain so no
 // tombstones accumulate.
 func (t *I32) Delete(k uint64) {
-	mask := uint64(len(t.keys) - 1)
+	mask := uint64(len(t.slots) - 1)
 	i := t.idx(k)
 	for {
-		if !t.used[i] {
+		if !t.slots[i].used {
 			return
 		}
-		if t.keys[i] == k {
+		if t.slots[i].key == k {
 			break
 		}
 		i = (i + 1) & mask
@@ -212,25 +365,33 @@ func (t *I32) Delete(k uint64) {
 	j := i
 	for {
 		j = (j + 1) & mask
-		if !t.used[j] {
+		if !t.slots[j].used {
 			break
 		}
-		if h := t.idx(t.keys[j]); (j-h)&mask >= (j-i)&mask {
-			t.keys[i], t.vals[i] = t.keys[j], t.vals[j]
+		if h := t.idx(t.slots[j].key); (j-h)&mask >= (j-i)&mask {
+			t.slots[i].key, t.slots[i].val = t.slots[j].key, t.slots[j].val
 			i = j
 		}
 	}
-	t.used[i] = false
+	t.slots[i].used = false
 	t.n--
 }
 
-func (t *I32) grow() {
-	keys, vals, used := t.keys, t.vals, t.used
-	t.init(2 * len(keys))
+// Reset empties the table in place, keeping its capacity. clear zeroes
+// the slot array wholesale — a single memclr, far cheaper than a
+// per-slot flag loop when Reset runs once per simulated cell.
+func (t *I32) Reset() {
+	clear(t.slots)
 	t.n = 0
-	for i, u := range used {
-		if u {
-			t.Set(keys[i], vals[i])
+}
+
+func (t *I32) grow() {
+	old := t.slots
+	t.init(2 * len(old))
+	t.n = 0
+	for i := range old {
+		if old[i].used {
+			t.Set(old[i].key, old[i].val)
 		}
 	}
 }

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances only when told, making the derived rates exact.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestReporterDerivedMetrics(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	r := NewReporter(10, 2)
+	r.setClock(clk.now)
+
+	// Two workers run one cell each for 1s, then one runs another for 1s.
+	r.CellStart()
+	r.CellStart()
+	clk.advance(time.Second)
+	r.CellDone(false)
+	r.CellDone(true)
+	r.CellStart()
+	clk.advance(time.Second)
+	r.CellDone(false)
+
+	s := r.Snapshot()
+	if s.Done != 3 || s.Total != 10 || s.Hits != 1 || s.Active != 0 {
+		t.Fatalf("snapshot counters = %+v", s)
+	}
+	if got := s.CellsPerSec; got != 1.5 {
+		t.Errorf("cells/sec = %g, want 1.5", got)
+	}
+	if got := s.HitRate; got < 0.33 || got > 0.34 {
+		t.Errorf("hit rate = %g, want 1/3", got)
+	}
+	// Busy worker-seconds: 2·1 + 1·1 = 3 of 2 workers × 2s = 4 capacity.
+	if got := s.Utilization; got != 0.75 {
+		t.Errorf("utilization = %g, want 0.75", got)
+	}
+	// 7 cells left at 1.5 cells/s.
+	left := float64(s.Total - s.Done)
+	if want := time.Duration(left / s.CellsPerSec * float64(time.Second)); s.ETA != want {
+		t.Errorf("ETA = %v, want %v", s.ETA, want)
+	}
+	line := r.Line()
+	for _, frag := range []string{"3/10", "(1 cached)", "1.5 cells/s", "util 75%", "eta"} {
+		if !strings.Contains(line, frag) {
+			t.Errorf("Line() = %q missing %q", line, frag)
+		}
+	}
+}
+
+func TestReporterZeroElapsed(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	r := NewReporter(5, 4)
+	r.setClock(clk.now)
+	s := r.Snapshot()
+	if s.CellsPerSec != 0 || s.Utilization != 0 || s.HitRate != 0 || s.ETA != 0 {
+		t.Errorf("zero-time snapshot has nonzero rates: %+v", s)
+	}
+	_ = r.Line() // must not panic or divide by zero
+}
+
+func TestReporterNilSafe(t *testing.T) {
+	var r *Reporter
+	r.CellStart()
+	r.CellDone(true)
+	if s := r.Snapshot(); s != (Snapshot{}) {
+		t.Errorf("nil reporter snapshot = %+v", s)
+	}
+}
+
+func TestReporterConcurrent(t *testing.T) {
+	r := NewReporter(1000, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 125; i++ {
+				r.CellStart()
+				r.CellDone(i%2 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Done != 1000 {
+		t.Errorf("done = %d, want 1000", s.Done)
+	}
+	// i%2==0 holds for 63 of the 125 values per worker.
+	if want := 8 * 63; s.Hits != want {
+		t.Errorf("hits = %d, want %d", s.Hits, want)
+	}
+	if s.Active != 0 {
+		t.Errorf("active = %d, want 0", s.Active)
+	}
+}
+
+func TestServerMetricsAndPprof(t *testing.T) {
+	r := NewReporter(4, 2)
+	r.CellStart()
+	r.CellDone(true)
+	srv, err := NewServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"grpsweep_cells_done 1",
+		"grpsweep_cells_total 4",
+		"grpsweep_cache_hits 1",
+		"# TYPE grpsweep_worker_utilization gauge",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Errorf("/debug/pprof/ index looks wrong: %.120s", idx)
+	}
+}
+
+func TestServerBadAddrFailsFast(t *testing.T) {
+	if _, err := NewServer("256.0.0.1:bad", NewReporter(1, 1)); err == nil {
+		t.Fatal("bad listen address did not fail")
+	}
+}

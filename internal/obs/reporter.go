@@ -1,0 +1,158 @@
+// Package obs is the fleet observability layer for the long-running
+// drivers (grpsweep, grpconform): a thread-safe progress reporter that
+// derives throughput, worker utilization, cache hit rate, and ETA from
+// cell start/finish events, and an opt-in debug HTTP server exposing the
+// same numbers as Prometheus text metrics alongside net/http/pprof.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Reporter accumulates campaign progress. All methods are safe for
+// concurrent use by worker goroutines; the zero value is not usable —
+// construct with NewReporter.
+type Reporter struct {
+	mu     sync.Mutex
+	now    func() time.Time // injectable clock for tests
+	start  time.Time
+	last   time.Time // time of the previous state change
+	total  int
+	workas int // worker-pool width, for the utilization denominator
+
+	started int
+	done    int
+	hits    int
+	active  int
+
+	// busy integrates active-worker-seconds across state changes, so
+	// utilization = busy / (elapsed · workers) is exact regardless of how
+	// irregular the cell durations are.
+	busy float64
+}
+
+// NewReporter tracks a run of total cells on a pool of workers wide.
+func NewReporter(total, workers int) *Reporter {
+	if workers < 1 {
+		workers = 1
+	}
+	r := &Reporter{now: time.Now, total: total, workas: workers}
+	r.start = r.now()
+	r.last = r.start
+	return r
+}
+
+// setClock injects a fake clock (tests only).
+func (r *Reporter) setClock(now func() time.Time) {
+	r.mu.Lock()
+	r.now = now
+	r.start = now()
+	r.last = r.start
+	r.mu.Unlock()
+}
+
+// integrate advances the busy integral to the current instant. Callers
+// hold r.mu.
+func (r *Reporter) integrate() time.Time {
+	t := r.now()
+	r.busy += float64(r.active) * t.Sub(r.last).Seconds()
+	r.last = t
+	return t
+}
+
+// CellStart records one cell beginning to simulate.
+func (r *Reporter) CellStart() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.integrate()
+	r.started++
+	r.active++
+	r.mu.Unlock()
+}
+
+// CellDone records one cell completing; cacheHit marks it served from the
+// result cache rather than simulated.
+func (r *Reporter) CellDone(cacheHit bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.integrate()
+	r.done++
+	if cacheHit {
+		r.hits++
+	}
+	if r.active > 0 {
+		r.active--
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot is a consistent view of the reporter's derived metrics.
+type Snapshot struct {
+	Done, Total, Hits, Active int
+	Elapsed                   time.Duration
+	CellsPerSec               float64
+	HitRate                   float64 // fraction of completed cells cache-hit
+	Utilization               float64 // busy worker-seconds / capacity
+	ETA                       time.Duration
+}
+
+// Snapshot derives the current metrics. Nil-safe (returns the zero value).
+func (r *Reporter) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.integrate()
+	s := Snapshot{
+		Done: r.done, Total: r.total, Hits: r.hits, Active: r.active,
+		Elapsed: t.Sub(r.start),
+	}
+	secs := s.Elapsed.Seconds()
+	if secs > 0 {
+		s.CellsPerSec = float64(r.done) / secs
+		s.Utilization = r.busy / (secs * float64(r.workas))
+	}
+	if r.done > 0 {
+		s.HitRate = float64(r.hits) / float64(r.done)
+		if left := r.total - r.done; left > 0 && s.CellsPerSec > 0 {
+			s.ETA = time.Duration(float64(left) / s.CellsPerSec * float64(time.Second))
+		}
+	}
+	return s
+}
+
+// Line renders the one-line live progress report the drivers print to
+// stderr after each cell.
+func (r *Reporter) Line() string {
+	s := r.Snapshot()
+	line := fmt.Sprintf("cell %d/%d done (%d cached)  %.1f cells/s  util %.0f%%",
+		s.Done, s.Total, s.Hits, s.CellsPerSec, 100*s.Utilization)
+	if s.ETA > 0 {
+		line += fmt.Sprintf("  eta %s", s.ETA.Round(time.Second))
+	}
+	return line
+}
+
+// WritePrometheus emits the snapshot in Prometheus text exposition
+// format (one gauge per derived metric, prefixed grpsweep_).
+func (s Snapshot) WritePrometheus(w interface{ Write([]byte) (int, error) }) error {
+	_, err := fmt.Fprintf(w,
+		"# TYPE grpsweep_cells_done gauge\ngrpsweep_cells_done %d\n"+
+			"# TYPE grpsweep_cells_total gauge\ngrpsweep_cells_total %d\n"+
+			"# TYPE grpsweep_cells_active gauge\ngrpsweep_cells_active %d\n"+
+			"# TYPE grpsweep_cache_hits gauge\ngrpsweep_cache_hits %d\n"+
+			"# TYPE grpsweep_cache_hit_rate gauge\ngrpsweep_cache_hit_rate %g\n"+
+			"# TYPE grpsweep_cells_per_second gauge\ngrpsweep_cells_per_second %g\n"+
+			"# TYPE grpsweep_worker_utilization gauge\ngrpsweep_worker_utilization %g\n"+
+			"# TYPE grpsweep_elapsed_seconds gauge\ngrpsweep_elapsed_seconds %g\n",
+		s.Done, s.Total, s.Active, s.Hits, s.HitRate,
+		s.CellsPerSec, s.Utilization, s.Elapsed.Seconds())
+	return err
+}

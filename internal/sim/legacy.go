@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strings"
 
+	"grp/internal/attrib"
 	"grp/internal/cache"
 	"grp/internal/dram"
 	"grp/internal/faults"
@@ -216,6 +217,14 @@ func (ms *LegacyMemSystem) SetPrioritizer(on bool) { ms.prioritizer = on }
 // SetFillTamper installs a test-only hook called with every prefetch
 // fill's block address as it lands in the L2 (see the fillTamper field).
 func (ms *LegacyMemSystem) SetFillTamper(fn func(block uint64)) { ms.fillTamper = fn }
+
+// AttachLedger is a no-op: the legacy engine predates lifecycle
+// attribution and exists only as a differential baseline. Drivers asking
+// for attribution must use the current engine.
+func (ms *LegacyMemSystem) AttachLedger(*attrib.Ledger) {}
+
+// Ledger always returns nil for the legacy engine.
+func (ms *LegacyMemSystem) Ledger() *attrib.Ledger { return nil }
 
 // Stats returns hierarchy-level statistics.
 func (ms *LegacyMemSystem) Stats() MemStats { return ms.stats }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 
+	"grp/internal/attrib"
 	"grp/internal/cache"
 	"grp/internal/dram"
 	"grp/internal/faults"
@@ -95,6 +96,10 @@ type inflightLine struct {
 	// cancelled marks a fault-cancelled prefetch: it has already been
 	// removed from the inflight map and the pump skips its arrival.
 	cancelled bool
+	// attribIdx is the attribution ledger's slab index for this prefetch
+	// (-1 when no ledger is attached or the line is a demand fetch); it
+	// keys the ledger's in-flight events without a block lookup.
+	attribIdx int32
 }
 
 type arrivalHeap []*inflightLine
@@ -157,6 +162,7 @@ type MemSystem struct {
 	// path pays one predictable branch per sink and nothing else.
 	sampler    *metrics.Sampler
 	timeline   *trace.Timeline
+	ledger     *attrib.Ledger     // prefetch lifecycle attribution
 	histDemand *metrics.Histogram // demand L2-miss service latency
 	histPF     *metrics.Histogram // prefetch issue→fill latency
 
@@ -250,6 +256,15 @@ func (ms *MemSystem) AttachTelemetry(reg *metrics.Registry, smp *metrics.Sampler
 		})
 	}
 }
+
+// AttachLedger connects a prefetch lifecycle attribution ledger. Like the
+// other telemetry sinks it is optional: a nil (or never-attached) ledger
+// costs the hot path one predictable branch per event, nothing else. Call
+// it once, before simulation starts.
+func (ms *MemSystem) AttachLedger(l *attrib.Ledger) { ms.ledger = l }
+
+// Ledger returns the attached attribution ledger (nil when detached).
+func (ms *MemSystem) Ledger() *attrib.Ledger { return ms.ledger }
 
 // NewMemSystem builds the hierarchy with the given prefetch engine, or
 // reports why a cache or DRAM configuration is invalid.
@@ -372,7 +387,7 @@ func (ms *MemSystem) nextArrival() (uint64, bool) {
 func (ms *MemSystem) addInflight(block, doneAt uint64, pf bool) *inflightLine {
 	idx := ms.pool.alloc()
 	ln := ms.pool.at(idx)
-	*ln = inflightLine{block: block, doneAt: doneAt, seq: ms.nextSeq, prefetch: pf}
+	*ln = inflightLine{block: block, doneAt: doneAt, seq: ms.nextSeq, prefetch: pf, attribIdx: -1}
 	ms.nextSeq++
 	ms.inflight.Set(block, idx)
 	ms.arrivals.insert(idx)
@@ -391,7 +406,7 @@ func (ms *MemSystem) processArrivals(t uint64) {
 			return
 		}
 		ms.arrivals.pop()
-		block, doneAt, pf, cancelled := ln.block, ln.doneAt, ln.prefetch, ln.cancelled
+		block, doneAt, pf, cancelled, attribIdx := ln.block, ln.doneAt, ln.prefetch, ln.cancelled, ln.attribIdx
 		ms.pool.release(idx)
 		if cancelled {
 			// A fault-cancelled prefetch: its map entry and inflightPF slot
@@ -407,9 +422,19 @@ func (ms *MemSystem) processArrivals(t uint64) {
 		if ms.watchdog != nil {
 			ms.watchdog.NoteMem(doneAt)
 		}
-		v, evicted := ms.L2.Fill(block, pf, false)
-		if evicted && v.Dirty {
-			ms.Dram.Submit(v.Addr, dram.Writeback, doneAt)
+		v, evicted, filled := ms.L2.FillTracked(block, pf, false)
+		if evicted {
+			if v.Dirty {
+				ms.Dram.Submit(v.Addr, dram.Writeback, doneAt)
+			}
+			if v.Prefetched && ms.ledger != nil {
+				// Any fill — demand or prefetch — can evict an untouched
+				// prefetched line; the ledger settles its class here.
+				ms.ledger.EvictPrefetched(v.Addr)
+			}
+		}
+		if pf && ms.ledger != nil {
+			ms.ledger.Fill(attribIdx, doneAt, filled, v.Addr, evicted, v.Prefetched)
 		}
 		if pf && ms.fillTamper != nil {
 			ms.fillTamper(block)
@@ -448,7 +473,10 @@ func (ms *MemSystem) cancelOnePrefetch() {
 		ms.cancelled++
 		ms.stats.PrefetchesCancelled++
 		if ms.timeline != nil {
-			ms.timeline.PrefetchOutcome(ln.block, "cancelled")
+			ms.timeline.PrefetchOutcomeAt(ln.block, "cancelled", ms.cursor)
+		}
+		if ms.ledger != nil {
+			ms.ledger.Cancel(ln.attribIdx)
 		}
 		return
 	}
@@ -496,6 +524,9 @@ func (ms *MemSystem) Advance(now uint64) {
 			cand = ms.held
 			ms.heldValid = false
 			if ms.present(cand) {
+				if ms.ledger != nil {
+					ms.ledger.DropHeldPresent()
+				}
 				continue // became cached while held
 			}
 		} else {
@@ -521,6 +552,9 @@ func (ms *MemSystem) Advance(now uint64) {
 				ms.held = cand
 				ms.heldValid = true
 				ms.stats.PrioritizerHolds++
+				if ms.ledger != nil {
+					ms.ledger.HoldBusy()
+				}
 				break
 			}
 		}
@@ -532,9 +566,12 @@ func (ms *MemSystem) Advance(now uint64) {
 		if ms.timeline != nil {
 			ms.timeline.PrefetchIssue(cand, start, done, false)
 		}
-		ms.addInflight(cand, done, true)
+		ln := ms.addInflight(cand, done, true)
 		ms.inflightPF++
 		ms.stats.PrefetchesIssued++
+		if ms.ledger != nil {
+			ln.attribIdx = ms.ledger.Issue(cand, start, false)
+		}
 		t = start + ms.cfg.DRAM.TransferCycles // issue bandwidth pacing
 	}
 	ms.cursor = now
@@ -594,8 +631,15 @@ func (ms *MemSystem) access(pc, addr uint64, write bool, hint isa.Hint, coeff ui
 			ms.stats.PrefetchLates++
 			ms.Engine.OnDemandHitPrefetched(block)
 			if ms.timeline != nil {
-				ms.timeline.PrefetchOutcome(block, "late")
+				ms.timeline.PrefetchOutcomeAt(block, "late", now)
 			}
+			if ms.ledger != nil {
+				ms.ledger.Late(ln.attribIdx)
+			}
+		}
+		if ms.ledger != nil {
+			// A merged access is still a demand L2 miss carrying hint bits.
+			ms.ledger.Hint(pc, block)
 		}
 		// The merged request's hint bits reach the MSHR (paper Sec. 3.3.1:
 		// the pointer counters live in the L2 MSHRs).
@@ -618,7 +662,10 @@ func (ms *MemSystem) access(pc, addr uint64, write bool, hint isa.Hint, coeff ui
 		if wasPF {
 			ms.Engine.OnDemandHitPrefetched(block)
 			if ms.timeline != nil {
-				ms.timeline.PrefetchOutcome(block, "useful")
+				ms.timeline.PrefetchOutcomeAt(block, "useful", now)
+			}
+			if ms.ledger != nil {
+				ms.ledger.DemandHit(block)
 			}
 		}
 		ms.fillL1(addr, write, now+l1lat+l2lat)
@@ -630,6 +677,9 @@ func (ms *MemSystem) access(pc, addr uint64, write bool, hint isa.Hint, coeff ui
 	ms.Engine.OnL2DemandMiss(prefetch.MissEvent{
 		PC: pc, Addr: addr, Hint: hint, Coeff: coeff, Present: ms.presentFn,
 	})
+	if ms.ledger != nil {
+		ms.ledger.Hint(pc, block)
+	}
 
 	lookupDone := now + l1lat + l2lat
 	start, slot := ms.l2MSHR.Reserve(lookupDone)
@@ -647,6 +697,7 @@ func (ms *MemSystem) access(pc, addr uint64, write bool, hint isa.Hint, coeff ui
 	ms.histDemand.Observe(float64(dramDone - now))
 	if ms.timeline != nil {
 		ms.timeline.DemandMiss(pc, block, now, dramDone)
+		ms.timeline.HintEmit(pc, block, now)
 	}
 
 	ms.addInflight(block, dramDone, false)
@@ -683,6 +734,9 @@ func (ms *MemSystem) SoftwarePrefetch(addr, now uint64) {
 	block := ms.L2.BlockAddr(addr)
 	if _, inf := ms.inflight.Get(block); inf || ms.L1.Contains(addr) || ms.L2.Contains(addr) {
 		ms.stats.SWPrefetchDrops++
+		if ms.ledger != nil {
+			ms.ledger.DropSoftware()
+		}
 		return
 	}
 	ms.stats.SWPrefetches++
@@ -698,8 +752,11 @@ func (ms *MemSystem) SoftwarePrefetch(addr, now uint64) {
 	if ms.timeline != nil {
 		ms.timeline.PrefetchIssue(block, start, done, true)
 	}
-	ms.addInflight(block, done, true)
+	ln := ms.addInflight(block, done, true)
 	ms.inflightPF++
+	if ms.ledger != nil {
+		ln.attribIdx = ms.ledger.Issue(block, start, true)
+	}
 }
 
 // SetBound forwards a SETBOUND instruction to the engine.
@@ -846,6 +903,17 @@ func (ms *MemSystem) CheckInvariants() error {
 	if ms.stats.PrefetchesCancelled > issued {
 		return fmt.Errorf("cancelled prefetches %d exceed issued %d",
 			ms.stats.PrefetchesCancelled, issued)
+	}
+
+	// Attribution ledger identities (full conservation is checked by the
+	// driver after Finalize; mid-run, only the running bounds hold).
+	if ms.ledger != nil {
+		if got := ms.ledger.Issued(); got != issued {
+			return fmt.Errorf("ledger issued %d does not match stats %d", got, issued)
+		}
+		if c := ms.ledger.Classified(); c > issued {
+			return fmt.Errorf("ledger classified %d exceeds issued %d", c, issued)
+		}
 	}
 	return nil
 }

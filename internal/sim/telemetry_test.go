@@ -71,10 +71,11 @@ func TestTimelinePrefetchOutcomes(t *testing.T) {
 	if before == 0 {
 		t.Fatal("timeline recorded no prefetch/demand events")
 	}
-	// Hit a prefetched neighbor: the span's outcome flips to useful, with
-	// no new event appended.
+	// Hit a prefetched neighbor: the span's outcome flips to useful in
+	// place, and the hint→prefetch flow finishes — exactly one flow-finish
+	// event is appended, nothing else.
 	ms.Load(0, 0x10040, isa.HintNone, isa.FixedRegion, d1+30000)
-	if tl.Len() != before {
-		t.Errorf("outcome upgrade appended events: %d -> %d", before, tl.Len())
+	if tl.Len() != before+1 {
+		t.Errorf("outcome upgrade appended %d events, want exactly the flow finish", tl.Len()-before)
 	}
 }

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"fmt"
+
+	"grp/internal/attrib"
+)
+
+// This file renders the prefetch lifecycle attribution digest
+// (internal/attrib) as tables, in the same Table shape as the paper
+// exhibits so grptables and grpsim share one ascii/json/csv pipeline.
+
+// AttribOutcomeTable renders the outcome taxonomy of one run: one row per
+// class with its share of issued prefetches, plus the pre-issue decision
+// counters that never reach the conservation sum.
+func AttribOutcomeTable(title string, s *attrib.Summary) *Table {
+	t := &Table{
+		Title:   title,
+		Headers: []string{"outcome", "count", "% of issued"},
+	}
+	if s == nil {
+		return t
+	}
+	pct := func(n uint64) string {
+		if s.Issued == 0 {
+			return Fmt(0, 1)
+		}
+		return Fmt(100*float64(n)/float64(s.Issued), 1)
+	}
+	for c := 0; c < attrib.NumClasses; c++ {
+		cl := attrib.Class(c)
+		n := s.Counts.Get(cl)
+		t.Add(cl.String(), fmt.Sprintf("%d", n), pct(n))
+	}
+	t.Add("issued (total)", fmt.Sprintf("%d", s.Issued), pct(s.Issued))
+	t.Add("holds (busy channel)", fmt.Sprintf("%d", s.HoldsBusy), "")
+	t.Add("drops (held, present)", fmt.Sprintf("%d", s.DropsHeldPresent), "")
+	t.Add("drops (software)", fmt.Sprintf("%d", s.DropsSoftware), "")
+	t.Add("victim re-misses", fmt.Sprintf("%d", s.VictimReMisses), "")
+	return t
+}
+
+// attribGroupTable renders per-region or per-PC rows.
+func attribGroupTable(title, keyHeader string, rows []attrib.GroupSummary, total int) *Table {
+	t := &Table{
+		Title: title,
+		Headers: []string{keyHeader, "issued", "useful", "late", "evicted",
+			"pollution", "redundant", "cancelled", "resident"},
+	}
+	for _, r := range rows {
+		t.Add(fmt.Sprintf("%#x", r.Key),
+			fmt.Sprintf("%d", r.Issued),
+			fmt.Sprintf("%d", r.Counts.Useful),
+			fmt.Sprintf("%d", r.Counts.Late),
+			fmt.Sprintf("%d", r.Counts.EvictedUnused),
+			fmt.Sprintf("%d", r.Counts.Pollution),
+			fmt.Sprintf("%d", r.Counts.Redundant),
+			fmt.Sprintf("%d", r.Counts.Cancelled),
+			fmt.Sprintf("%d", r.Counts.ResidentUnused))
+	}
+	if omitted := total - len(rows); omitted > 0 {
+		t.Add(fmt.Sprintf("(+%d more)", omitted), "", "", "", "", "", "", "", "")
+	}
+	return t
+}
+
+// AttribRegionTable renders the per-4KB-region breakdown (top rows by
+// issue count; the cut is attrib.MaxGroups).
+func AttribRegionTable(title string, s *attrib.Summary) *Table {
+	if s == nil {
+		return &Table{Title: title, Headers: []string{"region"}}
+	}
+	return attribGroupTable(title, "region", s.Regions, s.RegionsTotal)
+}
+
+// AttribPCTable renders the per-triggering-PC breakdown (PC 0 is the
+// hardware-internal trigger).
+func AttribPCTable(title string, s *attrib.Summary) *Table {
+	if s == nil {
+		return &Table{Title: title, Headers: []string{"pc"}}
+	}
+	return attribGroupTable(title, "pc", s.PCs, s.PCsTotal)
+}

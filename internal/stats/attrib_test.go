@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"grp/internal/attrib"
+)
+
+func sampleSummary() *attrib.Summary {
+	return &attrib.Summary{
+		Issued: 10,
+		Counts: attrib.Counts{
+			Useful: 4, Late: 2, EvictedUnused: 1, Pollution: 1,
+			Redundant: 0, Cancelled: 1, ResidentUnused: 1,
+		},
+		HintsSeen: 12, HoldsBusy: 3, DropsHeldPresent: 1, DropsSoftware: 2,
+		VictimReMisses: 1,
+		Regions: []attrib.GroupSummary{
+			{Key: 0x1000, Issued: 6, Counts: attrib.Counts{Useful: 4, Late: 2}},
+			{Key: 0x2000, Issued: 4, Counts: attrib.Counts{EvictedUnused: 1,
+				Pollution: 1, Cancelled: 1, ResidentUnused: 1}},
+		},
+		PCs: []attrib.GroupSummary{
+			{Key: 0x40, Issued: 10, Counts: attrib.Counts{Useful: 4, Late: 2,
+				EvictedUnused: 1, Pollution: 1, Cancelled: 1, ResidentUnused: 1}},
+		},
+		RegionsTotal: 5,
+		PCsTotal:     1,
+	}
+}
+
+func TestAttribOutcomeTable(t *testing.T) {
+	tb := AttribOutcomeTable("outcomes", sampleSummary())
+	out := tb.String()
+	// One row per class, in Class order, plus the totals/decisions rows.
+	for _, cl := range attrib.ClassNames() {
+		if !strings.Contains(out, cl) {
+			t.Errorf("table missing class row %q:\n%s", cl, out)
+		}
+	}
+	for _, want := range []string{"issued (total)", "10", "40.0",
+		"holds (busy channel)", "victim re-misses"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if len(tb.Rows) != attrib.NumClasses+5 {
+		t.Errorf("got %d rows, want %d", len(tb.Rows), attrib.NumClasses+5)
+	}
+}
+
+func TestAttribGroupTables(t *testing.T) {
+	s := sampleSummary()
+	rt := AttribRegionTable("regions", s)
+	out := rt.String()
+	for _, want := range []string{"0x1000", "0x2000", "(+3 more)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("region table missing %q:\n%s", want, out)
+		}
+	}
+	pt := AttribPCTable("pcs", s)
+	if !strings.Contains(pt.String(), "0x40") {
+		t.Errorf("pc table missing trigger pc:\n%s", pt.String())
+	}
+	if strings.Contains(pt.String(), "more)") {
+		t.Errorf("pc table shows an omission row with none omitted:\n%s", pt.String())
+	}
+}
+
+func TestAttribTablesNilSummary(t *testing.T) {
+	for _, tb := range []*Table{
+		AttribOutcomeTable("t", nil),
+		AttribRegionTable("t", nil),
+		AttribPCTable("t", nil),
+	} {
+		if len(tb.Rows) != 0 {
+			t.Errorf("nil summary produced rows: %+v", tb.Rows)
+		}
+		_ = tb.String() // must not panic
+	}
+}

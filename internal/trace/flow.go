@@ -1,0 +1,71 @@
+package trace
+
+import "fmt"
+
+// Flow events causally link a prefetch back to the hint-planting demand
+// miss that opened its region, using the Chrome trace-event flow triplet:
+// "s" (start) anchored on the hint span, "t" (step) on the prefetch span
+// at issue, and "f" (finish, bp "e") at the outcome. Perfetto draws the
+// triplet as arrows, so a trace shows *why* each prefetch was issued and
+// what became of it — the visual twin of the attribution ledger.
+
+// flowRegionBytes mirrors attrib.RegionBytes (kept local so the trace
+// package stays dependency-free).
+const flowRegionBytes = 4096
+
+// HintEmit records the hint-planting demand miss for block's region as a
+// unit span on the "hint" track and arms the region: the next prefetch
+// issued into it starts a flow from this event. Nil-safe.
+func (t *Timeline) HintEmit(pc, block, now uint64) {
+	if t == nil {
+		return
+	}
+	region := block &^ uint64(flowRegionBytes-1)
+	idx := t.add(traceEvent{
+		Name: "hint", Cat: "pf", Ph: "X",
+		Ts: now, Dur: 1, Tid: t.tid("hint"),
+		Args: map[string]any{"pc": pc, "region": fmt.Sprintf("%#x", region)},
+	})
+	if idx >= 0 {
+		t.hintMark[region] = now
+	}
+}
+
+// startFlow opens the s→t flow for a prefetch issued at cycle start, when
+// its region was armed by a HintEmit. Called from PrefetchIssue.
+func (t *Timeline) startFlow(block, start uint64) {
+	ts, ok := t.hintMark[block&^uint64(flowRegionBytes-1)]
+	if !ok {
+		return
+	}
+	id := fmt.Sprintf("pf%d", t.flowSeq)
+	t.flowSeq++
+	t.add(traceEvent{
+		Name: "pf flow", Cat: "pf", Ph: "s",
+		Ts: ts, Tid: t.tid("hint"), Id: id,
+	})
+	t.add(traceEvent{
+		Name: "pf flow", Cat: "pf", Ph: "t",
+		Ts: start, Tid: t.tid("prefetch"), Id: id,
+	})
+	t.flowOpen[block] = id
+}
+
+// PrefetchOutcomeAt upgrades the prefetch span's outcome exactly like
+// PrefetchOutcome and, when the block carries an open flow, finishes it
+// at cycle now with the outcome as the finish event's name. Nil-safe.
+func (t *Timeline) PrefetchOutcomeAt(block uint64, outcome string, now uint64) {
+	if t == nil {
+		return
+	}
+	t.PrefetchOutcome(block, outcome)
+	id, ok := t.flowOpen[block]
+	if !ok {
+		return
+	}
+	delete(t.flowOpen, block)
+	t.add(traceEvent{
+		Name: outcome, Cat: "pf", Ph: "f", Bp: "e",
+		Ts: now, Tid: t.tid("prefetch"), Id: id,
+	})
+}

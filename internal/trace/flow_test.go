@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildFlowTimeline exercises the flow-event triplet: two hinted regions,
+// three prefetches (one unhinted, so flowless), and two finished flows.
+func buildFlowTimeline() *Timeline {
+	tl := NewTimeline()
+	tl.DemandMiss(0x40, 0x1000, 100, 300)
+	tl.HintEmit(0x40, 0x1000, 100)
+	tl.PrefetchIssue(0x1040, 120, 340, false) // flow pf0 from the hint
+	tl.PrefetchIssue(0x1080, 130, 360, false) // flow pf1, same region
+	tl.PrefetchIssue(0x9000, 150, 400, false) // unhinted region: no flow
+	tl.PrefetchOutcomeAt(0x1040, "useful", 500)
+	tl.PrefetchOutcomeAt(0x1080, "late", 200)
+	tl.PrefetchOutcomeAt(0x9000, "useful", 600) // upgrades span, no flow
+	tl.PrefetchOutcomeAt(0x1040, "useful", 700) // flow already finished
+	return tl
+}
+
+func TestPerfettoFlowGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildFlowTimeline().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "perfetto_flow_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("flow output diverged from golden file:\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+// TestPerfettoFlowRoundTrip decodes the exported JSON and checks the flow
+// triplets reconstruct: every id appears as exactly one s, one t, and one
+// f event, in nondecreasing ts order, with the s anchored inside a hint
+// span on the hint track.
+func TestPerfettoFlowRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildFlowTimeline().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := validateTraceEvents(t, buf.Bytes())
+
+	type flowEv struct {
+		ph  string
+		ts  float64
+		tid int
+	}
+	flows := map[string][]flowEv{}
+	hintTid := -1
+	var hintSpans [][2]float64
+	for _, ev := range doc.TraceEvents {
+		var ph, name, id string
+		var ts float64
+		var tid int
+		_ = json.Unmarshal(ev["ph"], &ph)
+		_ = json.Unmarshal(ev["name"], &name)
+		_ = json.Unmarshal(ev["ts"], &ts)
+		_ = json.Unmarshal(ev["tid"], &tid)
+		if raw, ok := ev["id"]; ok {
+			_ = json.Unmarshal(raw, &id)
+		}
+		switch {
+		case ph == "M" && name == "thread_name":
+			var args struct {
+				Name string `json:"name"`
+			}
+			_ = json.Unmarshal(ev["args"], &args)
+			if args.Name == "hint" {
+				hintTid = tid
+			}
+		case ph == "X" && name == "hint":
+			var dur float64
+			_ = json.Unmarshal(ev["dur"], &dur)
+			hintSpans = append(hintSpans, [2]float64{ts, ts + dur})
+		case ph == "s" || ph == "t" || ph == "f":
+			flows[id] = append(flows[id], flowEv{ph, ts, tid})
+		}
+	}
+
+	if len(flows) != 2 {
+		t.Fatalf("got %d flow ids, want 2 (the unhinted prefetch must not flow)", len(flows))
+	}
+	for id, evs := range flows {
+		if len(evs) != 3 || evs[0].ph != "s" || evs[1].ph != "t" || evs[2].ph != "f" {
+			t.Fatalf("flow %s: got %+v, want exactly s,t,f", id, evs)
+		}
+		if evs[0].ts > evs[1].ts {
+			t.Errorf("flow %s: start ts %g after step ts %g", id, evs[0].ts, evs[1].ts)
+		}
+		if evs[0].tid != hintTid {
+			t.Errorf("flow %s: start on tid %d, want hint track %d", id, evs[0].tid, hintTid)
+		}
+		anchored := false
+		for _, sp := range hintSpans {
+			if evs[0].ts >= sp[0] && evs[0].ts < sp[1] {
+				anchored = true
+			}
+		}
+		if !anchored {
+			t.Errorf("flow %s: start ts %g not inside any hint span", id, evs[0].ts)
+		}
+	}
+}
+
+func TestFlowNilSafe(t *testing.T) {
+	var tl *Timeline
+	tl.HintEmit(1, 2, 3)
+	tl.PrefetchOutcomeAt(2, "useful", 4)
+}
+
+// TestFlowLimit: flows respect the event cap without corrupting state.
+func TestFlowLimit(t *testing.T) {
+	tl := NewTimeline()
+	tl.SetLimit(1)
+	tl.HintEmit(0x40, 0x1000, 10) // takes the only slot
+	tl.PrefetchIssue(0x1040, 20, 30, false)
+	tl.PrefetchOutcomeAt(0x1040, "useful", 40)
+	if tl.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (capped)", tl.Len())
+	}
+}

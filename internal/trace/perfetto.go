@@ -32,13 +32,21 @@ type Timeline struct {
 	pfOpen  map[uint64]int // block -> index of its latest prefetch span
 	limit   int
 	dropped uint64
+
+	// Flow-event state (see flow.go): the cycle of the last hint-planting
+	// demand miss per 4 KB region, and the open flow id per prefetched
+	// block.
+	hintMark map[uint64]uint64
+	flowOpen map[uint64]string
+	flowSeq  uint64
 }
 
 // DefaultEventLimit bounds in-memory timeline events (~100 B each).
 const DefaultEventLimit = 1 << 20
 
 // traceEvent is one Chrome trace-event record. Only the fields the format
-// requires for complete ("X") and metadata ("M") events are emitted.
+// requires for complete ("X"), metadata ("M"), and flow ("s"/"t"/"f")
+// events are emitted.
 type traceEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
@@ -47,15 +55,19 @@ type traceEvent struct {
 	Dur  uint64         `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
+	Id   string         `json:"id,omitempty"` // flow id, shared s→t→f
+	Bp   string         `json:"bp,omitempty"` // binding point ("e": enclosing)
 	Args map[string]any `json:"args,omitempty"`
 }
 
 // NewTimeline returns an empty timeline with the default event limit.
 func NewTimeline() *Timeline {
 	return &Timeline{
-		tids:   map[string]int{},
-		pfOpen: map[uint64]int{},
-		limit:  DefaultEventLimit,
+		tids:     map[string]int{},
+		pfOpen:   map[uint64]int{},
+		hintMark: map[uint64]uint64{},
+		flowOpen: map[uint64]string{},
+		limit:    DefaultEventLimit,
 	}
 }
 
@@ -124,6 +136,7 @@ func (t *Timeline) PrefetchIssue(block, start, done uint64, software bool) {
 	if idx >= 0 {
 		t.pfOpen[block] = idx
 	}
+	t.startFlow(block, start)
 }
 
 // PrefetchOutcome marks the most recent prefetch span for block with its

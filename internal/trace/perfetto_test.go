@@ -96,6 +96,16 @@ func validateTraceEvents(t *testing.T, raw []byte) traceDoc {
 			if _, ok := ev["args"]; !ok {
 				t.Errorf("event %d: metadata without args", i)
 			}
+		case "s", "t", "f":
+			// Flow events need a shared id and a numeric ts.
+			var ts float64
+			if err := json.Unmarshal(ev["ts"], &ts); err != nil {
+				t.Fatalf("event %d: flow event without numeric ts: %v", i, err)
+			}
+			var id string
+			if err := json.Unmarshal(ev["id"], &id); err != nil || id == "" {
+				t.Errorf("event %d: flow event without id", i)
+			}
 		default:
 			t.Errorf("event %d: unexpected ph %q", i, ph)
 		}

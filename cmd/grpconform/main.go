@@ -17,12 +17,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"grp/internal/campaign"
@@ -78,6 +81,11 @@ func main() {
 		}
 	}
 
+	// SIGINT/SIGTERM cancel the campaign: in-flight programs finish, no
+	// new ones start, and the run exits with the cancellation error.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	cfg := conformance.Config{
 		N:           *n,
 		Seed:        *seed,
@@ -88,6 +96,7 @@ func main() {
 		Gen:         progen.Config{Arith: *arith},
 		MaxSteps:    *maxSteps,
 		TimingCheck: *timing,
+		Ctx:         ctx,
 	}
 	workers := *jobs
 	if workers <= 0 {

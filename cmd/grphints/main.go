@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -82,7 +83,7 @@ func main() {
 func census(pol compiler.Policy, jobs int) {
 	names := workloads.Names()
 	counts := make([]isa.HintCounts, len(names))
-	err := campaign.ParallelFor(len(names), jobsOrMax(jobs), func(i int) error {
+	err := campaign.ParallelFor(context.Background(), len(names), jobsOrMax(jobs), func(i int) error {
 		spec, err := workloads.ByName(names[i])
 		if err != nil {
 			return err

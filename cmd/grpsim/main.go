@@ -22,13 +22,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"grp/internal/campaign"
 	"grp/internal/compiler"
@@ -117,7 +120,11 @@ func main() {
 		baseOpt.Attrib = false
 		jobsList = append(jobsList, campaign.Job{Bench: spec.Name, Scheme: core.NoPrefetch, Opt: baseOpt})
 	}
-	results, err := eng.Run(jobsList)
+	// SIGINT/SIGTERM cancel the run: the simulation polls the context from
+	// its commit loop, so even one long cell stops promptly and cleanly.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	results, err := eng.Run(ctx, jobsList)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,25 +6,37 @@
 //
 //	grpsweep -spec 'schemes=base,srp,grp/var × kernels=all × l2.size=512K,1M,2M' \
 //	    [-factor small] [-policy default] [-jobs N] [-no-cache] \
-//	    [-cache-dir .grpcache] [-format ascii|json|csv] [-out file]
+//	    [-cache-dir .grpcache] [-format ascii|json|csv] [-out file] \
+//	    [-resume] [-keep-going] [-cell-timeout 10m] [-retries 3]
 //
 // Cells complete in any order but reduce in canonical grid order, so the
 // artifact is byte-identical across -jobs settings and across warm/cold
 // cache runs; re-running an unchanged campaign is all cache hits and
 // simulates nothing. Progress and cache statistics go to stderr, the
 // artifact to stdout or -out. Progress lines carry live fleet telemetry
-// (cells/s, worker utilization, cache hit count, ETA); -listen
+// (cells/s, worker utilization, cache hit count, retries, ETA); -listen
 // additionally serves the same numbers as Prometheus text on /metrics
 // alongside net/http/pprof for profiling a running campaign.
+//
+// The campaign is crash-safe: a sweep journal under the cache directory
+// records completions durably, SIGINT/SIGTERM drains in-flight cells and
+// exits cleanly, and -resume picks an interrupted (or killed) sweep back
+// up — completed cells replay from the cache, only the remainder
+// simulates, and the final artifact is byte-identical to an uninterrupted
+// run. A lock file guards against two campaigns running the same sweep.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"grp/internal/campaign"
@@ -35,7 +47,8 @@ import (
 	"grp/internal/workloads"
 )
 
-// cellOut is one row of the JSON artifact.
+// cellOut is one row of the JSON artifact. Error is set (and the metric
+// fields zero) for a cell that failed for good under -keep-going.
 type cellOut struct {
 	Bench      string  `json:"bench"`
 	Scheme     string  `json:"scheme"`
@@ -46,23 +59,29 @@ type cellOut struct {
 	L2MissPct  float64 `json:"l2_miss_pct"`
 	Traffic    uint64  `json:"traffic_bytes"`
 	ArchDigest string  `json:"arch_digest"`
+	Error      string  `json:"error,omitempty"`
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("grpsweep: ")
 	var (
-		spec     = flag.String("spec", "", "sweep spec, e.g. 'schemes=base,grp/var × kernels=mcf,art × l2.size=512K,1M' (required)")
-		factor   = flag.String("factor", "small", "workload scale: test, small, full")
-		policy   = flag.String("policy", "default", "compiler spatial policy: default, conservative, aggressive")
-		jobs     = flag.Int("jobs", 0, "worker goroutines (default GOMAXPROCS)")
-		cacheOn  = flag.Bool("cache", true, "consult and populate the content-addressed result cache")
-		noCache  = flag.Bool("no-cache", false, "disable the result cache (overrides -cache)")
-		cacheDir = flag.String("cache-dir", campaign.DefaultCacheDir, "result cache directory")
-		format   = flag.String("format", "ascii", "artifact format: ascii, json, csv")
-		out      = flag.String("out", "", "write the artifact to this file (default stdout)")
-		quiet    = flag.Bool("q", false, "suppress per-cell progress lines")
-		listen   = flag.String("listen", "", "serve /metrics (Prometheus text) and /debug/pprof/ on this address during the run, e.g. localhost:6060")
+		spec      = flag.String("spec", "", "sweep spec, e.g. 'schemes=base,grp/var × kernels=mcf,art × l2.size=512K,1M' (required)")
+		factor    = flag.String("factor", "small", "workload scale: test, small, full")
+		policy    = flag.String("policy", "default", "compiler spatial policy: default, conservative, aggressive")
+		jobs      = flag.Int("jobs", 0, "worker goroutines (default GOMAXPROCS)")
+		cacheOn   = flag.Bool("cache", true, "consult and populate the content-addressed result cache")
+		noCache   = flag.Bool("no-cache", false, "disable the result cache (overrides -cache)")
+		cacheDir  = flag.String("cache-dir", campaign.DefaultCacheDir, "result cache directory")
+		format    = flag.String("format", "ascii", "artifact format: ascii, json, csv")
+		out       = flag.String("out", "", "write the artifact to this file (default stdout)")
+		quiet     = flag.Bool("q", false, "suppress per-cell progress lines")
+		listen    = flag.String("listen", "", "serve /metrics (Prometheus text) and /debug/pprof/ on this address during the run, e.g. localhost:6060")
+		resume    = flag.Bool("resume", false, "resume an interrupted sweep from its journal (requires the cache)")
+		keepGoing = flag.Bool("keep-going", false, "record per-cell failures in the artifact instead of aborting the sweep")
+		cellTO    = flag.Duration("cell-timeout", 0, "per-cell attempt deadline, e.g. 10m (0 = none; overruns retry)")
+		retries   = flag.Int("retries", 0, "attempts per cell for transient failures (default 3, 1 disables retry)")
+		chaosSpec = flag.String("chaos", "", "dev-only fault injection, e.g. 'panic=2,torn=3,kill=5' (see internal/campaign chaos.go)")
 	)
 	flag.Parse()
 	if *spec == "" {
@@ -71,11 +90,23 @@ func main() {
 	if *format != "ascii" && *format != "json" && *format != "csv" {
 		log.Fatalf("unknown format %q (want ascii, json, or csv)", *format)
 	}
+	useCache := *cacheOn && !*noCache
+	if *resume && !useCache {
+		log.Fatal("-resume needs the result cache (it is what replays completed cells)")
+	}
 
 	base := core.Options{Factor: parseFactor(*factor), Policy: parsePolicy(*policy)}
 	grid, err := campaign.ParseSpec(*spec, base)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	var chaos *campaign.Chaos
+	if *chaosSpec != "" {
+		if chaos, err = campaign.ParseChaos(*chaosSpec); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("CHAOS MODE: injecting %q", *chaosSpec)
 	}
 
 	// Open the artifact before simulating so a bad path fails fast.
@@ -89,10 +120,21 @@ func main() {
 		dst = f
 	}
 
+	// SIGINT/SIGTERM cancel the run context: workers drain their in-flight
+	// cells (each simulation polls the context), completed work is already
+	// journaled, and the journal closes cleanly on the way out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfg := campaign.Config{
-		Jobs:     *jobs,
-		Cache:    *cacheOn && !*noCache,
-		CacheDir: *cacheDir,
+		Jobs:        *jobs,
+		Cache:       useCache,
+		CacheDir:    *cacheDir,
+		CellTimeout: *cellTO,
+		Retry:       campaign.RetryPolicy{MaxAttempts: *retries},
+		KeepGoing:   *keepGoing,
+		Chaos:       chaos,
+		Warnf:       log.Printf,
 	}
 	workers := *jobs
 	if workers <= 0 {
@@ -111,6 +153,8 @@ func main() {
 		log.Printf("debug endpoint on http://%s (/metrics, /debug/pprof/)", srv.Addr())
 	}
 	cfg.OnCellStart = rep.CellStart
+	cfg.OnCellRetry = rep.CellRetry
+	cfg.OnCellFail = rep.CellFailed
 	prevHits := 0
 	cfg.Progress = func(done, total, hits int) {
 		rep.CellDone(hits > prevHits) // Progress calls are serialized
@@ -120,30 +164,68 @@ func main() {
 		}
 	}
 	eng := campaign.New(cfg)
+	gridJobs := grid.Jobs()
+
+	// The journal makes completions durable and guards the sweep with a
+	// lock; it needs the cells' content addresses up front.
+	var journal *campaign.Journal
+	if useCache {
+		keys, err := eng.Keys(gridJobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		journal, err = campaign.OpenJournal(*cacheDir, *spec, keys, *resume)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer journal.Close()
+		eng.AttachJournal(journal)
+		if *resume {
+			log.Printf("resuming sweep %s: %d of %d cells already completed",
+				journal.ID(), journal.CompletedCount(), len(gridJobs))
+		}
+	}
+
 	log.Printf("campaign: %d cells (%d benches × %d schemes × %d configs), %d jobs, cache %s",
 		len(grid.Cells), len(grid.Benches), len(grid.Schemes),
 		len(grid.Cells)/(len(grid.Benches)*len(grid.Schemes)), eng.Jobs(), cacheState(cfg))
 
 	start := time.Now()
-	results, err := eng.Run(grid.Jobs())
+	report, err := eng.RunReport(ctx, gridJobs)
 	if err != nil {
+		journal.Close()
+		if errors.Is(err, context.Canceled) {
+			log.Printf("interrupted: completed cells are journaled; rerun with -resume to finish")
+			os.Exit(130)
+		}
 		log.Fatal(err)
 	}
 	wall := time.Since(start)
 
-	cells := make([]cellOut, len(results))
-	for i, r := range results {
+	failed := map[int]*campaign.CellFailure{}
+	for i := range report.Failures {
+		f := &report.Failures[i]
+		failed[f.Index] = f
+	}
+	cells := make([]cellOut, len(report.Results))
+	for i, r := range report.Results {
 		cells[i] = cellOut{
-			Bench:      grid.Cells[i].Bench,
-			Scheme:     grid.Cells[i].Scheme.String(),
-			Overlay:    grid.Cells[i].OverlayString(),
-			Instrs:     r.CPU.Instrs,
-			Cycles:     r.CPU.Cycles,
-			IPC:        r.IPC(),
-			L2MissPct:  r.L2.MissRate(),
-			Traffic:    r.TrafficBytes,
-			ArchDigest: fmt.Sprintf("%016x", r.ArchDigest),
+			Bench:   grid.Cells[i].Bench,
+			Scheme:  grid.Cells[i].Scheme.String(),
+			Overlay: grid.Cells[i].OverlayString(),
 		}
+		if f, ok := failed[i]; ok || r == nil {
+			if ok {
+				cells[i].Error = f.Err
+			}
+			continue
+		}
+		cells[i].Instrs = r.CPU.Instrs
+		cells[i].Cycles = r.CPU.Cycles
+		cells[i].IPC = r.IPC()
+		cells[i].L2MissPct = r.L2.MissRate()
+		cells[i].Traffic = r.TrafficBytes
+		cells[i].ArchDigest = fmt.Sprintf("%016x", r.ArchDigest)
 	}
 
 	switch *format {
@@ -152,8 +234,9 @@ func main() {
 			Spec   string    `json:"spec"`
 			Factor string    `json:"factor"`
 			Policy string    `json:"policy"`
+			Failed int       `json:"failed,omitempty"`
 			Cells  []cellOut `json:"cells"`
-		}{*spec, base.Factor.String(), base.Policy.String(), cells}
+		}{*spec, base.Factor.String(), base.Policy.String(), len(report.Failures), cells}
 		enc := json.NewEncoder(dst)
 		enc.SetIndent("", "  ")
 		fatal(enc.Encode(env))
@@ -163,6 +246,10 @@ func main() {
 			Headers: []string{"benchmark", "scheme", "overlay", "instrs", "cycles", "IPC", "L2miss%", "traffic", "archdigest"},
 		}
 		for _, c := range cells {
+			if c.Error != "" {
+				t.Add(c.Bench, c.Scheme, c.Overlay, "-", "-", "-", "-", "-", "FAILED")
+				continue
+			}
 			t.Add(c.Bench, c.Scheme, c.Overlay, fmt.Sprint(c.Instrs), fmt.Sprint(c.Cycles),
 				stats.Fmt(c.IPC, 3), stats.Fmt(c.L2MissPct, 1), fmt.Sprint(c.Traffic), c.ArchDigest)
 		}
@@ -175,8 +262,20 @@ func main() {
 	}
 
 	cs := eng.CacheStats()
-	log.Printf("done in %v: %d cells, %d cache hits, simulated %d",
-		wall.Round(time.Millisecond), len(cells), cs.Hits, uint64(len(cells))-cs.Hits)
+	extra := ""
+	if cs.Retries > 0 || cs.Corrupt > 0 {
+		extra = fmt.Sprintf(", %d retries, %d corrupt cells quarantined", cs.Retries, cs.Quarantined)
+	}
+	log.Printf("done in %v: %d cells, %d cache hits, simulated %d%s",
+		wall.Round(time.Millisecond), len(cells), cs.Hits, uint64(len(cells))-cs.Hits, extra)
+	if n := len(report.Failures); n > 0 {
+		for _, f := range report.Failures {
+			log.Printf("FAILED cell %s/%s (index %d, %d attempts): %s", f.Bench, f.Scheme, f.Index, f.Attempts, f.Err)
+		}
+		journal.Close()
+		log.Printf("%d of %d cells failed; rerun with -resume to retry them", n, len(cells))
+		os.Exit(1)
+	}
 }
 
 func cacheState(cfg campaign.Config) string {

@@ -11,12 +11,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"grp/internal/campaign"
@@ -73,7 +76,11 @@ func main() {
 	start := time.Now()
 	log.Printf("simulating %s-scale suite across %d schemes (%d jobs)...",
 		f, len(core.AllSchemes()), eng.Jobs())
-	suite, err := eng.RunSuite(names, nil, opt)
+	// SIGINT/SIGTERM stop the sweep between cells (and inside one, via
+	// the campaign engine's context plumbing).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	suite, err := eng.RunSuite(ctx, names, nil, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -137,7 +144,7 @@ func main() {
 
 	if !*skipSens {
 		log.Printf("running Section 5.4 policy sweep...")
-		_, ts, err := core.RunSensitivityWith(names, opt, eng.Runner())
+		_, ts, err := core.RunSensitivityWith(ctx, names, opt, eng.Runner())
 		fatal(err)
 		add("sensitivity", ts)
 	}

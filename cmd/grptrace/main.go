@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -86,7 +87,7 @@ func record(args []string) {
 		if n <= 0 {
 			n = runtime.GOMAXPROCS(0)
 		}
-		err := campaign.ParallelFor(len(specs), n, func(i int) error {
+		err := campaign.ParallelFor(context.Background(), len(specs), n, func(i int) error {
 			return recordOne(specs[i], f, files[i])
 		})
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"grp/internal/core"
 )
@@ -16,6 +17,16 @@ const DefaultCacheDir = ".grpcache"
 
 // defaultMemEntries bounds the in-memory LRU in front of the disk store.
 const defaultMemEntries = 512
+
+// quarantineDirName is where corrupt cell files are moved for post-mortem
+// inspection instead of being re-parsed (and re-failed) on every miss.
+const quarantineDirName = "quarantine"
+
+// diskErrThreshold is how many consecutive disk failures the store
+// tolerates before degrading to memory-only operation. One failed write
+// may be a blip; several in a row mean the disk is gone (full, read-only,
+// yanked) and every further attempt just burns sweep time.
+const diskErrThreshold = 3
 
 // CacheStats counts cache traffic for one engine's lifetime.
 type CacheStats struct {
@@ -27,6 +38,16 @@ type CacheStats struct {
 	Misses uint64
 	// Stores is cells persisted after simulating.
 	Stores uint64
+	// Corrupt is cell files that failed to decode or did not match their
+	// key (torn writes, stale schemas, digest collisions).
+	Corrupt uint64
+	// Quarantined is the subset of Corrupt successfully moved aside into
+	// the quarantine directory.
+	Quarantined uint64
+	// Retries is cell attempts re-run after a transient failure. It is
+	// engine-level traffic, reported here so one counter block covers the
+	// sweep's whole infrastructure story.
+	Retries uint64
 }
 
 // cellFile is the on-disk envelope of one cached cell. The full key is
@@ -40,17 +61,35 @@ type cellFile struct {
 	Result *core.Result `json:"result"`
 }
 
+// decodeCell parses a cell file's bytes against the digest it should
+// hold. It never panics on arbitrary input; any mismatch is (nil, false),
+// i.e. a miss. Split out so the fuzz harness can drive it directly.
+func decodeCell(data []byte, digest string) (*core.Result, bool) {
+	var cf cellFile
+	if err := json.Unmarshal(data, &cf); err != nil ||
+		cf.Schema != cacheSchemaVersion || cf.Key != digest || cf.Result == nil {
+		return nil, false
+	}
+	return cf.Result, true
+}
+
 // Store is the content-addressed result cache: an in-memory LRU in front
 // of one JSON file per cell under dir. All methods are safe for
-// concurrent use by the campaign workers.
+// concurrent use by the campaign workers. Disk trouble never fails a
+// sweep: corrupt files are quarantined and re-simulated, and persistent
+// I/O errors degrade the store to its memory layer with a warning.
 type Store struct {
-	dir string
+	dir      string
+	chaos    *Chaos                       // injection hooks; nil in production
+	warnf    func(string, ...interface{}) // non-fatal warning sink; may be nil
+	disabled atomic.Bool                  // disk layer off after repeated errors
 
-	mu    sync.Mutex
-	lru   *list.List // front = most recently used; values are *storeEntry
-	byKey map[string]*list.Element
-	cap   int
-	stats CacheStats
+	mu       sync.Mutex
+	lru      *list.List // front = most recently used; values are *storeEntry
+	byKey    map[string]*list.Element
+	cap      int
+	stats    CacheStats
+	diskErrs int // consecutive; reset on any disk success
 }
 
 type storeEntry struct {
@@ -59,7 +98,8 @@ type storeEntry struct {
 }
 
 // NewStore opens (lazily creating) a cache rooted at dir. memEntries
-// bounds the in-memory layer; <= 0 uses the default.
+// bounds the in-memory layer; <= 0 uses the default. Orphaned cell-*.tmp
+// files — the debris of writers killed mid-Put — are swept on open.
 func NewStore(dir string, memEntries int) *Store {
 	if dir == "" {
 		dir = DefaultCacheDir
@@ -67,7 +107,23 @@ func NewStore(dir string, memEntries int) *Store {
 	if memEntries <= 0 {
 		memEntries = defaultMemEntries
 	}
-	return &Store{dir: dir, lru: list.New(), byKey: map[string]*list.Element{}, cap: memEntries}
+	s := &Store{dir: dir, lru: list.New(), byKey: map[string]*list.Element{}, cap: memEntries}
+	s.sweepOrphans()
+	return s
+}
+
+// sweepOrphans removes leftover temp files from killed writers. A live
+// concurrent writer's temp file could be swept too, which costs that
+// writer one failed rename and a re-simulation — never a corrupt cell,
+// because only complete files are ever renamed into place.
+func (s *Store) sweepOrphans() {
+	orphans, err := filepath.Glob(filepath.Join(s.dir, "cell-*.tmp"))
+	if err != nil {
+		return
+	}
+	for _, o := range orphans {
+		os.Remove(o)
+	}
 }
 
 // Dir returns the cache's root directory.
@@ -84,8 +140,36 @@ func (s *Store) path(k CellKey) string {
 	return filepath.Join(s.dir, k.Digest+".json")
 }
 
+func (s *Store) warn(format string, args ...interface{}) {
+	if s.warnf != nil {
+		s.warnf(format, args...)
+	}
+}
+
+// noteDiskErr counts a disk failure; past the threshold the store
+// degrades to memory-only with one warning rather than failing the sweep
+// (results still simulate correctly, they just stop persisting).
+func (s *Store) noteDiskErr(op string, err error) {
+	s.mu.Lock()
+	s.diskErrs++
+	over := s.diskErrs >= diskErrThreshold
+	s.mu.Unlock()
+	if over && !s.disabled.Swap(true) {
+		s.warn("campaign: cache: %d consecutive disk errors (last: %s: %v); continuing without the on-disk cache", diskErrThreshold, op, err)
+	}
+}
+
+// noteDiskOK resets the consecutive-error counter.
+func (s *Store) noteDiskOK() {
+	s.mu.Lock()
+	s.diskErrs = 0
+	s.mu.Unlock()
+}
+
 // Get returns the cached result for the key, consulting memory first and
-// falling back to disk. A missing, corrupt, or mismatched file is a miss.
+// falling back to disk. A missing file is a miss; a corrupt or mismatched
+// file is a miss AND is moved into the quarantine directory so the next
+// run does not trip over it again.
 func (s *Store) Get(k CellKey) (*core.Result, bool) {
 	s.mu.Lock()
 	if el, ok := s.byKey[k.Digest]; ok {
@@ -98,22 +182,49 @@ func (s *Store) Get(k CellKey) (*core.Result, bool) {
 	}
 	s.mu.Unlock()
 
+	if s.disabled.Load() {
+		s.miss()
+		return nil, false
+	}
 	data, err := os.ReadFile(s.path(k))
 	if err != nil {
 		s.miss()
 		return nil, false
 	}
-	var cf cellFile
-	if err := json.Unmarshal(data, &cf); err != nil ||
-		cf.Schema != cacheSchemaVersion || cf.Key != k.Digest || cf.Result == nil {
+	r, ok := decodeCell(data, k.Digest)
+	if !ok {
+		s.quarantine(k)
 		s.miss()
 		return nil, false
 	}
 	s.mu.Lock()
-	s.insertLocked(k.Digest, cf.Result)
+	s.insertLocked(k.Digest, r)
 	s.stats.Hits++
 	s.mu.Unlock()
-	return cf.Result, true
+	return r, true
+}
+
+// quarantine moves a corrupt cell file aside for inspection.
+func (s *Store) quarantine(k CellKey) {
+	qdir := filepath.Join(s.dir, quarantineDirName)
+	moved := false
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if err := os.Rename(s.path(k), filepath.Join(qdir, k.Digest+".json")); err == nil {
+			moved = true
+		}
+	}
+	if !moved {
+		// Can't move it? Removing still stops the re-parse loop; the cell
+		// re-simulates either way.
+		os.Remove(s.path(k))
+	}
+	s.mu.Lock()
+	s.stats.Corrupt++
+	if moved {
+		s.stats.Quarantined++
+	}
+	s.mu.Unlock()
+	s.warn("campaign: cache: quarantined corrupt cell %.12s (%s/%s)", k.Digest, k.Bench, k.Scheme)
 }
 
 func (s *Store) miss() {
@@ -122,13 +233,12 @@ func (s *Store) miss() {
 	s.mu.Unlock()
 }
 
-// Put persists a freshly simulated cell to disk and the memory layer. The
-// file is written to a temp name and renamed so concurrent writers of the
-// same key (two campaigns sharing a cache directory) never interleave.
+// Put records a freshly simulated cell: the memory layer first — the
+// result is valid regardless of what the disk does — then the disk. A
+// persist failure is a warning, not a cell failure; repeated failures
+// degrade the store to memory-only. The error return covers encoding
+// bugs only.
 func (s *Store) Put(k CellKey, r *core.Result) error {
-	if err := os.MkdirAll(s.dir, 0o755); err != nil {
-		return fmt.Errorf("campaign: creating cache dir: %w", err)
-	}
 	data, err := json.Marshal(cellFile{
 		Schema: cacheSchemaVersion, Key: k.Digest,
 		Bench: k.Bench, Scheme: k.Scheme.String(), Result: r,
@@ -136,27 +246,58 @@ func (s *Store) Put(k CellKey, r *core.Result) error {
 	if err != nil {
 		return fmt.Errorf("campaign: encoding cell %s/%s: %w", k.Bench, k.Scheme, err)
 	}
-	tmp, err := os.CreateTemp(s.dir, "cell-*.tmp")
-	if err != nil {
-		return fmt.Errorf("campaign: writing cell: %w", err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("campaign: writing cell: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("campaign: writing cell: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), s.path(k)); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("campaign: writing cell: %w", err)
-	}
 	s.mu.Lock()
 	s.insertLocked(k.Digest, r)
 	s.stats.Stores++
 	s.mu.Unlock()
+	if s.disabled.Load() {
+		return nil
+	}
+	if err := s.persist(k, data); err != nil {
+		s.warn("campaign: cache: persisting cell %.12s: %v", k.Digest, err)
+		s.noteDiskErr("put", err)
+		return nil
+	}
+	s.noteDiskOK()
+	return nil
+}
+
+// persist writes the encoded cell to a temp file and renames it into
+// place, so concurrent writers of the same key (two campaigns sharing a
+// cache directory) never interleave and a crash never leaves a partial
+// file under the final name. Chaos hooks model exactly those crashes.
+func (s *Store) persist(k CellKey, data []byte) error {
+	if s.chaos.failPut() {
+		return fmt.Errorf("chaos: injected put failure")
+	}
+	if s.chaos.tornWrite() {
+		// A torn write IS the crash it models: the partial bytes land
+		// under the final name, as if the process died mid-write with no
+		// temp-file discipline. Get must quarantine this on next open.
+		half := data[:len(data)/2]
+		os.WriteFile(s.path(k), half, 0o644)
+		return nil
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, "cell-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.path(k)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
 	return nil
 }
 

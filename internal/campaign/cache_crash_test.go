@@ -1,0 +1,202 @@
+package campaign
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"grp/internal/core"
+)
+
+// encodeCellForTest produces a valid on-disk cell envelope for a key.
+func encodeCellForTest(t testing.TB, k CellKey, r *core.Result) []byte {
+	t.Helper()
+	data, err := json.Marshal(cellFile{
+		Schema: cacheSchemaVersion, Key: k.Digest,
+		Bench: k.Bench, Scheme: k.Scheme.String(), Result: r,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestStorePutGetRoundTrip: a clean Put leaves exactly the final cell
+// file — no temp debris — and a fresh store reads it back.
+func TestStorePutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	k := testKeys(1)[0]
+	s := NewStore(dir, 0)
+	if err := s.Put(k, &core.Result{Bench: k.Bench}); err != nil {
+		t.Fatal(err)
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "cell-*.tmp")); len(tmps) != 0 {
+		t.Fatalf("Put left temp files: %v", tmps)
+	}
+	fresh := NewStore(dir, 0)
+	r, ok := fresh.Get(k)
+	if !ok || r == nil || r.Bench != k.Bench {
+		t.Fatalf("disk round trip failed: ok=%t r=%+v", ok, r)
+	}
+}
+
+// TestStoreQuarantineCorrupt: a torn/garbage cell file is a miss, is
+// moved into quarantine/, and is counted — and the path heals: the next
+// Get of the same key is an ordinary miss with no second quarantine.
+func TestStoreQuarantineCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	k := testKeys(1)[0]
+	s := NewStore(dir, 0)
+	valid := encodeCellForTest(t, k, &core.Result{Bench: k.Bench})
+	if err := os.WriteFile(s.path(k), valid[:len(valid)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("torn cell file decoded as a hit")
+	}
+	q := filepath.Join(dir, quarantineDirName, k.Digest+".json")
+	if _, err := os.Stat(q); err != nil {
+		t.Fatalf("torn file not quarantined: %v", err)
+	}
+	if _, err := os.Stat(s.path(k)); !os.IsNotExist(err) {
+		t.Fatal("torn file still at its cell path")
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("second Get hit")
+	}
+	st := s.Stats()
+	if st.Corrupt != 1 || st.Quarantined != 1 || st.Misses != 2 {
+		t.Fatalf("want 1 corrupt/quarantined and 2 misses, got %+v", st)
+	}
+}
+
+// TestStoreStaleSchemaQuarantined: a decodable file from an older cache
+// schema must not be returned; it is quarantined like corruption.
+func TestStoreStaleSchemaQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	k := testKeys(1)[0]
+	s := NewStore(dir, 0)
+	stale, err := json.Marshal(cellFile{
+		Schema: cacheSchemaVersion - 1, Key: k.Digest, Result: &core.Result{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(k), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("stale-schema cell decoded as a hit")
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stale file not quarantined: %+v", st)
+	}
+}
+
+// TestStoreDigestMismatchQuarantined: a file whose embedded key disagrees
+// with its filename digest (collision or copied file) is never returned.
+func TestStoreDigestMismatchQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	keys := testKeys(2)
+	s := NewStore(dir, 0)
+	// Valid envelope for key 0 placed at key 1's path.
+	data := encodeCellForTest(t, keys[0], &core.Result{})
+	if err := os.WriteFile(s.path(keys[1]), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(keys[1]); ok {
+		t.Fatal("mismatched cell decoded as a hit")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("mismatch not counted corrupt: %+v", st)
+	}
+}
+
+// TestStoreDegradeOnPersistentDiskError: when the cache root cannot be a
+// directory, Put never fails the caller; after diskErrThreshold
+// consecutive errors the store degrades to memory-only with ONE warning,
+// and the memory layer keeps serving.
+func TestStoreDegradeOnPersistentDiskError(t *testing.T) {
+	tmp := t.TempDir()
+	blocked := filepath.Join(tmp, "blocked")
+	if err := os.WriteFile(blocked, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var degradeWarns int
+	s := NewStore(blocked, 0)
+	s.warnf = func(format string, _ ...interface{}) {
+		if strings.Contains(format, "continuing without the on-disk cache") {
+			degradeWarns++
+		}
+	}
+	keys := testKeys(diskErrThreshold + 2)
+	for _, k := range keys {
+		if err := s.Put(k, &core.Result{Bench: k.Bench}); err != nil {
+			t.Fatalf("Put failed the cell on a disk error: %v", err)
+		}
+	}
+	if !s.disabled.Load() {
+		t.Fatal("store did not degrade after persistent disk errors")
+	}
+	if degradeWarns != 1 {
+		t.Fatalf("want exactly 1 degrade warning, got %d", degradeWarns)
+	}
+	for _, k := range keys {
+		if r, ok := s.Get(k); !ok || r.Bench != k.Bench {
+			t.Fatalf("memory layer lost %s after degrade", k.Bench)
+		}
+	}
+}
+
+// TestStoreDiskErrCounterResets: a success between failures resets the
+// consecutive-error counter, so intermittent glitches never degrade.
+func TestStoreDiskErrCounterResets(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(dir, 0)
+	keys := testKeys(2 * diskErrThreshold)
+	for i, k := range keys {
+		if i%2 == 0 {
+			s.noteDiskErr("put", os.ErrPermission)
+		} else {
+			if err := s.Put(k, &core.Result{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if s.disabled.Load() {
+		t.Fatal("intermittent errors degraded the store")
+	}
+}
+
+// FuzzCellFileDecode: decodeCell must never panic and must only report a
+// hit for a well-formed envelope matching the requested digest.
+func FuzzCellFileDecode(f *testing.F) {
+	k := testKeys(1)[0]
+	valid := encodeCellForTest(f, k, &core.Result{Bench: k.Bench})
+	f.Add(valid, k.Digest)
+	f.Add(valid[:len(valid)/2], k.Digest)       // torn write
+	f.Add([]byte("{}"), k.Digest)               // empty object
+	f.Add([]byte(""), k.Digest)                 // empty file
+	f.Add([]byte(`{"schema":999}`), k.Digest)   // future schema
+	f.Add(valid, strings.Repeat("0", 64))       // digest mismatch
+	f.Add([]byte(`{"result":null}`), k.Digest)  // explicit null result
+	f.Add([]byte("\x00\x01\x02\xff"), k.Digest) // binary garbage
+	f.Fuzz(func(t *testing.T, data []byte, digest string) {
+		r, ok := decodeCell(data, digest)
+		if ok && r == nil {
+			t.Fatal("decodeCell reported a hit with a nil result")
+		}
+		if !ok && r != nil {
+			t.Fatal("decodeCell returned a result on a miss")
+		}
+		if ok {
+			var cf cellFile
+			if err := json.Unmarshal(data, &cf); err != nil ||
+				cf.Schema != cacheSchemaVersion || cf.Key != digest {
+				t.Fatalf("decodeCell accepted an invalid envelope: %q", data)
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"grp/internal/core"
 	"grp/internal/sim"
@@ -98,7 +100,7 @@ func TestCacheWarmIdentical(t *testing.T) {
 	cells := len(testBenches) * len(testSchemes)
 
 	cold := New(Config{Jobs: 4, Cache: true, CacheDir: dir})
-	s1, err := cold.RunSuite(testBenches, testSchemes, testOpt())
+	s1, err := cold.RunSuite(context.Background(), testBenches, testSchemes, testOpt())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +109,7 @@ func TestCacheWarmIdentical(t *testing.T) {
 	}
 
 	warm := New(Config{Jobs: 4, Cache: true, CacheDir: dir})
-	s2, err := warm.RunSuite(testBenches, testSchemes, testOpt())
+	s2, err := warm.RunSuite(context.Background(), testBenches, testSchemes, testOpt())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +147,7 @@ func TestCacheInvalidation(t *testing.T) {
 	schemes := []core.Scheme{core.SRP, core.GRPVar}
 
 	e1 := New(Config{Jobs: 2, Cache: true, CacheDir: dir})
-	if _, err := e1.RunSuite(benches, schemes, testOpt()); err != nil {
+	if _, err := e1.RunSuite(context.Background(), benches, schemes, testOpt()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -153,7 +155,7 @@ func TestCacheInvalidation(t *testing.T) {
 	opt := testOpt()
 	opt.RecursionDepth = 2
 	e2 := New(Config{Jobs: 2, Cache: true, CacheDir: dir})
-	if _, err := e2.RunSuite(benches, schemes, opt); err != nil {
+	if _, err := e2.RunSuite(context.Background(), benches, schemes, opt); err != nil {
 		t.Fatal(err)
 	}
 	if cs := e2.CacheStats(); cs.Hits != 0 || cs.Misses != 4 {
@@ -165,7 +167,7 @@ func TestCacheInvalidation(t *testing.T) {
 	schemeVersions[core.SRP] = old + 1
 	defer func() { schemeVersions[core.SRP] = old }()
 	e3 := New(Config{Jobs: 2, Cache: true, CacheDir: dir})
-	if _, err := e3.RunSuite(benches, schemes, testOpt()); err != nil {
+	if _, err := e3.RunSuite(context.Background(), benches, schemes, testOpt()); err != nil {
 		t.Fatal(err)
 	}
 	if cs := e3.CacheStats(); cs.Hits != 2 || cs.Misses != 2 {
@@ -180,7 +182,7 @@ func TestCacheCorruptFileIsMiss(t *testing.T) {
 	benches := []string{"wupwise"}
 	schemes := []core.Scheme{core.NoPrefetch}
 	e1 := New(Config{Cache: true, CacheDir: dir})
-	if _, err := e1.RunSuite(benches, schemes, testOpt()); err != nil {
+	if _, err := e1.RunSuite(context.Background(), benches, schemes, testOpt()); err != nil {
 		t.Fatal(err)
 	}
 	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
@@ -191,7 +193,7 @@ func TestCacheCorruptFileIsMiss(t *testing.T) {
 		t.Fatal(err)
 	}
 	e2 := New(Config{Cache: true, CacheDir: dir})
-	if _, err := e2.RunSuite(benches, schemes, testOpt()); err != nil {
+	if _, err := e2.RunSuite(context.Background(), benches, schemes, testOpt()); err != nil {
 		t.Fatal(err)
 	}
 	if cs := e2.CacheStats(); cs.Hits != 0 || cs.Misses != 1 {
@@ -338,7 +340,7 @@ func TestParallelFor(t *testing.T) {
 	const n = 100
 	var ran [n]int32
 	var active, peak int32
-	err := ParallelFor(n, 4, func(i int) error {
+	err := ParallelFor(context.Background(), n, 4, func(i int) error {
 		a := atomic.AddInt32(&active, 1)
 		for {
 			p := atomic.LoadInt32(&peak)
@@ -364,7 +366,7 @@ func TestParallelFor(t *testing.T) {
 
 	sentinel := errors.New("boom")
 	var after int32
-	err = ParallelFor(n, 4, func(i int) error {
+	err = ParallelFor(context.Background(), n, 4, func(i int) error {
 		if i == 10 {
 			return sentinel
 		}
@@ -435,5 +437,92 @@ func TestProgressMonotonic(t *testing.T) {
 		if d != i+1 {
 			t.Fatalf("progress not monotonic: %v", calls)
 		}
+	}
+}
+
+// TestParallelForLowestIndexError: when several cells fail, the reported
+// error must be the lowest-index one regardless of worker scheduling. A
+// slow failure at index 10 races a fast one at index 55; the slow one
+// must win every time.
+func TestParallelForLowestIndexError(t *testing.T) {
+	errSlow := errors.New("slow failure at 10")
+	errFast := errors.New("fast failure at 55")
+	for round := 0; round < 20; round++ {
+		err := ParallelFor(context.Background(), 100, 8, func(i int) error {
+			switch i {
+			case 10:
+				time.Sleep(2 * time.Millisecond)
+				return errSlow
+			case 55:
+				return errFast
+			}
+			return nil
+		})
+		if !errors.Is(err, errSlow) {
+			t.Fatalf("round %d: want the index-10 error, got %v", round, err)
+		}
+	}
+}
+
+// TestParallelForContextCancel: a cancelled context stops new work and is
+// returned when no cell itself erred.
+func TestParallelForContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := ParallelFor(ctx, 1000, 4, func(i int) error {
+		if ran.Add(1) == 8 {
+			cancel()
+		}
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("cancellation did not stop new work (%d cells ran)", n)
+	}
+}
+
+// TestRunContextCancel cancels an engine run mid-sweep: Run must return
+// the cancellation, not a partial result set.
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int32
+	cfg := Config{Jobs: 2, Progress: func(d, total, hits int) {
+		if done.Add(1) == 2 {
+			cancel()
+		}
+	}}
+	eng := New(cfg)
+	var jobs []Job
+	for i := 0; i < 12; i++ {
+		jobs = append(jobs, Job{Bench: "wupwise", Scheme: core.NoPrefetch, Opt: testOpt()})
+	}
+	_, err := eng.Run(ctx, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestCellTimeoutRetries: a cell whose every attempt overruns its
+// deadline must surface a DeadlineExceeded-wrapped CellError after
+// exhausting the retry budget.
+func TestCellTimeoutRetries(t *testing.T) {
+	eng := New(Config{
+		Jobs:        1,
+		CellTimeout: 1 * time.Nanosecond, // every attempt overruns
+		Retry:       RetryPolicy{MaxAttempts: 2, BaseDelay: time.Microsecond},
+	})
+	_, err := eng.Run(context.Background(), []Job{{Bench: "mcf", Scheme: core.GRPVar, Opt: testOpt()}})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) || ce.Attempts != 2 {
+		t.Fatalf("want CellError with 2 attempts, got %v", err)
+	}
+	if st := eng.CacheStats(); st.Retries != 1 {
+		t.Fatalf("want 1 recorded retry, got %+v", st)
 	}
 }

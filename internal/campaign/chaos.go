@@ -1,0 +1,141 @@
+// Infra-chaos injection: deterministic infrastructure faults for the
+// campaign engine, mirroring what internal/faults does for the simulated
+// hardware. Where a fault plan perturbs DRAM banks and prefetch hints,
+// a chaos plan perturbs the experiment fleet itself — panicking cells,
+// slow cells, torn cache writes, failed disks, and a hard kill mid-sweep
+// — so the crash-safety machinery (recover/retry, quarantine, journal
+// resume) is exercised on demand instead of waiting for real outages.
+// Chaos is a dev/test facility: grpsweep exposes it behind -chaos and
+// the chaos test suite drives it directly.
+package campaign
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Chaos is one deterministic infrastructure-fault plan. Cell-targeted
+// faults select every Nth cell by grid index, so the same plan hits the
+// same cells at any worker count; store-targeted faults count operations.
+type Chaos struct {
+	// PanicEvery n makes every nth cell (index % n == n-1) panic.
+	PanicEvery int
+	// PanicAttempts is how many leading attempts of a chosen cell panic
+	// (default 1, so the first retry succeeds); < 0 panics every attempt.
+	PanicAttempts int
+	// SlowEvery n makes every nth cell sleep SlowDelay before simulating.
+	SlowEvery int
+	// SlowAttempts is how many leading attempts are slow (default 1).
+	SlowAttempts int
+	// SlowDelay is the injected per-cell delay (default 100ms).
+	SlowDelay time.Duration
+	// TornEvery n truncates every nth cache store mid-file, modeling a
+	// torn write that resume must quarantine.
+	TornEvery int
+	// FailPuts fails the first n cache persists with an injected disk
+	// error, driving the store's degrade-to-cache-off path.
+	FailPuts int
+	// KillAfter n hard-kills the campaign via Kill once n cells have
+	// completed. Kill defaults to os.Exit(3) — a real crash, no defers.
+	KillAfter int
+	// Kill overrides what KillAfter does (tests cancel a context instead
+	// of exiting the process).
+	Kill func()
+
+	puts     atomic.Int64
+	putFails atomic.Int64
+}
+
+// ParseChaos parses a chaos spec: comma-separated key=value settings
+// from panic, panicattempts, slow, slowms, torn, failput, kill, e.g.
+// "panic=2,torn=3,kill=5".
+func ParseChaos(spec string) (*Chaos, error) {
+	c := &Chaos{}
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("campaign: empty chaos spec")
+	}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("campaign: chaos setting %q is not key=value", part)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("campaign: chaos setting %q: want a non-negative integer", part)
+		}
+		switch k {
+		case "panic":
+			c.PanicEvery = n
+		case "panicattempts":
+			c.PanicAttempts = n
+		case "slow":
+			c.SlowEvery = n
+		case "slowms":
+			c.SlowDelay = time.Duration(n) * time.Millisecond
+		case "torn":
+			c.TornEvery = n
+		case "failput":
+			c.FailPuts = n
+		case "kill":
+			c.KillAfter = n
+		default:
+			return nil, fmt.Errorf("campaign: unknown chaos key %q (panic, panicattempts, slow, slowms, torn, failput, kill)", k)
+		}
+	}
+	return c, nil
+}
+
+// panicsCell reports whether the given attempt of cell idx should panic.
+func (c *Chaos) panicsCell(idx, attempt int) bool {
+	if c == nil || c.PanicEvery <= 0 || idx%c.PanicEvery != c.PanicEvery-1 {
+		return false
+	}
+	if c.PanicAttempts < 0 {
+		return true
+	}
+	return attempt < max(1, c.PanicAttempts)
+}
+
+// slowsCell returns the injected delay for the given attempt of cell
+// idx, or 0.
+func (c *Chaos) slowsCell(idx, attempt int) time.Duration {
+	if c == nil || c.SlowEvery <= 0 || idx%c.SlowEvery != c.SlowEvery-1 {
+		return 0
+	}
+	if attempt >= max(1, c.SlowAttempts) {
+		return 0
+	}
+	if c.SlowDelay > 0 {
+		return c.SlowDelay
+	}
+	return 100 * time.Millisecond
+}
+
+// tornWrite reports whether this cache store should be truncated.
+func (c *Chaos) tornWrite() bool {
+	if c == nil || c.TornEvery <= 0 {
+		return false
+	}
+	return (c.puts.Add(1)-1)%int64(c.TornEvery) == int64(c.TornEvery)-1
+}
+
+// failPut reports whether this cache persist should fail outright.
+func (c *Chaos) failPut() bool {
+	if c == nil || c.FailPuts <= 0 {
+		return false
+	}
+	return c.putFails.Add(1) <= int64(c.FailPuts)
+}
+
+// kill invokes the configured kill action.
+func (c *Chaos) kill() {
+	if c.Kill != nil {
+		c.Kill()
+		return
+	}
+	os.Exit(3)
+}

@@ -1,0 +1,346 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"grp/internal/core"
+)
+
+// chaosGrid is a small grid with enough cells to land every injection
+// pattern: 3 benches × 2 schemes = 6 cells.
+func chaosGrid() []Job {
+	var jobs []Job
+	for _, b := range testBenches {
+		for _, sc := range []core.Scheme{core.NoPrefetch, core.GRPVar} {
+			jobs = append(jobs, Job{Bench: b, Scheme: sc, Opt: testOpt()})
+		}
+	}
+	return jobs
+}
+
+// fingerprintResults serializes a result slice for byte-identity checks.
+func fingerprintResults(t *testing.T, rs []*core.Result) string {
+	t.Helper()
+	data, err := json.Marshal(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// fastRetry keeps chaos tests quick without changing retry semantics.
+var fastRetry = RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: time.Millisecond}
+
+// TestParseChaos covers the spec grammar.
+func TestParseChaos(t *testing.T) {
+	c, err := ParseChaos("panic=2,torn=3,kill=5,slowms=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PanicEvery != 2 || c.TornEvery != 3 || c.KillAfter != 5 || c.SlowDelay != 7*time.Millisecond {
+		t.Fatalf("parsed %+v", c)
+	}
+	for _, bad := range []string{"", "panic", "panic=x", "panic=-1", "frob=1"} {
+		if _, err := ParseChaos(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+// TestChaosPanicRetrySucceeds: injected panics on the first attempt are
+// isolated by recover() and cleared by the retry, so the sweep still
+// completes with full results.
+func TestChaosPanicRetrySucceeds(t *testing.T) {
+	jobs := chaosGrid()
+	eng := New(Config{Jobs: 4, Retry: fastRetry, Chaos: &Chaos{PanicEvery: 2}})
+	rs, err := eng.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		if r == nil {
+			t.Fatalf("cell %d has no result", i)
+		}
+	}
+	// Cells 1, 3, 5 panic once each and then succeed.
+	if st := eng.CacheStats(); st.Retries != 3 {
+		t.Fatalf("want 3 retries, got %+v", st)
+	}
+}
+
+// TestChaosPanicAborts: a cell that panics on every attempt must surface
+// a structured PanicError carrying the cell identity and a stack.
+func TestChaosPanicAborts(t *testing.T) {
+	jobs := chaosGrid()
+	eng := New(Config{Jobs: 2, Retry: fastRetry, Chaos: &Chaos{PanicEvery: 2, PanicAttempts: -1}})
+	_, err := eng.Run(context.Background(), jobs)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want PanicError, got %v", err)
+	}
+	// Lowest-index determinism: the first panicking cell is index 1.
+	if pe.Index != 1 || pe.Stack == "" || pe.Value == "" {
+		t.Fatalf("panic report incomplete: index=%d value=%q stack present=%t", pe.Index, pe.Value, pe.Stack != "")
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) || ce.Attempts != fastRetry.MaxAttempts {
+		t.Fatalf("want CellError after %d attempts, got %v", fastRetry.MaxAttempts, err)
+	}
+}
+
+// TestChaosKeepGoing: with -keep-going semantics the sweep completes,
+// healthy cells have results, and the doomed cells appear as ordered
+// failure records instead of an error.
+func TestChaosKeepGoing(t *testing.T) {
+	jobs := chaosGrid()
+	eng := New(Config{Jobs: 4, KeepGoing: true, Retry: fastRetry,
+		Chaos: &Chaos{PanicEvery: 2, PanicAttempts: -1}})
+	rep, err := eng.RunReport(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) != 3 {
+		t.Fatalf("want 3 failures, got %+v", rep.Failures)
+	}
+	for i, f := range rep.Failures {
+		if want := 2*i + 1; f.Index != want {
+			t.Fatalf("failure %d at index %d, want %d (ordered reporting)", i, f.Index, want)
+		}
+		if !f.Panic || f.Attempts != fastRetry.MaxAttempts {
+			t.Fatalf("failure record incomplete: %+v", f)
+		}
+		if rep.Results[f.Index] != nil {
+			t.Fatalf("failed cell %d has a result", f.Index)
+		}
+	}
+	for i := 0; i < len(jobs); i += 2 {
+		if rep.Results[i] == nil {
+			t.Fatalf("healthy cell %d lost its result", i)
+		}
+	}
+}
+
+// TestChaosSlowCellTimeout: a slow first attempt overruns the per-cell
+// deadline, retries without the injected delay, and succeeds.
+func TestChaosSlowCellTimeout(t *testing.T) {
+	jobs := chaosGrid()
+	eng := New(Config{
+		Jobs:        2,
+		// Generous deadline: a healthy test-factor cell is ~10ms, but race-
+		// instrumented CI runs are an order of magnitude slower. Only the
+		// injected 30s delay may overrun it.
+		CellTimeout: 2 * time.Second,
+		Retry:       fastRetry,
+		Chaos:       &Chaos{SlowEvery: 3, SlowDelay: 30 * time.Second},
+	})
+	rs, err := eng.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		if r == nil {
+			t.Fatalf("cell %d has no result", i)
+		}
+	}
+	if st := eng.CacheStats(); st.Retries != 2 {
+		t.Fatalf("want 2 retries (cells 2 and 5 slow once), got %+v", st)
+	}
+}
+
+// TestChaosTornWriteQuarantinedOnReuse: torn cache writes land as corrupt
+// files; the next campaign over the same cache must quarantine them,
+// re-simulate, and still produce results identical to a clean run.
+func TestChaosTornWriteQuarantinedOnReuse(t *testing.T) {
+	dir := t.TempDir()
+	jobs := chaosGrid()
+
+	clean := New(Config{Jobs: 2})
+	want, err := clean.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every persist in the torn run truncates mid-file.
+	torn := New(Config{Jobs: 2, Cache: true, CacheDir: dir, Chaos: &Chaos{TornEvery: 1}})
+	if _, err := torn.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+
+	after := New(Config{Jobs: 2, Cache: true, CacheDir: dir})
+	got, err := after.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := after.CacheStats()
+	if st.Hits != 0 || st.Corrupt != uint64(len(jobs)) || st.Quarantined != uint64(len(jobs)) {
+		t.Fatalf("want every cell corrupt+quarantined and re-simulated, got %+v", st)
+	}
+	q, err := filepath.Glob(filepath.Join(dir, quarantineDirName, "*.json"))
+	if err != nil || len(q) != len(jobs) {
+		t.Fatalf("want %d quarantined files, got %v (%v)", len(jobs), q, err)
+	}
+	if fingerprintResults(t, got) != fingerprintResults(t, want) {
+		t.Fatal("results after quarantine differ from a clean run")
+	}
+}
+
+// TestChaosFailPutDegrades: persistent injected disk errors flip the
+// store to memory-only with a warning instead of failing the sweep.
+func TestChaosFailPutDegrades(t *testing.T) {
+	dir := t.TempDir()
+	jobs := chaosGrid()
+	var warned bool
+	eng := New(Config{
+		Jobs: 1, Cache: true, CacheDir: dir,
+		Chaos: &Chaos{FailPuts: 100},
+		Warnf: func(string, ...interface{}) { warned = true },
+	})
+	rs, err := eng.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		if r == nil {
+			t.Fatalf("cell %d has no result", i)
+		}
+	}
+	if !warned {
+		t.Fatal("degrading to cache-off did not warn")
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 0 {
+		t.Fatalf("failed puts left %d cell files", len(files))
+	}
+	// The memory layer still serves the same engine's re-run.
+	eng2 := New(Config{Jobs: 1, Cache: true, CacheDir: dir})
+	rs2, err := eng2.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprintResults(t, rs2) != fingerprintResults(t, rs) {
+		t.Fatal("results differ after degrade")
+	}
+}
+
+// killRun runs the grid with a chaos kill at the given completion count,
+// emulating a crash: the run context is cancelled (workers drain, the
+// process state is discarded) while the journal and cache stay on disk.
+func killRun(t *testing.T, dir string, jobs []Job, jobsN, killAfter int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	chaos := &Chaos{PanicEvery: 4, TornEvery: 5, KillAfter: killAfter, Kill: cancel}
+	eng := New(Config{Jobs: jobsN, Cache: true, CacheDir: dir, Retry: fastRetry, Chaos: chaos})
+	keys, err := eng.Keys(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(dir, "chaos-grid", keys, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	eng.AttachJournal(j)
+	if _, err := eng.RunReport(ctx, jobs); err == nil && killAfter < len(jobs) {
+		t.Fatal("killed run reported success")
+	}
+}
+
+// TestKillResumeByteIdentical is the chaos gate: a sweep killed mid-run
+// (with cell panics and torn cache writes also injected) and then resumed
+// produces results byte-identical to an uninterrupted run, at one worker
+// and at eight.
+func TestKillResumeByteIdentical(t *testing.T) {
+	jobs := chaosGrid()
+	ref := New(Config{Jobs: 2})
+	refRes, err := ref.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprintResults(t, refRes)
+
+	for _, jobsN := range []int{1, 8} {
+		for _, killAfter := range []int{1, 3, 5} {
+			dir := t.TempDir()
+			killRun(t, dir, jobs, jobsN, killAfter)
+
+			// Resume: same spec, same cache dir, chaos gone (the injected
+			// faults died with the process).
+			eng := New(Config{Jobs: jobsN, Cache: true, CacheDir: dir, Retry: fastRetry})
+			keys, err := eng.Keys(jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j, err := OpenJournal(dir, "chaos-grid", keys, true)
+			if err != nil {
+				t.Fatalf("jobs=%d kill=%d: reopening journal: %v", jobsN, killAfter, err)
+			}
+			eng.AttachJournal(j)
+			if j.CompletedCount() == 0 && killAfter > 1 {
+				t.Errorf("jobs=%d kill=%d: journal recorded no completions", jobsN, killAfter)
+			}
+			got, err := eng.Run(context.Background(), jobs)
+			j.Close()
+			if err != nil {
+				t.Fatalf("jobs=%d kill=%d: resume: %v", jobsN, killAfter, err)
+			}
+			if fingerprintResults(t, got) != want {
+				t.Errorf("jobs=%d kill=%d: resumed artifact differs from uninterrupted run", jobsN, killAfter)
+			}
+		}
+	}
+}
+
+// TestChaosDeterministicAcrossWorkers: the same chaos plan must target
+// the same cells at any worker count (index-keyed, not schedule-keyed).
+func TestChaosDeterministicAcrossWorkers(t *testing.T) {
+	jobs := chaosGrid()
+	failureSet := func(jobsN int) []int {
+		eng := New(Config{Jobs: jobsN, KeepGoing: true, Retry: fastRetry,
+			Chaos: &Chaos{PanicEvery: 3, PanicAttempts: -1}})
+		rep, err := eng.RunReport(context.Background(), jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var idx []int
+		for _, f := range rep.Failures {
+			idx = append(idx, f.Index)
+		}
+		return idx
+	}
+	one := failureSet(1)
+	eight := failureSet(8)
+	if len(one) != len(eight) {
+		t.Fatalf("failure sets differ: jobs=1 %v, jobs=8 %v", one, eight)
+	}
+	for i := range one {
+		if one[i] != eight[i] {
+			t.Fatalf("failure sets differ: jobs=1 %v, jobs=8 %v", one, eight)
+		}
+	}
+}
+
+// TestStoreOrphanSweep: leftover cell-*.tmp files from a killed writer
+// are removed when the store opens.
+func TestStoreOrphanSweep(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		f, err := os.CreateTemp(dir, "cell-*.tmp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteString("partial")
+		f.Close()
+	}
+	NewStore(dir, 0)
+	left, _ := filepath.Glob(filepath.Join(dir, "cell-*.tmp"))
+	if len(left) != 0 {
+		t.Fatalf("orphan sweep left %v", left)
+	}
+}

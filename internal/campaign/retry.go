@@ -1,0 +1,143 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"grp/internal/core"
+)
+
+// RetryPolicy bounds the engine's response to transient cell failures:
+// injected panics, per-cell deadline overruns, and other faults that can
+// plausibly clear on a re-run. Deterministic simulation errors (a bad
+// bench name, an invalid configuration) are never retried.
+type RetryPolicy struct {
+	// MaxAttempts is the total tries per cell, first run included;
+	// <= 0 uses the default (3), 1 disables retry.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 10ms);
+	// each further retry doubles it.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 2s).
+	MaxDelay time.Duration
+}
+
+const (
+	defaultMaxAttempts = 3
+	defaultBaseDelay   = 10 * time.Millisecond
+	defaultMaxDelay    = 2 * time.Second
+)
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = defaultMaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = defaultBaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = defaultMaxDelay
+	}
+	return p
+}
+
+// backoff returns the capped exponential delay before retry number
+// attempt (1-based) of cell idx. The jitter that de-synchronizes
+// retrying workers is deterministic — a hash of (cell, attempt) — so a
+// failing sweep replays identically run to run.
+func (p RetryPolicy) backoff(idx, attempt int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	// splitmix64-style bit mix onto [0.5d, 1.5d).
+	z := uint64(idx)*0x9e3779b97f4a7c15 + uint64(attempt)*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0x94d049bb133111eb
+	z ^= z >> 27
+	frac := float64(z%1024) / 1024 // [0, 1)
+	return time.Duration((0.5 + frac) * float64(d))
+}
+
+// PanicError is the structured report of a cell that panicked: the cell
+// identity, the content-address key when known, and the goroutine stack
+// at the point of the panic. The worker pool converts the panic into
+// this error instead of letting one cell take down the whole sweep.
+type PanicError struct {
+	Bench   string
+	Scheme  string
+	Index   int    // position in the submitted job list
+	Key     string // cell content address ("" when caching is off)
+	Attempt int    // 0-based attempt that panicked
+	Value   string // the panic value
+	Stack   string // goroutine stack captured inside recover()
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("cell %s/%s (index %d, key %.12s, attempt %d) panicked: %s\n%s",
+		e.Bench, e.Scheme, e.Index, e.Key, e.Attempt, e.Value, e.Stack)
+}
+
+// CellError wraps a cell's final failure with its identity and how many
+// attempts were spent, so -keep-going reports and aborting sweeps carry
+// the same structured context.
+type CellError struct {
+	Index    int
+	Bench    string
+	Scheme   core.Scheme
+	Attempts int
+	Err      error
+}
+
+// Error implements error.
+func (e *CellError) Error() string {
+	return fmt.Sprintf("campaign: cell %s/%s (index %d, %d attempts): %v",
+		e.Bench, e.Scheme, e.Index, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// CellFailure is the serializable record of one failed cell in a
+// -keep-going sweep, merged into the artifact instead of aborting it.
+type CellFailure struct {
+	Index    int    `json:"index"`
+	Bench    string `json:"bench"`
+	Scheme   string `json:"scheme"`
+	Err      string `json:"error"`
+	Panic    bool   `json:"panic,omitempty"`
+	Attempts int    `json:"attempts"`
+}
+
+// retryableError reports whether a cell failure is plausibly transient:
+// an isolated panic or a per-cell deadline overrun. Run-context
+// cancellation and deterministic configuration errors are not.
+func retryableError(err error) bool {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return true
+	}
+	return errors.Is(err, context.DeadlineExceeded)
+}
+
+// sleepCtx sleeps for d or until the context is done, whichever comes
+// first, returning the context's error in the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

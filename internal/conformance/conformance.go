@@ -22,6 +22,7 @@
 package conformance
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -89,6 +90,10 @@ type Config struct {
 	// worker goroutine, so fleet reporters (internal/obs) see live worker
 	// occupancy. The callee must be safe for concurrent use.
 	OnProgramStart func()
+	// Ctx, when non-nil, cancels the campaign between programs (and, via
+	// the worker pool, stops new ones from starting). Nil means run to
+	// completion.
+	Ctx context.Context
 }
 
 // DefaultSchemes is the realistic-scheme set the harness differentiates
@@ -201,7 +206,7 @@ func Run(cfg Config) (*Report, error) {
 			mu <- struct{}{}
 		}
 	}
-	err := campaign.ParallelFor(cfg.N, cfg.Jobs, func(i int) error {
+	err := campaign.ParallelFor(cfg.Ctx, cfg.N, cfg.Jobs, func(i int) error {
 		if cfg.OnProgramStart != nil {
 			cfg.OnProgramStart()
 		}

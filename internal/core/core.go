@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"grp/internal/attrib"
@@ -153,6 +154,13 @@ type Options struct {
 	// golden snapshots, the conformance timing-equivalence mode, and the
 	// hot-path speedup benchmark baseline.
 	LegacyEngine bool
+	// Cancel, when non-nil, is polled from the CPU commit loop (every few
+	// thousand instructions); a non-nil return aborts the run with that
+	// error. The campaign engine wires a context's Err here for per-cell
+	// deadlines and graceful shutdown. Cancellation only ever stops a run
+	// early — it cannot change a completed run's results — so it is
+	// invisible to the campaign cache key.
+	Cancel func() error
 }
 
 // Validate checks the run options: any overridden CPU, cache, or DRAM
@@ -340,6 +348,7 @@ func Run(spec *workloads.Spec, scheme Scheme, opt Options) (*Result, error) {
 	if opt.MaxInstrs != 0 {
 		cpuCfg.MaxInstrs = opt.MaxInstrs
 	}
+	cpuCfg.Cancel = opt.Cancel
 
 	c, err := cpu.New(cpuCfg, m, ms)
 	if err != nil {
@@ -511,13 +520,23 @@ func SuiteCells(benches []string, schemes []Scheme) []Cell {
 // CellRunner executes a suite grid under shared options and returns
 // results positionally: results[i] belongs to cells[i]. RunCells is the
 // serial reference implementation; internal/campaign provides the
-// parallel, cached one.
-type CellRunner func(cells []Cell, opt Options) ([]*Result, error)
+// parallel, cached one. A cancelled ctx stops the grid between cells
+// (and, via Options.Cancel, inside one).
+type CellRunner func(ctx context.Context, cells []Cell, opt Options) ([]*Result, error)
 
 // RunCells is the serial CellRunner: it simulates each cell in order.
-func RunCells(cells []Cell, opt Options) ([]*Result, error) {
+func RunCells(ctx context.Context, cells []Cell, opt Options) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Done() != nil && opt.Cancel == nil {
+		opt.Cancel = ctx.Err
+	}
 	out := make([]*Result, len(cells))
 	for i, c := range cells {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		spec, err := workloads.ByName(c.Bench)
 		if err != nil {
 			return nil, err
@@ -551,7 +570,7 @@ func (s *Suite) Put(r *Result) {
 // the results in canonical cell order — the single ordering code path
 // shared by the serial and campaign-engine suite paths. A nil benches
 // runs every workload; a nil schemes runs all of them.
-func RunSuiteWith(benches []string, schemes []Scheme, opt Options, run CellRunner) (*Suite, error) {
+func RunSuiteWith(ctx context.Context, benches []string, schemes []Scheme, opt Options, run CellRunner) (*Suite, error) {
 	if benches == nil {
 		benches = workloads.Names()
 	}
@@ -559,7 +578,7 @@ func RunSuiteWith(benches []string, schemes []Scheme, opt Options, run CellRunne
 		schemes = AllSchemes()
 	}
 	cells := SuiteCells(benches, schemes)
-	rs, err := run(cells, opt)
+	rs, err := run(ctx, cells, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -579,7 +598,7 @@ func RunSuiteWith(benches []string, schemes []Scheme, opt Options, run CellRunne
 // RunSuite simulates the given benchmarks under the given schemes through
 // the serial reference runner.
 func RunSuite(benches []string, schemes []Scheme, opt Options) (*Suite, error) {
-	return RunSuiteWith(benches, schemes, opt, RunCells)
+	return RunSuiteWith(context.Background(), benches, schemes, opt, RunCells)
 }
 
 // Get returns the result for (bench, scheme), or nil if it was not run.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -486,12 +487,12 @@ type SensitivityRow struct {
 // runner. It runs its own simulations (the compiler output differs per
 // policy).
 func RunSensitivity(benches []string, opt Options) ([]SensitivityRow, *stats.Table, error) {
-	return RunSensitivityWith(benches, opt, RunCells)
+	return RunSensitivityWith(context.Background(), benches, opt, RunCells)
 }
 
 // RunSensitivityWith is RunSensitivity through an arbitrary CellRunner, so
 // the campaign engine can parallelize and cache the per-policy sweeps.
-func RunSensitivityWith(benches []string, opt Options, run CellRunner) ([]SensitivityRow, *stats.Table, error) {
+func RunSensitivityWith(ctx context.Context, benches []string, opt Options, run CellRunner) ([]SensitivityRow, *stats.Table, error) {
 	if benches == nil {
 		benches = workloads.Names()
 	}
@@ -511,7 +512,7 @@ func RunSensitivityWith(benches []string, opt Options, run CellRunner) ([]Sensit
 		o := opt
 		o.Policy = pol
 		cells := SuiteCells(timed, []Scheme{NoPrefetch, GRPVar})
-		rs, err := run(cells, o)
+		rs, err := run(ctx, cells, o)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -70,6 +70,12 @@ type Config struct {
 	// construction; kept only as the reference engine behind
 	// core.Options.LegacyEngine.
 	LegacyScheduler bool
+
+	// Cancel, when non-nil, is polled every few thousand instructions; a
+	// non-nil return aborts the run with that error. It carries deadline
+	// and shutdown signals into a simulation whose natural unit of
+	// progress is the committed instruction, not wall time.
+	Cancel func() error
 }
 
 // Validate checks the configuration for internal consistency.
@@ -354,7 +360,16 @@ func (c *Core) Run(p *isa.Program) (Result, error) {
 		budget = 1 << 62
 	}
 
+	cancel := c.cfg.Cancel
 	for i := uint64(0); i < budget; i++ {
+		// A masked countdown keeps the cancellation poll off the per-
+		// instruction hot path; 4096 instructions of slack is microseconds
+		// of wall time.
+		if cancel != nil && i&4095 == 4095 {
+			if err := cancel(); err != nil {
+				return res, fmt.Errorf("cpu: %s: run cancelled: %w", p.Name, err)
+			}
+		}
 		if pc < 0 || pc >= len(p.Instrs) {
 			return res, fmt.Errorf("cpu: %s: pc %d out of range", p.Name, pc)
 		}

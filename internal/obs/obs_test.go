@@ -163,3 +163,115 @@ func TestServerBadAddrFailsFast(t *testing.T) {
 		t.Fatal("bad listen address did not fail")
 	}
 }
+
+// TestReporterZeroCellSweep: an empty grid (filtered spec, empty bench
+// list) must not panic, divide by zero, or advertise an ETA.
+func TestReporterZeroCellSweep(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	r := NewReporter(0, 4)
+	r.setClock(clk.now)
+	clk.advance(time.Second)
+	s := r.Snapshot()
+	if s.Total != 0 || s.Done != 0 || s.ETA != 0 {
+		t.Errorf("zero-cell snapshot = %+v", s)
+	}
+	_ = r.Line()
+	var b strings.Builder
+	r.Snapshot().WritePrometheus(&b)
+	if !strings.Contains(b.String(), "grpsweep_cells_total 0") {
+		t.Errorf("metrics for empty sweep:\n%s", b.String())
+	}
+}
+
+// TestReporterInstantCompletion: every cell finishing within one clock
+// tick (elapsed = 0 at completion) must not produce Inf/NaN rates.
+func TestReporterInstantCompletion(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	r := NewReporter(3, 2)
+	r.setClock(clk.now)
+	for i := 0; i < 3; i++ {
+		r.CellStart()
+		r.CellDone(true)
+	}
+	s := r.Snapshot()
+	if s.Done != 3 || s.CellsPerSec != 0 || s.ETA != 0 {
+		t.Errorf("instant-completion snapshot = %+v", s)
+	}
+	if s.Utilization < 0 || s.Utilization > 1 {
+		t.Errorf("utilization out of range: %g", s.Utilization)
+	}
+	_ = r.Line()
+}
+
+// TestReporterBackwardsCounts: more completions than the advertised
+// total (a caller bug or a resumed sweep with a stale total) must never
+// yield a negative ETA.
+func TestReporterBackwardsCounts(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	r := NewReporter(2, 1)
+	r.setClock(clk.now)
+	for i := 0; i < 5; i++ { // 5 done of a declared 2
+		r.CellStart()
+		clk.advance(100 * time.Millisecond)
+		r.CellDone(false)
+	}
+	s := r.Snapshot()
+	if s.ETA < 0 {
+		t.Errorf("ETA went negative: %v", s.ETA)
+	}
+	if line := r.Line(); strings.Contains(line, "eta -") {
+		t.Errorf("Line() shows a negative ETA: %q", line)
+	}
+}
+
+// TestReporterBackwardsClock: a clock that steps backwards (NTP slew,
+// VM suspend) must not drive elapsed time or utilization negative.
+func TestReporterBackwardsClock(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	r := NewReporter(4, 2)
+	r.setClock(clk.now)
+	r.CellStart()
+	clk.advance(-30 * time.Second)
+	r.CellDone(false)
+	s := r.Snapshot()
+	if s.Elapsed < 0 {
+		t.Errorf("elapsed went negative: %v", s.Elapsed)
+	}
+	if s.Utilization < 0 {
+		t.Errorf("utilization went negative: %g", s.Utilization)
+	}
+	if s.CellsPerSec < 0 {
+		t.Errorf("cells/sec went negative: %g", s.CellsPerSec)
+	}
+	_ = r.Line()
+}
+
+// TestReporterRetriesAndFailures: the robustness counters flow through
+// Snapshot, the status line, and the Prometheus export.
+func TestReporterRetriesAndFailures(t *testing.T) {
+	r := NewReporter(10, 2)
+	r.CellStart()
+	r.CellRetry()
+	r.CellRetry()
+	r.CellFailed()
+	r.CellDone(false)
+	s := r.Snapshot()
+	if s.Retries != 2 || s.Failed != 1 {
+		t.Errorf("snapshot retries/failed = %d/%d, want 2/1", s.Retries, s.Failed)
+	}
+	line := r.Line()
+	if !strings.Contains(line, "retries 2") || !strings.Contains(line, "FAILED 1") {
+		t.Errorf("Line() = %q missing retry/failure counters", line)
+	}
+	var b strings.Builder
+	r.Snapshot().WritePrometheus(&b)
+	for _, want := range []string{"grpsweep_cell_retries 2", "grpsweep_cell_failures 1"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("metrics missing %q:\n%s", want, b.String())
+		}
+	}
+	// Nil safety for the new methods.
+	var nilr *Reporter
+	nilr.CellRetry()
+	nilr.CellFailed()
+}

@@ -26,6 +26,8 @@ type Reporter struct {
 	done    int
 	hits    int
 	active  int
+	retries int
+	failed  int
 
 	// busy integrates active-worker-seconds across state changes, so
 	// utilization = busy / (elapsed · workers) is exact regardless of how
@@ -57,7 +59,11 @@ func (r *Reporter) setClock(now func() time.Time) {
 // hold r.mu.
 func (r *Reporter) integrate() time.Time {
 	t := r.now()
-	r.busy += float64(r.active) * t.Sub(r.last).Seconds()
+	// A clock that steps backwards (ntp, fake clocks in tests) must not
+	// un-integrate busy time; clamp the step at zero.
+	if dt := t.Sub(r.last).Seconds(); dt > 0 {
+		r.busy += float64(r.active) * dt
+	}
 	r.last = t
 	return t
 }
@@ -92,9 +98,33 @@ func (r *Reporter) CellDone(cacheHit bool) {
 	r.mu.Unlock()
 }
 
+// CellRetry records one cell attempt being retried after a transient
+// failure. The cell stays active; retries are accounted separately so a
+// flapping fleet is visible without perturbing progress or ETA.
+func (r *Reporter) CellRetry() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.retries++
+	r.mu.Unlock()
+}
+
+// CellFailed records one cell failing for good under keep-going; it
+// counts toward Done (the sweep is past it) and toward Failed.
+func (r *Reporter) CellFailed() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.failed++
+	r.mu.Unlock()
+}
+
 // Snapshot is a consistent view of the reporter's derived metrics.
 type Snapshot struct {
 	Done, Total, Hits, Active int
+	Retries, Failed           int
 	Elapsed                   time.Duration
 	CellsPerSec               float64
 	HitRate                   float64 // fraction of completed cells cache-hit
@@ -112,7 +142,11 @@ func (r *Reporter) Snapshot() Snapshot {
 	t := r.integrate()
 	s := Snapshot{
 		Done: r.done, Total: r.total, Hits: r.hits, Active: r.active,
+		Retries: r.retries, Failed: r.failed,
 		Elapsed: t.Sub(r.start),
+	}
+	if s.Elapsed < 0 {
+		s.Elapsed = 0
 	}
 	secs := s.Elapsed.Seconds()
 	if secs > 0 {
@@ -121,6 +155,8 @@ func (r *Reporter) Snapshot() Snapshot {
 	}
 	if r.done > 0 {
 		s.HitRate = float64(r.hits) / float64(r.done)
+		// left > 0 also shields a total that undercounts (or a done that
+		// overcounts): ETA is never negative, just absent.
 		if left := r.total - r.done; left > 0 && s.CellsPerSec > 0 {
 			s.ETA = time.Duration(float64(left) / s.CellsPerSec * float64(time.Second))
 		}
@@ -134,6 +170,12 @@ func (r *Reporter) Line() string {
 	s := r.Snapshot()
 	line := fmt.Sprintf("cell %d/%d done (%d cached)  %.1f cells/s  util %.0f%%",
 		s.Done, s.Total, s.Hits, s.CellsPerSec, 100*s.Utilization)
+	if s.Retries > 0 {
+		line += fmt.Sprintf("  retries %d", s.Retries)
+	}
+	if s.Failed > 0 {
+		line += fmt.Sprintf("  FAILED %d", s.Failed)
+	}
 	if s.ETA > 0 {
 		line += fmt.Sprintf("  eta %s", s.ETA.Round(time.Second))
 	}
@@ -151,8 +193,11 @@ func (s Snapshot) WritePrometheus(w interface{ Write([]byte) (int, error) }) err
 			"# TYPE grpsweep_cache_hit_rate gauge\ngrpsweep_cache_hit_rate %g\n"+
 			"# TYPE grpsweep_cells_per_second gauge\ngrpsweep_cells_per_second %g\n"+
 			"# TYPE grpsweep_worker_utilization gauge\ngrpsweep_worker_utilization %g\n"+
-			"# TYPE grpsweep_elapsed_seconds gauge\ngrpsweep_elapsed_seconds %g\n",
+			"# TYPE grpsweep_elapsed_seconds gauge\ngrpsweep_elapsed_seconds %g\n"+
+			"# TYPE grpsweep_cell_retries gauge\ngrpsweep_cell_retries %d\n"+
+			"# TYPE grpsweep_cell_failures gauge\ngrpsweep_cell_failures %d\n",
 		s.Done, s.Total, s.Active, s.Hits, s.HitRate,
-		s.CellsPerSec, s.Utilization, s.Elapsed.Seconds())
+		s.CellsPerSec, s.Utilization, s.Elapsed.Seconds(),
+		s.Retries, s.Failed)
 	return err
 }

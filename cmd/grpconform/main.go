@@ -104,7 +104,7 @@ func main() {
 	}
 	reporter := obs.NewReporter(*n, workers)
 	if *listen != "" {
-		srv, err := obs.NewServer(*listen, reporter)
+		srv, err := obs.NewServer(*listen, reporter, obs.NewBuildInfo(obs.Version, campaign.SchemaVersion()))
 		if err != nil {
 			log.Printf("error: %v", err)
 			os.Exit(2)

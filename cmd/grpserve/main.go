@@ -1,0 +1,99 @@
+// Command grpserve runs the campaign service: an HTTP/JSON API that
+// accepts sweep submissions (the grpsweep spec grammar), schedules every
+// client's cells onto one shared worker pool with per-tenant fairness
+// and backpressure, dedupes identical in-flight cells so each unique
+// cell simulates exactly once, and streams per-cell results as they
+// land.
+//
+// Usage:
+//
+//	grpserve [-listen :8080] [-jobs N] [-max-queue 4096] \
+//	    [-cache-dir .grpcache] [-mem] [-cell-timeout 10m] [-retries 3]
+//
+// API:
+//
+//	POST /v1/sweeps                  submit {"spec": "...", ...}; 202 on
+//	                                 admission, 200 for a known sweep,
+//	                                 429 + Retry-After when over capacity
+//	GET  /v1/sweeps                  list sweeps
+//	GET  /v1/sweeps/{id}             one sweep's status
+//	GET  /v1/sweeps/{id}/events      per-cell NDJSON stream (SSE with
+//	                                 Accept: text/event-stream); resume
+//	                                 with ?cursor=N
+//	GET  /v1/sweeps/{id}/artifact    finished artifact, ?format=ascii|json|csv
+//	                                 — byte-identical to grpsweep's output
+//	GET  /metrics                    Prometheus text (fleet + per-sweep)
+//	GET  /healthz                    liveness + load
+//
+// The service is crash-safe: each sweep keeps a journal under the cache
+// directory, so a killed server resumes unfinished sweeps on restart.
+// SIGINT/SIGTERM drains gracefully — in-flight cells finish and are
+// journaled, queued cells stay durably undone for the next process.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"grp/internal/campaign"
+	"grp/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("grpserve: ")
+	var (
+		listen   = flag.String("listen", ":8080", "HTTP listen address")
+		jobs     = flag.Int("jobs", 0, "worker goroutines (default GOMAXPROCS)")
+		maxQueue = flag.Int("max-queue", 4096, "max admitted-but-undispatched cells before 429")
+		cacheDir = flag.String("cache-dir", campaign.DefaultCacheDir, "result cache and journal directory")
+		mem      = flag.Bool("mem", false, "in-memory result store (no persistence, no crash resume)")
+		cellTO   = flag.Duration("cell-timeout", 0, "per-cell attempt deadline (0 = none)")
+		retries  = flag.Int("retries", 0, "attempts per cell for transient failures (default 3)")
+	)
+	flag.Parse()
+
+	s := serve.New(serve.Config{
+		Workers:     *jobs,
+		MaxQueue:    *maxQueue,
+		CacheDir:    *cacheDir,
+		Mem:         *mem,
+		CellTimeout: *cellTO,
+		Retries:     *retries,
+		Warnf:       log.Printf,
+	})
+	s.Start()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	log.Printf("listening on http://%s (POST /v1/sweeps, GET /metrics)", ln.Addr())
+
+	// SIGINT/SIGTERM: stop accepting, drain in-flight cells (journaled),
+	// exit. Queued cells resume on the next start.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("draining: in-flight cells finish, queued cells stay journaled")
+		shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shCtx)
+	}()
+
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	s.Drain()
+	log.Printf("drained cleanly")
+}

@@ -28,7 +28,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -43,24 +42,8 @@ import (
 	"grp/internal/compiler"
 	"grp/internal/core"
 	"grp/internal/obs"
-	"grp/internal/stats"
 	"grp/internal/workloads"
 )
-
-// cellOut is one row of the JSON artifact. Error is set (and the metric
-// fields zero) for a cell that failed for good under -keep-going.
-type cellOut struct {
-	Bench      string  `json:"bench"`
-	Scheme     string  `json:"scheme"`
-	Overlay    string  `json:"overlay"`
-	Instrs     uint64  `json:"instrs"`
-	Cycles     uint64  `json:"cycles"`
-	IPC        float64 `json:"ipc"`
-	L2MissPct  float64 `json:"l2_miss_pct"`
-	Traffic    uint64  `json:"traffic_bytes"`
-	ArchDigest string  `json:"arch_digest"`
-	Error      string  `json:"error,omitempty"`
-}
 
 func main() {
 	log.SetFlags(0)
@@ -82,6 +65,10 @@ func main() {
 		cellTO    = flag.Duration("cell-timeout", 0, "per-cell attempt deadline, e.g. 10m (0 = none; overruns retry)")
 		retries   = flag.Int("retries", 0, "attempts per cell for transient failures (default 3, 1 disables retry)")
 		chaosSpec = flag.String("chaos", "", "dev-only fault injection, e.g. 'panic=2,torn=3,kill=5' (see internal/campaign chaos.go)")
+		dryRun    = flag.Bool("dry-run", false, "print the expansion summary (cells, axes, estimated cache hit rate) without simulating")
+		remote    = flag.String("remote", "", "submit the sweep to a grpserve instance at this base URL (e.g. http://host:8080) instead of simulating locally")
+		tenant    = flag.String("tenant", "", "tenant name for -remote fairness accounting")
+		weight    = flag.Int("weight", 0, "scheduling weight 1..16 for -remote (default 1)")
 	)
 	flag.Parse()
 	if *spec == "" {
@@ -93,6 +80,35 @@ func main() {
 	useCache := *cacheOn && !*noCache
 	if *resume && !useCache {
 		log.Fatal("-resume needs the result cache (it is what replays completed cells)")
+	}
+
+	// Open the artifact destination before doing anything expensive so a
+	// bad path fails fast (remote mode writes the fetched artifact here
+	// too).
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+
+	if *remote != "" {
+		runRemote(remoteRun{
+			base:   *remote,
+			spec:   *spec,
+			factor: *factor,
+			policy: *policy,
+			tenant: *tenant,
+			weight: *weight,
+			format: *format,
+			dryRun: *dryRun,
+			quiet:  *quiet,
+			dst:    dst,
+		})
+		return
 	}
 
 	base := core.Options{Factor: parseFactor(*factor), Policy: parsePolicy(*policy)}
@@ -107,17 +123,6 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("CHAOS MODE: injecting %q", *chaosSpec)
-	}
-
-	// Open the artifact before simulating so a bad path fails fast.
-	dst := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		dst = f
 	}
 
 	// SIGINT/SIGTERM cancel the run context: workers drain their in-flight
@@ -145,7 +150,7 @@ func main() {
 	// numbers over HTTP for fleet scraping.
 	rep := obs.NewReporter(len(grid.Cells), workers)
 	if *listen != "" {
-		srv, err := obs.NewServer(*listen, rep)
+		srv, err := obs.NewServer(*listen, rep, obs.NewBuildInfo(obs.Version, campaign.SchemaVersion()))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -165,6 +170,15 @@ func main() {
 	}
 	eng := campaign.New(cfg)
 	gridJobs := grid.Jobs()
+
+	if *dryRun {
+		d, err := eng.DryRunGrid(grid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprint(dst, d)
+		return
+	}
 
 	// The journal makes completions durable and guards the sweep with a
 	// lock; it needs the cells' content addresses up front.
@@ -202,64 +216,18 @@ func main() {
 	}
 	wall := time.Since(start)
 
-	failed := map[int]*campaign.CellFailure{}
-	for i := range report.Failures {
-		f := &report.Failures[i]
-		failed[f.Index] = f
+	// The artifact renders through the same path grpserve uses
+	// (campaign.WriteArtifact), which is what keeps a remote artifact
+	// byte-identical to a local run of the same grid.
+	art := &campaign.Artifact{
+		Spec:     *spec,
+		Factor:   base.Factor.String(),
+		Policy:   base.Policy.String(),
+		Grid:     grid,
+		Results:  report.Results,
+		Failures: report.Failures,
 	}
-	cells := make([]cellOut, len(report.Results))
-	for i, r := range report.Results {
-		cells[i] = cellOut{
-			Bench:   grid.Cells[i].Bench,
-			Scheme:  grid.Cells[i].Scheme.String(),
-			Overlay: grid.Cells[i].OverlayString(),
-		}
-		if f, ok := failed[i]; ok || r == nil {
-			if ok {
-				cells[i].Error = f.Err
-			}
-			continue
-		}
-		cells[i].Instrs = r.CPU.Instrs
-		cells[i].Cycles = r.CPU.Cycles
-		cells[i].IPC = r.IPC()
-		cells[i].L2MissPct = r.L2.MissRate()
-		cells[i].Traffic = r.TrafficBytes
-		cells[i].ArchDigest = fmt.Sprintf("%016x", r.ArchDigest)
-	}
-
-	switch *format {
-	case "json":
-		env := struct {
-			Spec   string    `json:"spec"`
-			Factor string    `json:"factor"`
-			Policy string    `json:"policy"`
-			Failed int       `json:"failed,omitempty"`
-			Cells  []cellOut `json:"cells"`
-		}{*spec, base.Factor.String(), base.Policy.String(), len(report.Failures), cells}
-		enc := json.NewEncoder(dst)
-		enc.SetIndent("", "  ")
-		fatal(enc.Encode(env))
-	default:
-		t := &stats.Table{
-			Title:   fmt.Sprintf("campaign: %s", *spec),
-			Headers: []string{"benchmark", "scheme", "overlay", "instrs", "cycles", "IPC", "L2miss%", "traffic", "archdigest"},
-		}
-		for _, c := range cells {
-			if c.Error != "" {
-				t.Add(c.Bench, c.Scheme, c.Overlay, "-", "-", "-", "-", "-", "FAILED")
-				continue
-			}
-			t.Add(c.Bench, c.Scheme, c.Overlay, fmt.Sprint(c.Instrs), fmt.Sprint(c.Cycles),
-				stats.Fmt(c.IPC, 3), stats.Fmt(c.L2MissPct, 1), fmt.Sprint(c.Traffic), c.ArchDigest)
-		}
-		if *format == "csv" {
-			fatal(t.WriteCSV(dst))
-		} else {
-			_, err := fmt.Fprintln(dst, t)
-			fatal(err)
-		}
-	}
+	fatal(campaign.WriteArtifact(dst, *format, art))
 
 	cs := eng.CacheStats()
 	extra := ""
@@ -267,13 +235,13 @@ func main() {
 		extra = fmt.Sprintf(", %d retries, %d corrupt cells quarantined", cs.Retries, cs.Quarantined)
 	}
 	log.Printf("done in %v: %d cells, %d cache hits, simulated %d%s",
-		wall.Round(time.Millisecond), len(cells), cs.Hits, uint64(len(cells))-cs.Hits, extra)
+		wall.Round(time.Millisecond), len(grid.Cells), cs.Hits, uint64(len(grid.Cells))-cs.Hits, extra)
 	if n := len(report.Failures); n > 0 {
 		for _, f := range report.Failures {
 			log.Printf("FAILED cell %s/%s (index %d, %d attempts): %s", f.Bench, f.Scheme, f.Index, f.Attempts, f.Err)
 		}
 		journal.Close()
-		log.Printf("%d of %d cells failed; rerun with -resume to retry them", n, len(cells))
+		log.Printf("%d of %d cells failed; rerun with -resume to retry them", n, len(grid.Cells))
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"grp/internal/campaign"
+	"grp/internal/serve"
+)
+
+// Remote mode turns grpsweep into a grpserve client: the sweep runs on
+// the service's shared worker pool (deduped against every other
+// client's in-flight cells) while this process streams per-cell events
+// for progress and fetches the finished artifact — which the server
+// renders through the same campaign.WriteArtifact path, so the bytes
+// written to -out are identical to a local run's.
+
+type remoteRun struct {
+	base   string
+	spec   string
+	factor string
+	policy string
+	tenant string
+	weight int
+	format string
+	dryRun bool
+	quiet  bool
+	dst    io.Writer
+}
+
+func runRemote(rr remoteRun) {
+	base := strings.TrimRight(rr.base, "/")
+	client := &http.Client{} // no overall timeout: event streams are long-lived
+
+	req := serve.SweepRequest{
+		Spec:   rr.spec,
+		Factor: rr.factor,
+		Policy: rr.policy,
+		Tenant: rr.tenant,
+		Weight: rr.weight,
+		DryRun: rr.dryRun,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := client.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatalf("submitting to %s: %v", base, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatalf("reading submit response: %v", err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusAccepted:
+	case http.StatusTooManyRequests:
+		log.Fatalf("server over capacity: %s (Retry-After: %ss)",
+			remoteErr(data), resp.Header.Get("Retry-After"))
+	default:
+		log.Fatalf("submit rejected (%s): %s", resp.Status, remoteErr(data))
+	}
+
+	if rr.dryRun {
+		var d campaign.DryRun
+		if err := json.Unmarshal(data, &d); err != nil {
+			log.Fatalf("decoding dry-run response: %v", err)
+		}
+		fmt.Fprint(rr.dst, d.String())
+		return
+	}
+
+	var st serve.SweepStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		log.Fatalf("decoding submit response: %v", err)
+	}
+	verb := "admitted"
+	if resp.StatusCode == http.StatusOK {
+		verb = "joined" // an identical sweep was already in flight
+	}
+	log.Printf("sweep %s %s on %s: %d cells (%d already done)", st.ID, verb, base, st.Cells, st.Done)
+
+	// Stream completions for progress. The cursor makes the stream
+	// resumable: a dropped connection reconnects at the next unseen seq.
+	cursor := 0
+	for {
+		ended, err := streamEvents(client, base, st.ID, &cursor, rr.quiet)
+		if ended {
+			break
+		}
+		log.Printf("event stream interrupted (%v); resuming at cursor %d", err, cursor)
+		time.Sleep(time.Second)
+	}
+
+	resp, err = client.Get(fmt.Sprintf("%s/v1/sweeps/%s/artifact?format=%s", base, st.ID, rr.format))
+	if err != nil {
+		log.Fatalf("fetching artifact: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		log.Fatalf("artifact fetch failed (%s): %s", resp.Status, remoteErr(data))
+	}
+	if _, err := io.Copy(rr.dst, resp.Body); err != nil {
+		log.Fatalf("writing artifact: %v", err)
+	}
+
+	final := fetchStatus(client, base, st.ID)
+	log.Printf("done: %d cells, %d failed, %d served from cache or dedup", final.Cells, final.Failed, final.Hits)
+	if final.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// streamEvents tails the sweep's NDJSON event stream from *cursor,
+// printing progress lines. It returns ended=true when the sweep
+// finished (the server closes a finished stream) and false on a
+// transport error worth retrying.
+func streamEvents(client *http.Client, base, id string, cursor *int, quiet bool) (bool, error) {
+	resp, err := client.Get(fmt.Sprintf("%s/v1/sweeps/%s/events?cursor=%d", base, id, *cursor))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return false, fmt.Errorf("%s: %s", resp.Status, remoteErr(data))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		var ev serve.CellEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return false, fmt.Errorf("decoding event: %w", err)
+		}
+		*cursor = ev.Seq + 1
+		if !quiet {
+			state := "ok"
+			if ev.Cell.Error != "" {
+				state = "FAILED: " + ev.Cell.Error
+			}
+			fmt.Fprintf(os.Stderr, "grpsweep: %d/%d %s/%s %s %s\n",
+				ev.Done, ev.Total, ev.Cell.Bench, ev.Cell.Scheme, ev.Cell.Overlay, state)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return false, err
+	}
+	// Clean EOF: either the sweep finished or the server restarted
+	// mid-stream. Only a finished status ends the wait.
+	if st := fetchStatus(client, base, id); st.Finished {
+		return true, nil
+	}
+	return false, fmt.Errorf("stream closed before the sweep finished")
+}
+
+// fetchStatus polls one sweep's status, fatally on transport errors.
+func fetchStatus(client *http.Client, base, id string) serve.SweepStatus {
+	resp, err := client.Get(fmt.Sprintf("%s/v1/sweeps/%s", base, id))
+	if err != nil {
+		log.Fatalf("fetching sweep status: %v", err)
+	}
+	defer resp.Body.Close()
+	var st serve.SweepStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatalf("decoding sweep status: %v", err)
+	}
+	return st
+}
+
+// remoteErr extracts the server's structured error message, falling
+// back to the raw body.
+func remoteErr(data []byte) string {
+	var re struct {
+		Field string `json:"field"`
+		Msg   string `json:"error"`
+	}
+	if json.Unmarshal(data, &re) == nil && re.Msg != "" {
+		if re.Field != "" {
+			return re.Field + ": " + re.Msg
+		}
+		return re.Msg
+	}
+	return strings.TrimSpace(string(data))
+}

@@ -1,0 +1,165 @@
+package campaign
+
+import (
+	"os"
+	"sync"
+
+	"grp/internal/core"
+)
+
+// Backend is the pluggable result store behind the campaign engine. The
+// engine only ever asks three things of its store — look a cell up by
+// content address, persist a freshly simulated one, and report traffic —
+// so a backend can be the local .grpcache directory (Store), a sharded
+// in-memory map (MemBackend), or tomorrow a remote shared service,
+// without the engine or its callers changing.
+//
+// Implementations must be safe for concurrent use by the worker pool,
+// and Get must return results that are safe to share: the engine hands
+// the same *core.Result to every subscriber of a deduped cell, so a
+// backend must never mutate a result it has handed out.
+type Backend interface {
+	// Get returns the result stored under the key, or (nil, false).
+	Get(CellKey) (*core.Result, bool)
+	// Put records a simulated result under its key. Implementations
+	// should degrade rather than fail: the result is already correct, so
+	// a persistence error is worth at most a warning.
+	Put(CellKey, *core.Result) error
+	// Stats snapshots the backend's traffic counters.
+	Stats() CacheStats
+}
+
+// Prober is implemented by backends that can answer "would Get hit?"
+// without paying for a full decode. Dry-run grid sizing uses it to
+// estimate a submission's cache hit rate.
+type Prober interface {
+	Contains(CellKey) bool
+}
+
+// Store implements Backend (the local-directory reference backend).
+var _ Backend = (*Store)(nil)
+var _ Prober = (*Store)(nil)
+
+// Contains reports whether a Get for the key would plausibly hit,
+// without decoding the cell or touching the traffic counters. A present
+// but corrupt file counts as a hit here — Contains is an estimator for
+// dry runs, not a promise.
+func (s *Store) Contains(k CellKey) bool {
+	s.mu.Lock()
+	_, ok := s.byKey[k.Digest]
+	s.mu.Unlock()
+	if ok {
+		return true
+	}
+	if s.disabled.Load() {
+		return false
+	}
+	_, err := os.Stat(s.path(k))
+	return err == nil
+}
+
+// memShards is the fixed shard count of a MemBackend. 64 shards keep
+// lock contention negligible at any plausible worker-pool width while
+// costing a few kilobytes of empty maps.
+const memShards = 64
+
+// MemBackend is a sharded in-memory Backend: results live in one of 64
+// maps selected by the first byte of the cell digest, so concurrent
+// workers (and concurrent sweeps on a server) rarely contend on the same
+// lock. Unlike Store's LRU layer it never evicts — it is the backend of
+// choice for a service that wants its whole working set resident — and
+// it persists nothing, so a restart starts cold.
+type MemBackend struct {
+	shards [memShards]memShard
+}
+
+type memShard struct {
+	mu    sync.RWMutex
+	cells map[string]*core.Result
+	hits  uint64
+	miss  uint64
+	puts  uint64
+}
+
+var _ Backend = (*MemBackend)(nil)
+var _ Prober = (*MemBackend)(nil)
+
+// NewMemBackend builds an empty sharded in-memory backend.
+func NewMemBackend() *MemBackend {
+	b := &MemBackend{}
+	for i := range b.shards {
+		b.shards[i].cells = map[string]*core.Result{}
+	}
+	return b
+}
+
+// shard selects the shard for a digest. Digests are hex SHA-256, so the
+// first two characters are uniformly distributed; fold them into [0,64).
+func (b *MemBackend) shard(digest string) *memShard {
+	var h uint
+	for i := 0; i < 2 && i < len(digest); i++ {
+		h = h<<4 ^ uint(digest[i])
+	}
+	return &b.shards[h%memShards]
+}
+
+// Get implements Backend.
+func (b *MemBackend) Get(k CellKey) (*core.Result, bool) {
+	sh := b.shard(k.Digest)
+	sh.mu.Lock()
+	r, ok := sh.cells[k.Digest]
+	if ok {
+		sh.hits++
+	} else {
+		sh.miss++
+	}
+	sh.mu.Unlock()
+	return r, ok
+}
+
+// Put implements Backend. It never fails.
+func (b *MemBackend) Put(k CellKey, r *core.Result) error {
+	sh := b.shard(k.Digest)
+	sh.mu.Lock()
+	sh.cells[k.Digest] = r
+	sh.puts++
+	sh.mu.Unlock()
+	return nil
+}
+
+// Contains implements Prober without touching the hit/miss counters.
+func (b *MemBackend) Contains(k CellKey) bool {
+	sh := b.shard(k.Digest)
+	sh.mu.RLock()
+	_, ok := sh.cells[k.Digest]
+	sh.mu.RUnlock()
+	return ok
+}
+
+// Len returns the number of resident cells across all shards.
+func (b *MemBackend) Len() int {
+	n := 0
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.RLock()
+		n += len(sh.cells)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Stats implements Backend, aggregating across shards. MemHits equals
+// Hits: every hit is a memory hit.
+func (b *MemBackend) Stats() CacheStats {
+	var st CacheStats
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.RLock()
+		st.Hits += sh.hits
+		st.Misses += sh.miss
+		st.Stores += sh.puts
+		sh.mu.RUnlock()
+	}
+	st.MemHits = st.Hits
+	return st
+}

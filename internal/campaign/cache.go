@@ -48,6 +48,9 @@ type CacheStats struct {
 	// engine-level traffic, reported here so one counter block covers the
 	// sweep's whole infrastructure story.
 	Retries uint64
+	// Deduped is cells served by subscribing to an identical in-flight
+	// simulation (engine-level, like Retries; requires Config.Dedup).
+	Deduped uint64
 }
 
 // cellFile is the on-disk envelope of one cached cell. The full key is

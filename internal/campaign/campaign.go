@@ -42,6 +42,16 @@ type Config struct {
 	CacheDir string
 	// MemEntries bounds the in-memory LRU (default 512 cells).
 	MemEntries int
+	// Backend overrides the result store entirely (Cache/CacheDir/
+	// MemEntries are then ignored). A *Store gets the engine's chaos and
+	// warning hooks wired in; any other Backend is used as given.
+	Backend Backend
+	// Dedup collapses concurrent identical in-flight cells through a
+	// singleflight layer in front of the store: each unique cell digest
+	// simulates exactly once and every subscriber shares the result.
+	// Off by default — a single grid never contains duplicate cells, so
+	// only multi-sweep drivers (grpserve) pay for the layer.
+	Dedup bool
 	// CellTimeout bounds one attempt of one cell; 0 means no deadline.
 	// An overrun cancels the simulation (polled in the CPU commit loop)
 	// and counts as a transient failure, so it retries.
@@ -80,22 +90,38 @@ type Config struct {
 // baseline a cache hit when the main run already warmed it.
 type Engine struct {
 	cfg     Config
-	store   *Store // nil when caching is off
+	store   Backend      // nil when caching is off
+	flight  *flightGroup // nil unless cfg.Dedup
 	memo    *hashMemo
 	journal *Journal // nil unless AttachJournal was called
 	retries atomic.Uint64
+	sims    atomic.Uint64
+	dedups  atomic.Uint64
 }
 
 // New builds an engine from the configuration.
 func New(cfg Config) *Engine {
 	e := &Engine{cfg: cfg, memo: newHashMemo()}
-	if cfg.Cache {
+	switch {
+	case cfg.Backend != nil:
+		e.store = cfg.Backend
+	case cfg.Cache:
 		e.store = NewStore(cfg.CacheDir, cfg.MemEntries)
-		e.store.chaos = cfg.Chaos
-		e.store.warnf = e.warnf
+	}
+	// The local-directory store carries engine-level hooks (chaos
+	// injection, warning sink); other backends are self-contained.
+	if s, ok := e.store.(*Store); ok {
+		s.chaos = cfg.Chaos
+		s.warnf = e.warnf
+	}
+	if cfg.Dedup {
+		e.flight = newFlightGroup()
 	}
 	return e
 }
+
+// Backend returns the engine's result store (nil when caching is off).
+func (e *Engine) Backend() Backend { return e.store }
 
 // Jobs returns the effective worker-pool width.
 func (e *Engine) Jobs() int {
@@ -113,8 +139,15 @@ func (e *Engine) CacheStats() CacheStats {
 		st = e.store.Stats()
 	}
 	st.Retries = e.retries.Load()
+	st.Deduped = e.dedups.Load()
 	return st
 }
+
+// Simulations counts cell simulation attempts actually executed by this
+// engine — cache hits and deduped subscribers are excluded, retries of a
+// failing cell are included. It is the run counter the exactly-once
+// dedup guarantee is verified against.
+func (e *Engine) Simulations() uint64 { return e.sims.Load() }
 
 // AttachJournal makes the engine record cell completions durably. Open
 // the journal with the keys from Keys on the same job list, attach it,
@@ -263,6 +296,13 @@ func failureRecord(i int, j Job, err error) *CellFailure {
 	return f
 }
 
+// NewCellFailure flattens a cell's final error into its serializable
+// form, for external schedulers (grpserve) that drive RunOne directly
+// and build their own keep-going reports.
+func NewCellFailure(i int, j Job, err error) CellFailure {
+	return *failureRecord(i, j, err)
+}
+
 // noteDone records a durable completion; journal write errors degrade to
 // warnings because the cache already holds the result.
 func (e *Engine) noteDone(i int, key CellKey) {
@@ -284,13 +324,31 @@ func (e *Engine) noteFail(i int, key CellKey, cellErr error) {
 	}
 }
 
-// runCell executes one cell: cache lookup, then up to Retry.MaxAttempts
-// isolated attempts with backoff between them. The returned key is the
-// cell's content address when one was computed ("" otherwise).
+// runCell executes one cell through every engine layer. See RunOne.
 func (e *Engine) runCell(ctx context.Context, i int, j Job) (*core.Result, bool, CellKey, error) {
+	return e.RunOne(ctx, i, j)
+}
+
+// RunOne executes a single job through the cache, singleflight, and
+// retry layers: cache lookup first, then — deduped against identical
+// in-flight cells when the engine was built with Dedup — up to
+// Retry.MaxAttempts isolated simulation attempts with backoff between
+// them. hit reports that the result came from the cache or from another
+// subscriber's in-flight simulation rather than a fresh run. The
+// returned key is the cell's content address when one was computed (""
+// otherwise). i tags the cell for error reports and backoff jitter;
+// external schedulers (grpserve) pass the cell's grid index.
+//
+// Unlike Run, RunOne does not touch the engine's attached journal —
+// multi-sweep drivers own one journal per sweep and record completions
+// themselves.
+func (e *Engine) RunOne(ctx context.Context, i int, j Job) (*core.Result, bool, CellKey, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	useCache := e.store != nil && j.Opt.Timeline == nil
 	var key CellKey
-	if useCache || e.journal != nil {
+	if useCache || e.journal != nil || e.flight != nil {
 		ph, err := e.memo.get(j.Bench, j.Opt.Factor, j.Opt.Policy, j.Scheme == core.SoftwarePF)
 		if err != nil {
 			return nil, false, key, err
@@ -302,6 +360,22 @@ func (e *Engine) runCell(ctx context.Context, i int, j Job) (*core.Result, bool,
 			return r, true, key, nil
 		}
 	}
+	if e.flight != nil && key.Digest != "" {
+		r, shared, err := e.flight.do(ctx, key.Digest, func() (*core.Result, error) {
+			return e.simulate(ctx, i, j, key, useCache)
+		})
+		if shared {
+			e.dedups.Add(1)
+		}
+		return r, shared, key, err
+	}
+	r, err := e.simulate(ctx, i, j, key, useCache)
+	return r, false, key, err
+}
+
+// simulate is the cache-miss path of one cell: the retry loop around
+// isolated attempts, persisting the result on success.
+func (e *Engine) simulate(ctx context.Context, i int, j Job, key CellKey, useCache bool) (*core.Result, error) {
 	policy := e.cfg.Retry.withDefaults()
 	var lastErr error
 	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
@@ -311,23 +385,24 @@ func (e *Engine) runCell(ctx context.Context, i int, j Job) (*core.Result, bool,
 				e.cfg.OnCellRetry()
 			}
 			if err := sleepCtx(ctx, policy.backoff(i, attempt)); err != nil {
-				return nil, false, key, err
+				return nil, err
 			}
 		}
+		e.sims.Add(1)
 		r, err := e.attemptCell(ctx, i, attempt, j, key)
 		if err == nil {
 			if useCache {
 				if perr := e.store.Put(key, r); perr != nil {
-					return nil, false, key, perr
+					return nil, perr
 				}
 			}
-			return r, false, key, nil
+			return r, nil
 		}
 		lastErr = err
 		if ctx.Err() != nil {
 			// The run itself is over; surface the cancellation, not the
 			// cell's collateral error.
-			return nil, false, key, ctx.Err()
+			return nil, ctx.Err()
 		}
 		if !retryableError(err) {
 			break
@@ -339,7 +414,7 @@ func (e *Engine) runCell(ctx context.Context, i int, j Job) (*core.Result, bool,
 	if retryableError(lastErr) {
 		attempts = policy.MaxAttempts
 	}
-	return nil, false, key, &CellError{Index: i, Bench: j.Bench, Scheme: j.Scheme, Attempts: attempts, Err: lastErr}
+	return nil, &CellError{Index: i, Bench: j.Bench, Scheme: j.Scheme, Attempts: attempts, Err: lastErr}
 }
 
 // attemptCell is one isolated try of one cell: a recover() fence around

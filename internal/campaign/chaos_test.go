@@ -131,7 +131,7 @@ func TestChaosKeepGoing(t *testing.T) {
 func TestChaosSlowCellTimeout(t *testing.T) {
 	jobs := chaosGrid()
 	eng := New(Config{
-		Jobs:        2,
+		Jobs: 2,
 		// Generous deadline: a healthy test-factor cell is ~10ms, but race-
 		// instrumented CI runs are an order of magnitude slower. Only the
 		// injected 30s delay may overrun it.

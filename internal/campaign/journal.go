@@ -6,10 +6,11 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -86,6 +87,7 @@ type Journal struct {
 	dir      string
 	id       string
 	lockPath string
+	lockFile *os.File // holds the flock while the journal is open
 
 	mu        sync.Mutex
 	f         *os.File
@@ -152,51 +154,89 @@ func OpenJournal(cacheDir, spec string, keys []CellKey, resume bool) (*Journal, 
 	return j, nil
 }
 
+// OpenOrResumeJournal resumes the sweep's journal when one exists and
+// matches the grid, and opens a fresh one otherwise. Long-running
+// drivers (grpserve) use it so a resubmitted or restart-recovered sweep
+// transparently picks up its prior completions; ErrLocked still means a
+// live campaign owns the sweep and passes through unchanged.
+func OpenOrResumeJournal(cacheDir, spec string, keys []CellKey) (*Journal, error) {
+	j, err := OpenJournal(cacheDir, spec, keys, true)
+	if err == nil || errors.Is(err, ErrLocked) {
+		return j, err
+	}
+	// No prior journal (or an unusable one): start fresh. A manifest
+	// mismatch cannot happen here — the journal directory is keyed by
+	// the sweep's content address — so anything unreadable is debris.
+	return OpenJournal(cacheDir, spec, keys, false)
+}
+
 // ID returns the sweep's content address.
 func (j *Journal) ID() string { return j.id }
 
 // Dir returns the journal's directory.
 func (j *Journal) Dir() string { return j.dir }
 
-// acquireLock takes the sweep lock, stealing it from a dead process: the
-// lock file holds the owner's pid, and a pid that no longer answers
-// signal 0 cannot be running the sweep.
+// acquireLock takes the sweep lock: an exclusive non-blocking flock on
+// the lock file, with the owner's pid written inside for diagnostics.
+// The kernel releases a flock the instant its holder dies — kill -9
+// included — so a lock left by a dead owner is acquirable immediately
+// and "stealing" it is just overwriting the stale pid; there is no
+// read-check-remove window in which two stealers can both win, which
+// the old pid-probing scheme had under concurrent openers.
+//
+// The open-flock-stat loop closes the remaining hole: a releaser
+// unlinks the lock path while holding the flock, so an acquirer that
+// opened the old inode can win a flock on a file that is no longer the
+// lock. Comparing the locked fd's identity against the path detects
+// that and retries on the fresh inode.
 func (j *Journal) acquireLock() error {
-	for attempt := 0; attempt < 2; attempt++ {
-		f, err := os.OpenFile(j.lockPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
-		if err == nil {
-			fmt.Fprintf(f, "%d\n", os.Getpid())
-			f.Close()
-			return nil
-		}
-		if !os.IsExist(err) {
+	for attempt := 0; attempt < 8; attempt++ {
+		f, err := os.OpenFile(j.lockPath, os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
 			return fmt.Errorf("campaign: creating sweep lock: %w", err)
 		}
-		data, rerr := os.ReadFile(j.lockPath)
-		if rerr == nil {
-			pid, perr := strconv.Atoi(strings.TrimSpace(string(data)))
-			if perr == nil && pidAlive(pid) {
-				return fmt.Errorf("%w (pid %d, lock %s)", ErrLocked, pid, j.lockPath)
+		if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+			// A live holder (this process or another) owns the sweep.
+			owner := "unknown"
+			if data, rerr := os.ReadFile(j.lockPath); rerr == nil {
+				if s := strings.TrimSpace(string(data)); s != "" {
+					owner = s
+				}
 			}
+			f.Close()
+			return fmt.Errorf("%w (owner pid %s, lock %s)", ErrLocked, owner, j.lockPath)
 		}
-		// Dead or unreadable owner: steal the lock and retry once.
-		os.Remove(j.lockPath)
+		fi, err := f.Stat()
+		var pfi os.FileInfo
+		if err == nil {
+			pfi, err = os.Stat(j.lockPath)
+		}
+		if err != nil || !os.SameFile(fi, pfi) {
+			// We locked an orphaned inode: the previous owner unlinked the
+			// path between our open and our flock. Retry on the new file.
+			f.Close()
+			continue
+		}
+		if err := f.Truncate(0); err == nil {
+			fmt.Fprintf(io.NewOffsetWriter(f, 0), "%d\n", os.Getpid())
+		}
+		j.lockFile = f
+		return nil
 	}
-	return fmt.Errorf("%w (lock %s)", ErrLocked, j.lockPath)
+	return fmt.Errorf("%w (lock %s: could not settle under contention)", ErrLocked, j.lockPath)
 }
 
-func (j *Journal) releaseLock() { os.Remove(j.lockPath) }
-
-// pidAlive reports whether a process with the given pid exists.
-func pidAlive(pid int) bool {
-	if pid <= 0 {
-		return false
+// releaseLock unlinks the lock path and then drops the flock. The order
+// matters: removing first means no third party can acquire the path
+// while it still appears held, and the stat check in acquireLock
+// handles anyone who raced onto the doomed inode.
+func (j *Journal) releaseLock() {
+	if j.lockFile == nil {
+		return
 	}
-	p, err := os.FindProcess(pid)
-	if err != nil {
-		return false
-	}
-	return p.Signal(syscall.Signal(0)) == nil
+	os.Remove(j.lockPath)
+	j.lockFile.Close()
+	j.lockFile = nil
 }
 
 func writeManifest(path, id, spec string, keys []CellKey) error {

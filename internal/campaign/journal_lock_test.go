@@ -1,0 +1,166 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestJournalLockConcurrentOpeners: N goroutines race to open the same
+// sweep journal; exactly one must win, every loser must see ErrLocked,
+// and after the winner closes, the sweep is acquirable again. This is
+// the race the old pid-file steal lost — two stealers could both remove
+// the lock and both win — and the flock design must not.
+func TestJournalLockConcurrentOpeners(t *testing.T) {
+	dir := t.TempDir()
+	keys := testKeys(3)
+	const openers = 16
+
+	var mu sync.Mutex
+	var winners []*Journal
+	losers := 0
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for i := 0; i < openers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-gate
+			j, err := OpenJournal(dir, "spec", keys, false)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				winners = append(winners, j)
+			case errors.Is(err, ErrLocked):
+				losers++
+			default:
+				t.Errorf("unexpected open error: %v", err)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+
+	if len(winners) != 1 {
+		t.Fatalf("%d goroutines acquired the sweep lock, want exactly 1 (%d saw ErrLocked)",
+			len(winners), losers)
+	}
+	if losers != openers-1 {
+		t.Fatalf("%d losers saw ErrLocked, want %d", losers, openers-1)
+	}
+	if err := winners[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(dir, "spec", keys, false)
+	if err != nil {
+		t.Fatalf("sweep not acquirable after the winner closed: %v", err)
+	}
+	j.Close()
+}
+
+// TestJournalLockStaleStolenConcurrently: a lock file left by a dead
+// owner (present on disk, no live flock) is steal-able — but by exactly
+// one of many concurrent stealers. Under the old scheme two stealers
+// could interleave remove/create and both proceed.
+func TestJournalLockStaleStolenConcurrently(t *testing.T) {
+	dir := t.TempDir()
+	keys := testKeys(3)
+	id := SweepID(keys)
+	lockPath := filepath.Join(dir, "journal", id, "lock")
+	if err := os.MkdirAll(filepath.Dir(lockPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A dead owner's debris: a pid that cannot be running, and — the
+	// point — no flock held on the inode.
+	if err := os.WriteFile(lockPath, []byte("999999999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	const stealers = 8
+	var mu sync.Mutex
+	var winners []*Journal
+	losers := 0
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for i := 0; i < stealers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-gate
+			j, err := OpenJournal(dir, "spec", keys, false)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				winners = append(winners, j)
+			case errors.Is(err, ErrLocked):
+				losers++
+			default:
+				t.Errorf("unexpected open error: %v", err)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+
+	if len(winners) != 1 || losers != stealers-1 {
+		t.Fatalf("stale lock stolen by %d of %d stealers, want exactly 1 (losers %d)",
+			len(winners), stealers, losers)
+	}
+	// The winner's pid replaced the stale one.
+	data, err := os.ReadFile(lockPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintf("%d\n", os.Getpid()); string(data) != want {
+		t.Fatalf("lock file holds %q after steal, want %q", data, want)
+	}
+	winners[0].Close()
+}
+
+// TestJournalLockReleaseUnlinkRace: open/close the same journal from
+// many goroutines in sequence-free order. The releaseLock unlink +
+// acquireLock SameFile-verify loop must never let two opens coexist and
+// never deadlock. (Run under -race in CI.)
+func TestJournalLockReleaseUnlinkRace(t *testing.T) {
+	dir := t.TempDir()
+	keys := testKeys(2)
+	var holders int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 20; n++ {
+				j, err := OpenJournal(dir, "spec", keys, false)
+				if errors.Is(err, ErrLocked) {
+					continue
+				}
+				if err != nil {
+					t.Errorf("open: %v", err)
+					return
+				}
+				// The counted window must close before Close releases the
+				// flock: after release another goroutine may legitimately
+				// hold the journal before this one's bookkeeping runs.
+				mu.Lock()
+				holders++
+				if holders != 1 {
+					t.Errorf("%d concurrent journal holders", holders)
+				}
+				if err := j.RecordDone(0, keys[0].Digest); err != nil {
+					t.Errorf("record under lock: %v", err)
+				}
+				holders--
+				mu.Unlock()
+				j.Close()
+			}
+		}()
+	}
+	wg.Wait()
+}

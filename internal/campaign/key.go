@@ -34,6 +34,12 @@ import (
 // attribution-requesting cell with Attrib nil.
 const cacheSchemaVersion = 4
 
+// SchemaVersion reports the store's cell schema version. Fleet
+// dashboards compare it across servers (via the build-info gauge) to
+// detect skew: two servers sharing a store with different schema
+// versions silently treat each other's cells as corrupt.
+func SchemaVersion() int { return cacheSchemaVersion }
+
 // schemeVersions fingerprints each prefetch-engine implementation. The
 // workload side of a cell is content-addressed through the compiled
 // program hash, but Go code is not visible to the key, so engine edits

@@ -1,0 +1,79 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"grp/internal/core"
+)
+
+// The singleflight layer sits between the cache and the simulator: when
+// several workers (possibly serving different sweeps submitted by
+// different clients) miss on the same cell digest at the same time, one
+// of them — the leader — simulates and persists the cell while the rest
+// wait and share its result. Without it, a server scheduling overlapping
+// sweeps onto one pool would simulate an identical in-flight cell once
+// per subscriber, because the cache only dedupes *completed* work.
+//
+// Results are safe to share across subscribers: a *core.Result is
+// immutable once simulation returns (the cache already hands the same
+// pointer to every hit).
+
+// flightCall is one in-flight simulation of one unique cell.
+type flightCall struct {
+	done chan struct{} // closed when res/err are final
+	res  *core.Result
+	err  error
+	// abandoned marks a leader that gave up because its own sweep was
+	// cancelled; the result slot is meaningless and a waiting subscriber
+	// should re-elect rather than inherit the cancellation.
+	abandoned bool
+}
+
+// flightGroup dedupes concurrent executions by cell digest.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: map[string]*flightCall{}}
+}
+
+// do runs fn for the key, collapsing concurrent calls: the first caller
+// in becomes the leader and executes fn; callers that arrive while the
+// leader is in flight wait for its outcome and return it with
+// shared=true. A waiting caller whose own ctx ends stops waiting (the
+// leader keeps going — its sweep is still live). If the leader is
+// cancelled, waiters re-enter and elect a new leader instead of
+// inheriting an error that was never about their sweep.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*core.Result, error)) (*core.Result, bool, error) {
+	for {
+		g.mu.Lock()
+		if c, ok := g.m[key]; ok {
+			g.mu.Unlock()
+			select {
+			case <-c.done:
+				if c.abandoned {
+					continue // leader's sweep died; take over
+				}
+				return c.res, true, c.err
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		c := &flightCall{done: make(chan struct{})}
+		g.m[key] = c
+		g.mu.Unlock()
+
+		c.res, c.err = fn()
+		c.abandoned = c.err != nil &&
+			(errors.Is(c.err, context.Canceled) || ctx.Err() != nil)
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+		return c.res, false, c.err
+	}
+}

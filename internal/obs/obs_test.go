@@ -120,7 +120,7 @@ func TestServerMetricsAndPprof(t *testing.T) {
 	r := NewReporter(4, 2)
 	r.CellStart()
 	r.CellDone(true)
-	srv, err := NewServer("127.0.0.1:0", r)
+	srv, err := NewServer("127.0.0.1:0", r, NewBuildInfo(Version, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,6 +148,9 @@ func TestServerMetricsAndPprof(t *testing.T) {
 		"grpsweep_cells_total 4",
 		"grpsweep_cache_hits 1",
 		"# TYPE grpsweep_worker_utilization gauge",
+		"# TYPE grpsweep_build_info gauge",
+		`grpsweep_build_info{version="` + Version + `",goversion="`,
+		`cache_schema="4"`,
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, metrics)
@@ -159,7 +162,7 @@ func TestServerMetricsAndPprof(t *testing.T) {
 }
 
 func TestServerBadAddrFailsFast(t *testing.T) {
-	if _, err := NewServer("256.0.0.1:bad", NewReporter(1, 1)); err == nil {
+	if _, err := NewServer("256.0.0.1:bad", NewReporter(1, 1), BuildInfo{}); err == nil {
 		t.Fatal("bad listen address did not fail")
 	}
 }

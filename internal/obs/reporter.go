@@ -7,9 +7,40 @@ package obs
 
 import (
 	"fmt"
+	"io"
+	"runtime"
 	"sync"
 	"time"
 )
+
+// Version identifies the grp build. Fleet dashboards join it with the
+// build-info gauge to spot version skew across long-running servers.
+const Version = "0.8.0"
+
+// BuildInfo is the identity a server or driver exports on /metrics as a
+// constant info-style gauge, so a fleet dashboard can detect skewed
+// binaries — in particular, servers sharing one result store with
+// different cache schema versions, which silently treat each other's
+// cells as corrupt.
+type BuildInfo struct {
+	Version     string
+	GoVersion   string
+	CacheSchema int
+}
+
+// NewBuildInfo fills the Go toolchain version automatically.
+func NewBuildInfo(version string, cacheSchema int) BuildInfo {
+	return BuildInfo{Version: version, GoVersion: runtime.Version(), CacheSchema: cacheSchema}
+}
+
+// WritePrometheus emits the info gauge (value always 1, identity in the
+// labels) under <prefix>_build_info.
+func (b BuildInfo) WritePrometheus(w io.Writer, prefix string) error {
+	_, err := fmt.Fprintf(w,
+		"# TYPE %[1]s_build_info gauge\n%[1]s_build_info{version=%q,goversion=%q,cache_schema=\"%d\"} 1\n",
+		prefix, b.Version, b.GoVersion, b.CacheSchema)
+	return err
+}
 
 // Reporter accumulates campaign progress. All methods are safe for
 // concurrent use by worker goroutines; the zero value is not usable —
@@ -66,6 +97,18 @@ func (r *Reporter) integrate() time.Time {
 	}
 	r.last = t
 	return t
+}
+
+// AddTotal grows the expected cell count mid-run. The CLI drivers fix
+// the total up front; a server admits sweeps continuously, so its total
+// is a running sum of everything accepted so far.
+func (r *Reporter) AddTotal(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.total += n
+	r.mu.Unlock()
 }
 
 // CellStart records one cell beginning to simulate.
@@ -184,20 +227,30 @@ func (r *Reporter) Line() string {
 
 // WritePrometheus emits the snapshot in Prometheus text exposition
 // format (one gauge per derived metric, prefixed grpsweep_).
-func (s Snapshot) WritePrometheus(w interface{ Write([]byte) (int, error) }) error {
-	_, err := fmt.Fprintf(w,
-		"# TYPE grpsweep_cells_done gauge\ngrpsweep_cells_done %d\n"+
-			"# TYPE grpsweep_cells_total gauge\ngrpsweep_cells_total %d\n"+
-			"# TYPE grpsweep_cells_active gauge\ngrpsweep_cells_active %d\n"+
-			"# TYPE grpsweep_cache_hits gauge\ngrpsweep_cache_hits %d\n"+
-			"# TYPE grpsweep_cache_hit_rate gauge\ngrpsweep_cache_hit_rate %g\n"+
-			"# TYPE grpsweep_cells_per_second gauge\ngrpsweep_cells_per_second %g\n"+
-			"# TYPE grpsweep_worker_utilization gauge\ngrpsweep_worker_utilization %g\n"+
-			"# TYPE grpsweep_elapsed_seconds gauge\ngrpsweep_elapsed_seconds %g\n"+
-			"# TYPE grpsweep_cell_retries gauge\ngrpsweep_cell_retries %d\n"+
-			"# TYPE grpsweep_cell_failures gauge\ngrpsweep_cell_failures %d\n",
-		s.Done, s.Total, s.Active, s.Hits, s.HitRate,
-		s.CellsPerSec, s.Utilization, s.Elapsed.Seconds(),
-		s.Retries, s.Failed)
-	return err
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	return s.WritePrometheusPrefixed(w, "grpsweep")
+}
+
+// WritePrometheusPrefixed is WritePrometheus under a caller-chosen
+// metric prefix, so grpserve's fleet metrics are not spelled grpsweep_*.
+func (s Snapshot) WritePrometheusPrefixed(w io.Writer, prefix string) error {
+	var firstErr error
+	gauge := func(name string, value interface{}) {
+		if firstErr != nil {
+			return
+		}
+		_, firstErr = fmt.Fprintf(w, "# TYPE %s_%s gauge\n%s_%s %v\n",
+			prefix, name, prefix, name, value)
+	}
+	gauge("cells_done", s.Done)
+	gauge("cells_total", s.Total)
+	gauge("cells_active", s.Active)
+	gauge("cache_hits", s.Hits)
+	gauge("cache_hit_rate", s.HitRate)
+	gauge("cells_per_second", s.CellsPerSec)
+	gauge("worker_utilization", s.Utilization)
+	gauge("elapsed_seconds", s.Elapsed.Seconds())
+	gauge("cell_retries", s.Retries)
+	gauge("cell_failures", s.Failed)
+	return firstErr
 }

@@ -19,8 +19,10 @@ type Server struct {
 }
 
 // NewServer binds addr (e.g. "localhost:6060" or ":0") and starts serving
-// in the background. Close the returned server when the run ends.
-func NewServer(addr string, r *Reporter) (*Server, error) {
+// in the background. Close the returned server when the run ends. info
+// identifies the binary on /metrics so fleet dashboards can detect
+// version and cache-schema skew.
+func NewServer(addr string, r *Reporter, info BuildInfo) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -28,6 +30,9 @@ func NewServer(addr string, r *Reporter) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := info.WritePrometheus(w, "grpsweep"); err != nil {
+			return
+		}
 		_ = r.Snapshot().WritePrometheus(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

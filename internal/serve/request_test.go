@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDecodeSweepRequestDefaults(t *testing.T) {
+	req, err := DecodeSweepRequest([]byte(`{"spec": "schemes=base × kernels=mcf"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Factor != "small" || req.Policy != "default" || req.Tenant != "anon" || req.Weight != 1 {
+		t.Fatalf("defaults not applied: %+v", req)
+	}
+	if req.DryRun {
+		t.Fatal("dry_run defaulted true")
+	}
+}
+
+func TestDecodeSweepRequestRejections(t *testing.T) {
+	cases := []struct {
+		name  string
+		body  string
+		field string // expected RequestError.Field ("" = any)
+	}{
+		{"empty body", ``, ""},
+		{"not json", `schemes=base`, ""},
+		{"json array", `[1,2,3]`, ""},
+		{"missing spec", `{}`, "spec"},
+		{"empty spec", `{"spec": ""}`, "spec"},
+		{"unknown field", `{"spec": "schemes=base × kernels=mcf", "bogus": 1}`, ""},
+		{"trailing garbage", `{"spec": "schemes=base × kernels=mcf"} extra`, ""},
+		{"bad factor", `{"spec": "schemes=base × kernels=mcf", "factor": "huge"}`, "factor"},
+		{"bad policy", `{"spec": "schemes=base × kernels=mcf", "policy": "yolo"}`, "policy"},
+		{"weight too big", `{"spec": "schemes=base × kernels=mcf", "weight": 99}`, "weight"},
+		{"weight negative", `{"spec": "schemes=base × kernels=mcf", "weight": -1}`, "weight"},
+		{"bad spec grammar", `{"spec": "flux=warp × kernels=mcf"}`, "spec"},
+		{"unknown bench", `{"spec": "schemes=base × kernels=nope"}`, "spec"},
+		{"wrong spec type", `{"spec": 42}`, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeSweepRequest([]byte(tc.body))
+			if err == nil {
+				t.Fatalf("body %q decoded without error", tc.body)
+			}
+			var re *RequestError
+			if !errors.As(err, &re) {
+				t.Fatalf("error is %T, want *RequestError: %v", err, err)
+			}
+			if tc.field != "" && re.Field != tc.field {
+				t.Errorf("error field = %q, want %q (%v)", re.Field, tc.field, err)
+			}
+			if re.Msg == "" {
+				t.Error("RequestError with empty message")
+			}
+		})
+	}
+}
+
+func TestDecodeSweepRequestGridMatchesSpec(t *testing.T) {
+	req, err := DecodeSweepRequest([]byte(
+		`{"spec": "schemes=base,srp × kernels=mcf,art", "factor": "test", "weight": 3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := req.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Cells) != 4 {
+		t.Fatalf("grid has %d cells, want 4", len(g.Cells))
+	}
+	if req.Weight != 3 {
+		t.Fatalf("weight = %d, want 3", req.Weight)
+	}
+}
+
+// FuzzSweepRequestDecode: arbitrary bytes must produce either a valid
+// request or a structured *RequestError — never a panic, and never an
+// error of another type (the HTTP layer turns only RequestError into a
+// clean 400).
+func FuzzSweepRequestDecode(f *testing.F) {
+	seeds := []string{
+		`{"spec": "schemes=base × kernels=mcf"}`,
+		`{"spec": "schemes=base,srp,grp/var × kernels=all × l2.size=512K,1M"}`,
+		`{"spec": "schemes=base × kernels=mcf", "factor": "test", "policy": "aggressive", "tenant": "t", "weight": 16}`,
+		`{"spec": "schemes=base × kernels=mcf", "dry_run": true}`,
+		`{"spec": ""}`,
+		`{"spec": 3.14}`,
+		`{"spec": "schemes=base × kernels=mcf", "weight": -7}`,
+		`{"spec": "×××"}`,
+		`[]`,
+		`null`,
+		`{"spec": "schemes=base × kernels=mcf"}{"spec": "x"}`,
+		"\x00\xff\xfe",
+		strings.Repeat(`{"spec":`, 100),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeSweepRequest(data)
+		if err != nil {
+			var re *RequestError
+			if !errors.As(err, &re) {
+				t.Fatalf("non-RequestError %T from %q: %v", err, data, err)
+			}
+			if re.Msg == "" {
+				t.Fatalf("empty error message from %q", data)
+			}
+			return
+		}
+		// A successful decode promises a schedulable request: the grid
+		// expands and every knob is in range.
+		if req.Spec == "" || req.Weight < 1 || req.Weight > maxWeight {
+			t.Fatalf("decoded request is invalid: %+v", req)
+		}
+		if _, gerr := req.Grid(); gerr != nil {
+			t.Fatalf("decoded request has an inexpansible grid: %v", gerr)
+		}
+	})
+}

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The scheduler multiplexes every admitted sweep onto one shared bounded
+// worker pool with per-tenant fairness and backpressure. Fairness is
+// weighted round-robin across the *active* sweeps: the rotation offers
+// each sweep up to `weight` worker slots per turn, so a 4-cell sweep
+// submitted while a 1000-cell sweep is in flight interleaves from the
+// next dispatch on and finishes after ~2 rotations instead of queueing
+// behind a thousand cells. Backpressure is a bound on the total queued
+// (admitted but not yet dispatched) cells: past it, submissions are
+// rejected with ErrOverloaded, which the HTTP layer turns into 429 +
+// Retry-After — clients size their retry instead of piling onto a
+// server that cannot absorb them.
+
+// ErrDraining rejects submissions while the server shuts down.
+var ErrDraining = fmt.Errorf("serve: server is draining")
+
+// OverloadError rejects a submission that would overflow the admission
+// queue. RetrySeconds is the server's estimate of when capacity frees.
+type OverloadError struct {
+	Queued       int
+	Limit        int
+	RetrySeconds int
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: admission queue full (%d cells queued, limit %d); retry in %ds",
+		e.Queued, e.Limit, e.RetrySeconds)
+}
+
+// scheduler is the shared pool. runCell is injected by the server (and
+// by tests, which substitute a stub to probe fairness deterministically).
+type scheduler struct {
+	workers  int
+	maxQueue int
+	runCell  func(sw *sweep, i int)
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	active   []*schedEntry // rotation order; entries leave when empty
+	rr       int           // rotation position
+	credit   int           // remaining slots in the current entry's turn
+	queued   int           // total undispatched cells across entries
+	inflight int           // cells handed to workers, not yet finished
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// schedEntry is one sweep's pending-cell queue in the rotation.
+type schedEntry struct {
+	sw      *sweep
+	pending []int // cell indices awaiting dispatch, front first
+	next    int   // pending[next:] remain
+}
+
+func newScheduler(workers, maxQueue int, runCell func(*sweep, int)) *scheduler {
+	s := &scheduler{workers: workers, maxQueue: maxQueue, runCell: runCell}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// start launches the worker pool.
+func (s *scheduler) start() {
+	for w := 0; w < s.workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				sw, i, ok := s.pick()
+				if !ok {
+					return
+				}
+				s.runCell(sw, i)
+				s.mu.Lock()
+				s.inflight--
+				s.mu.Unlock()
+			}
+		}()
+	}
+}
+
+// submit admits a sweep's cells (all of them; cells already journaled as
+// done still dispatch and resolve as cache hits). pending carries the
+// cell indices to schedule.
+func (s *scheduler) submit(sw *sweep, pending []int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return ErrDraining
+	}
+	if s.queued+len(pending) > s.maxQueue {
+		retry := 1 + s.queued/max(1, s.workers*cellsPerWorkerSecond)
+		return &OverloadError{Queued: s.queued, Limit: s.maxQueue, RetrySeconds: retry}
+	}
+	s.active = append(s.active, &schedEntry{sw: sw, pending: pending})
+	s.queued += len(pending)
+	s.cond.Broadcast()
+	return nil
+}
+
+// cellsPerWorkerSecond is the Retry-After throughput guess when the
+// server has no live rate yet. It only shapes the hint, never admission.
+const cellsPerWorkerSecond = 2
+
+// pick blocks until a cell is available and claims it, returning
+// ok=false when the scheduler is draining (workers exit; undispatched
+// cells stay queued for the journal to resume after restart).
+func (s *scheduler) pick() (*sweep, int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.draining {
+			return nil, 0, false
+		}
+		if len(s.active) > 0 {
+			if s.rr >= len(s.active) {
+				s.rr = 0
+				s.credit = 0
+			}
+			e := s.active[s.rr]
+			if s.credit <= 0 {
+				s.credit = max(1, e.sw.req.Weight)
+			}
+			i := e.pending[e.next]
+			e.next++
+			s.credit--
+			s.queued--
+			s.inflight++
+			if e.next >= len(e.pending) {
+				// Sweep fully dispatched: leave the rotation. The entry
+				// after it slides into this slot, so rr stays put.
+				s.active = append(s.active[:s.rr], s.active[s.rr+1:]...)
+				s.credit = 0
+			} else if s.credit <= 0 {
+				s.rr++
+				if s.rr >= len(s.active) {
+					s.rr = 0
+				}
+			}
+			return e.sw, i, true
+		}
+		s.cond.Wait()
+	}
+}
+
+// drain stops dispatching: workers finish their in-flight cells and
+// exit; queued cells remain journaled-undone for a restart to resume.
+// Returns once the pool is idle.
+func (s *scheduler) drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// load reports (queued, inflight) for metrics and health.
+func (s *scheduler) load() (int, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued, s.inflight
+}

@@ -1,0 +1,556 @@
+// Package serve is the campaign service behind grpserve: an HTTP/JSON
+// front end that accepts sweep submissions in the grpsweep spec grammar,
+// expands them, and schedules every client's cells onto one shared
+// bounded worker pool with per-tenant weighted-round-robin fairness and
+// admission backpressure.
+//
+// The service composes the campaign engine's layers rather than
+// re-implementing them: results come from the content-addressed store
+// (local directory or sharded in-memory, behind campaign.Backend),
+// identical in-flight cells across concurrent sweeps collapse through
+// the engine's singleflight so each unique cell simulates exactly once,
+// per-sweep journals make a kill -9 of the server resumable, and the
+// artifact endpoint renders through campaign.WriteArtifact — the same
+// code path as the grpsweep CLI, which is what makes a served artifact
+// byte-identical to a local run of the same grid.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"grp/internal/campaign"
+	"grp/internal/obs"
+)
+
+// Config configures a campaign server.
+type Config struct {
+	// Workers is the shared pool width; <= 0 uses GOMAXPROCS.
+	Workers int
+	// MaxQueue bounds admitted-but-undispatched cells across all sweeps;
+	// submissions past it get 429. <= 0 uses 4096.
+	MaxQueue int
+	// CacheDir is the result store and journal root (default .grpcache).
+	CacheDir string
+	// Mem swaps the disk store for the sharded in-memory backend:
+	// no persistence, no journals, no resume — for tests and ephemeral
+	// deployments.
+	Mem bool
+	// CellTimeout bounds one attempt of one cell (0 = none).
+	CellTimeout time.Duration
+	// Retries is the per-cell attempt budget (0 = engine default).
+	Retries int
+	// Warnf receives non-fatal infrastructure warnings.
+	Warnf func(format string, args ...interface{})
+}
+
+// Server owns the engine, the scheduler, and the sweep registry.
+type Server struct {
+	cfg    Config
+	eng    *campaign.Engine
+	rep    *obs.Reporter
+	info   obs.BuildInfo
+	sched  *scheduler
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	sweeps map[string]*sweep
+	order  []string // admission order, for stable listings
+}
+
+// New builds a server. Call Start to launch the worker pool (and resume
+// any journaled sweeps a previous process left unfinished).
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4096
+	}
+	if cfg.CacheDir == "" {
+		cfg.CacheDir = campaign.DefaultCacheDir
+	}
+	var backend campaign.Backend
+	if cfg.Mem {
+		backend = campaign.NewMemBackend()
+	} else {
+		backend = campaign.NewStore(cfg.CacheDir, 0)
+	}
+	s := &Server{
+		cfg: cfg,
+		eng: campaign.New(campaign.Config{
+			Jobs:        cfg.Workers,
+			Backend:     backend,
+			Dedup:       true, // concurrent sweeps share cells; collapse them
+			CellTimeout: cfg.CellTimeout,
+			Retry:       campaign.RetryPolicy{MaxAttempts: cfg.Retries},
+			Warnf:       cfg.Warnf,
+		}),
+		rep:    obs.NewReporter(0, cfg.Workers),
+		info:   obs.NewBuildInfo(obs.Version, campaign.SchemaVersion()),
+		sweeps: map[string]*sweep{},
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.sched = newScheduler(cfg.Workers, cfg.MaxQueue, s.runCell)
+	return s
+}
+
+// Start launches the worker pool and resubmits journaled sweeps a killed
+// predecessor left behind.
+func (s *Server) Start() {
+	s.sched.start()
+	if !s.cfg.Mem {
+		s.resumeJournaled()
+	}
+}
+
+// Drain gracefully stops the pool: in-flight cells finish and are
+// journaled; queued cells stay durably undone for the next process to
+// resume. Open journals close so their sweep locks release.
+func (s *Server) Drain() {
+	s.sched.drain()
+	s.cancel()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sw := range s.sweeps {
+		sw.mu.Lock()
+		j, finished := sw.journal, sw.finished
+		sw.journal = nil
+		sw.mu.Unlock()
+		if j != nil && !finished {
+			j.Close()
+		}
+	}
+}
+
+// warnf routes a warning to the configured sink.
+func (s *Server) warnf(format string, args ...interface{}) {
+	if s.cfg.Warnf != nil {
+		s.cfg.Warnf(format, args...)
+	}
+}
+
+// submitName is the per-journal record that lets a restarted server
+// reconstruct and resubmit an unfinished sweep.
+const submitName = "submit.json"
+
+// resumeJournaled rescans the journal root for sweeps that never
+// finished (their submit records still exist) and resubmits them.
+func (s *Server) resumeJournaled() {
+	matches, err := filepath.Glob(filepath.Join(s.cfg.CacheDir, "journal", "*", submitName))
+	if err != nil || len(matches) == 0 {
+		return
+	}
+	sort.Strings(matches) // deterministic admission order
+	for _, path := range matches {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			s.warnf("serve: resume: reading %s: %v", path, err)
+			continue
+		}
+		req, err := DecodeSweepRequest(data)
+		if err != nil {
+			s.warnf("serve: resume: %s is not a sweep submission: %v", path, err)
+			continue
+		}
+		sw, created, err := s.submit(req)
+		if err != nil {
+			s.warnf("serve: resume: resubmitting %s: %v", path, err)
+			continue
+		}
+		if created {
+			s.warnf("serve: resumed sweep %s (%d of %d cells already done)",
+				sw.id, sw.resumed, len(sw.jobs))
+		}
+	}
+}
+
+// submit admits a validated request: expands it, keys it, registers the
+// sweep (idempotently — the sweep ID is the content address of its
+// cells, so an identical resubmission returns the existing sweep), opens
+// its journal, and hands its cells to the scheduler. created reports
+// whether this call admitted a new sweep.
+func (s *Server) submit(req *SweepRequest) (*sweep, bool, error) {
+	grid, err := req.Grid()
+	if err != nil {
+		return nil, false, err
+	}
+	jobs := grid.Jobs()
+	keys, err := s.eng.Keys(jobs)
+	if err != nil {
+		return nil, false, err
+	}
+	id := campaign.SweepID(keys)
+
+	s.mu.Lock()
+	if sw, ok := s.sweeps[id]; ok {
+		s.mu.Unlock()
+		return sw, false, nil
+	}
+	sw := newSweep(id, *req, grid, jobs, keys)
+	s.sweeps[id] = sw
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	if !s.cfg.Mem && len(jobs) > 0 {
+		j, jerr := campaign.OpenOrResumeJournal(s.cfg.CacheDir, req.Spec, keys)
+		if jerr != nil {
+			// Another live process owns this sweep's journal. The cache
+			// and singleflight still give exactly-once simulation; only
+			// crash durability is lost, so degrade rather than reject.
+			s.warnf("serve: sweep %s runs without a journal: %v", id, jerr)
+		} else {
+			sw.journal = j
+			sw.resumed = j.CompletedCount()
+			if data, merr := json.Marshal(req); merr == nil {
+				if werr := os.WriteFile(filepath.Join(j.Dir(), submitName), data, 0o644); werr != nil {
+					s.warnf("serve: sweep %s: writing submit record: %v", id, werr)
+				}
+			}
+		}
+	}
+
+	pending := make([]int, len(jobs))
+	for i := range pending {
+		pending[i] = i
+	}
+	if serr := s.sched.submit(sw, pending); serr != nil {
+		s.evict(sw)
+		return nil, false, serr
+	}
+	s.rep.AddTotal(len(jobs))
+	if len(jobs) == 0 {
+		s.finalize(sw)
+	}
+	return sw, true, nil
+}
+
+// evict rolls back a sweep whose admission failed, so a later retry of
+// the same submission starts clean.
+func (s *Server) evict(sw *sweep) {
+	s.mu.Lock()
+	delete(s.sweeps, sw.id)
+	for i, id := range s.order {
+		if id == sw.id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	if sw.journal != nil {
+		os.Remove(filepath.Join(sw.journal.Dir(), submitName))
+		sw.journal.Close()
+		sw.journal = nil
+	}
+}
+
+// runCell is the worker body: one cell of one sweep through the engine's
+// cache, singleflight, and retry layers, then journal + stream.
+func (s *Server) runCell(sw *sweep, i int) {
+	s.rep.CellStart()
+	r, hit, key, err := s.eng.RunOne(s.ctx, i, sw.jobs[i])
+	if err != nil {
+		if s.ctx.Err() != nil || errors.Is(err, context.Canceled) {
+			// Shutdown, not a cell verdict: leave the cell undone for the
+			// journal to resume. The reporter still closes its busy span.
+			s.rep.CellDone(false)
+			return
+		}
+		f := campaign.NewCellFailure(i, sw.jobs[i], err)
+		if sw.journal != nil && key.Digest != "" {
+			if jerr := sw.journal.RecordFail(i, key.Digest, f.Err); jerr != nil {
+				s.warnf("serve: sweep %s: %v", sw.id, jerr)
+			}
+		}
+		s.rep.CellFailed()
+		s.rep.CellDone(false)
+		if sw.complete(i, nil, false, &f) {
+			s.finalize(sw)
+		}
+		return
+	}
+	if sw.journal != nil && key.Digest != "" {
+		if jerr := sw.journal.RecordDone(i, key.Digest); jerr != nil {
+			s.warnf("serve: sweep %s: %v", sw.id, jerr)
+		}
+	}
+	s.rep.CellDone(hit)
+	if sw.complete(i, r, hit, nil) {
+		s.finalize(sw)
+	}
+}
+
+// finalize runs once per sweep, on its finishing completion: the submit
+// record goes away (a restart must not resubmit a finished sweep) and
+// the journal closes, releasing the sweep lock. The journal files stay —
+// they are what makes an identical future submission resume instantly.
+func (s *Server) finalize(sw *sweep) {
+	sw.mu.Lock()
+	j := sw.journal
+	sw.journal = nil
+	sw.mu.Unlock()
+	if j == nil {
+		return
+	}
+	os.Remove(filepath.Join(j.Dir(), submitName))
+	if err := j.Close(); err != nil {
+		s.warnf("serve: sweep %s: closing journal: %v", sw.id, err)
+	}
+}
+
+// get looks a sweep up by ID.
+func (s *Server) get(id string) (*sweep, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	return sw, ok
+}
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/sweeps/{id}/artifact", s.handleArtifact)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError writes a structured JSON error. *RequestError keeps its
+// field attribution; anything else becomes a bare message.
+func writeError(w http.ResponseWriter, status int, err error) {
+	var re *RequestError
+	if !errors.As(err, &re) {
+		re = &RequestError{Msg: err.Error()}
+	}
+	writeJSON(w, status, re)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", maxRequestBody))
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := DecodeSweepRequest(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.DryRun {
+		grid, gerr := req.Grid()
+		if gerr != nil {
+			writeError(w, http.StatusBadRequest, gerr)
+			return
+		}
+		d, derr := s.eng.DryRunGrid(grid)
+		if derr != nil {
+			writeError(w, http.StatusInternalServerError, derr)
+			return
+		}
+		writeJSON(w, http.StatusOK, d)
+		return
+	}
+	sw, created, err := s.submit(req)
+	if err != nil {
+		var oe *OverloadError
+		switch {
+		case errors.As(err, &oe):
+			w.Header().Set("Retry-After", strconv.Itoa(oe.RetrySeconds))
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	status := http.StatusOK // idempotent resubmission of a known sweep
+	if created {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, sw.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	list := make([]*sweep, 0, len(s.order))
+	for _, id := range s.order {
+		list = append(list, s.sweeps[id])
+	}
+	s.mu.Unlock()
+	out := make([]SweepStatus, len(list))
+	for i, sw := range list {
+		out[i] = sw.status()
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Sweeps []SweepStatus `json:"sweeps"`
+	}{out})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no sweep %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, sw.status())
+}
+
+// handleEvents streams per-cell completions from ?cursor= onward:
+// NDJSON by default, SSE when the client asks for text/event-stream.
+// The stream ends when the sweep finishes; a disconnected client
+// resumes by passing the last seq it saw plus one.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no sweep %q", r.PathValue("id")))
+		return
+	}
+	cursor := 0
+	if c := r.URL.Query().Get("cursor"); c != "" {
+		n, err := strconv.Atoi(c)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, badRequest("cursor", "%q is not a non-negative integer", c))
+			return
+		}
+		cursor = n
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		ev, more := sw.next(r.Context(), cursor)
+		if !more {
+			return
+		}
+		cursor = ev.Seq + 1
+		if sse {
+			fmt.Fprintf(w, "id: %d\nevent: cell\ndata: ", ev.Seq)
+		}
+		if err := enc.Encode(ev); err != nil {
+			return
+		}
+		if sse {
+			fmt.Fprint(w, "\n")
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no sweep %q", r.PathValue("id")))
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "ascii"
+	}
+	if !campaign.ValidArtifactFormat(format) {
+		writeError(w, http.StatusBadRequest, badRequest("format", "%q is not one of %v", format, campaign.ArtifactFormats))
+		return
+	}
+	if !sw.isFinished() {
+		st := sw.status()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		json.NewEncoder(w).Encode(struct {
+			Msg  string      `json:"error"`
+			Info SweepStatus `json:"status"`
+		}{"sweep is still running; stream /events or retry when finished", st})
+		return
+	}
+	switch format {
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	if err := campaign.WriteArtifact(w, format, sw.artifact()); err != nil {
+		s.warnf("serve: sweep %s: writing artifact: %v", sw.id, err)
+	}
+}
+
+// handleMetrics is the Prometheus text endpoint: build identity, fleet
+// throughput/utilization from the shared reporter, scheduler load, and
+// per-sweep progress.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.info.WritePrometheus(w, "grpserve")
+	s.rep.Snapshot().WritePrometheusPrefixed(w, "grpserve")
+	queued, inflight := s.sched.load()
+	fmt.Fprintf(w, "# TYPE grpserve_queue_depth gauge\ngrpserve_queue_depth %d\n", queued)
+	fmt.Fprintf(w, "# TYPE grpserve_cells_inflight gauge\ngrpserve_cells_inflight %d\n", inflight)
+	cs := s.eng.CacheStats()
+	fmt.Fprintf(w, "# TYPE grpserve_cells_deduped counter\ngrpserve_cells_deduped %d\n", cs.Deduped)
+	fmt.Fprintf(w, "# TYPE grpserve_simulations_total counter\ngrpserve_simulations_total %d\n", s.eng.Simulations())
+
+	s.mu.Lock()
+	list := make([]*sweep, 0, len(s.order))
+	for _, id := range s.order {
+		list = append(list, s.sweeps[id])
+	}
+	s.mu.Unlock()
+	fmt.Fprint(w, "# TYPE grpserve_sweep_cells_done gauge\n")
+	for _, sw := range list {
+		st := sw.status()
+		fmt.Fprintf(w, "grpserve_sweep_cells_done{sweep=%q,tenant=%q,total=\"%d\"} %d\n",
+			st.ID, st.Tenant, st.Cells, st.Done)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	queued, inflight := s.sched.load()
+	s.mu.Lock()
+	n := len(s.sweeps)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, struct {
+		OK       bool `json:"ok"`
+		Sweeps   int  `json:"sweeps"`
+		Queued   int  `json:"queued"`
+		Inflight int  `json:"inflight"`
+	}{true, n, queued, inflight})
+}

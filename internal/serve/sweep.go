@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"grp/internal/campaign"
+	"grp/internal/core"
+)
+
+// CellEvent is one per-cell completion on a sweep's event stream. Seq is
+// the completion-order cursor a disconnected client resumes from: events
+// are appended in the order cells finish (which varies with scheduling),
+// while Index is the cell's canonical grid position (which never does).
+type CellEvent struct {
+	Seq   int              `json:"seq"`
+	Index int              `json:"index"`
+	Cell  campaign.CellOut `json:"cell"`
+	Done  int              `json:"done"`
+	Total int              `json:"total"`
+}
+
+// SweepStatus is the JSON shape of one sweep in listings and GETs.
+type SweepStatus struct {
+	ID       string  `json:"id"`
+	Tenant   string  `json:"tenant"`
+	Weight   int     `json:"weight"`
+	Spec     string  `json:"spec"`
+	Factor   string  `json:"factor"`
+	Policy   string  `json:"policy"`
+	Cells    int     `json:"cells"`
+	Done     int     `json:"done"`
+	Failed   int     `json:"failed"`
+	Hits     int     `json:"cache_hits"`
+	Finished bool    `json:"finished"`
+	Progress float64 `json:"progress"`
+	Resumed  int     `json:"resumed,omitempty"` // journaled completions inherited at admission
+	Created  string  `json:"created"`
+}
+
+// sweep is the server-side state of one admitted submission: the
+// expanded grid, the positional results filling in as cells land, and
+// the completion-ordered event log streamed to subscribers.
+type sweep struct {
+	id      string
+	req     SweepRequest
+	grid    *campaign.Grid
+	jobs    []campaign.Job
+	keys    []campaign.CellKey
+	journal *campaign.Journal // nil when another live sweep owns this content, or mem backend
+	resumed int
+	created time.Time
+
+	mu       sync.Mutex
+	results  []*core.Result
+	seen     []bool                 // per-cell completion guard
+	failures []campaign.CellFailure // appended in completion order; sorted at render
+	events   []CellEvent
+	done     int
+	hits     int
+	finished bool
+	// wake is closed and replaced on every append, so any number of
+	// event-stream tails can wait for "something new" without polling.
+	wake chan struct{}
+}
+
+func newSweep(id string, req SweepRequest, grid *campaign.Grid, jobs []campaign.Job, keys []campaign.CellKey) *sweep {
+	return &sweep{
+		id:      id,
+		req:     req,
+		grid:    grid,
+		jobs:    jobs,
+		keys:    keys,
+		created: time.Now().UTC(),
+		results: make([]*core.Result, len(jobs)),
+		seen:    make([]bool, len(jobs)),
+		// An empty grid (a spec whose filters match nothing) is born
+		// finished; no completion will ever arrive to flip it.
+		finished: len(jobs) == 0,
+		wake:     make(chan struct{}),
+	}
+}
+
+// isFinished reports whether every cell has completed.
+func (s *sweep) isFinished() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.finished
+}
+
+// complete records the outcome of cell i and wakes stream tails. hit
+// marks a cache or dedup hit; fail, when non-nil, is a keep-going
+// failure (the server never aborts a sweep on one cell). It returns
+// true exactly once: on the completion that finishes the sweep, so the
+// caller runs finalization (journal close, submit-record removal) from
+// a single worker.
+func (s *sweep) complete(i int, r *core.Result, hit bool, fail *campaign.CellFailure) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seen[i] {
+		return false // duplicate completion; first one wins
+	}
+	s.seen[i] = true
+	var out campaign.CellOut
+	if fail != nil {
+		s.failures = append(s.failures, *fail)
+		out = campaign.NewCellOut(s.grid, i, nil)
+		out.Error = fail.Err
+	} else {
+		s.results[i] = r
+		out = campaign.NewCellOut(s.grid, i, r)
+	}
+	s.done++
+	if hit {
+		s.hits++
+	}
+	s.events = append(s.events, CellEvent{
+		Seq: len(s.events), Index: i, Cell: out,
+		Done: s.done, Total: len(s.jobs),
+	})
+	finishedNow := false
+	if s.done == len(s.jobs) {
+		s.finished = true
+		finishedNow = true
+	}
+	close(s.wake)
+	s.wake = make(chan struct{})
+	return finishedNow
+}
+
+// status snapshots the sweep for listings.
+func (s *sweep) status() SweepStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SweepStatus{
+		ID: s.id, Tenant: s.req.Tenant, Weight: s.req.Weight,
+		Spec: s.req.Spec, Factor: s.req.Factor, Policy: s.req.Policy,
+		Cells: len(s.jobs), Done: s.done, Failed: len(s.failures),
+		Hits: s.hits, Finished: s.finished, Resumed: s.resumed,
+		Created: s.created.Format(time.RFC3339),
+	}
+	if n := len(s.jobs); n > 0 {
+		st.Progress = float64(s.done) / float64(n)
+	}
+	return st
+}
+
+// artifact renders the finished sweep. The caller must have checked
+// finished; rendering mid-flight would bake in nil rows.
+func (s *sweep) artifact() *campaign.Artifact {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The artifact's failure order is canonical (by grid index), like a
+	// keep-going CLI run's, whatever order the failures landed in.
+	failures := make([]campaign.CellFailure, len(s.failures))
+	copy(failures, s.failures)
+	for i := 1; i < len(failures); i++ {
+		for j := i; j > 0 && failures[j].Index < failures[j-1].Index; j-- {
+			failures[j], failures[j-1] = failures[j-1], failures[j]
+		}
+	}
+	return &campaign.Artifact{
+		Spec:     s.req.Spec,
+		Factor:   s.req.Factor,
+		Policy:   s.req.Policy,
+		Grid:     s.grid,
+		Results:  s.results,
+		Failures: failures,
+	}
+}
+
+// next returns the event at cursor, waiting for it to exist. ok=false
+// means the sweep finished before (or at) the cursor — the stream is
+// complete — or ctx ended first.
+func (s *sweep) next(ctx context.Context, cursor int) (CellEvent, bool) {
+	for {
+		s.mu.Lock()
+		if cursor < len(s.events) {
+			ev := s.events[cursor]
+			s.mu.Unlock()
+			return ev, true
+		}
+		if s.finished {
+			s.mu.Unlock()
+			return CellEvent{}, false
+		}
+		wake := s.wake
+		s.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return CellEvent{}, false
+		}
+	}
+}

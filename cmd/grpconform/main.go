@@ -9,11 +9,18 @@
 //	grpconform -n 500 -seed 1 -jobs 8 [-schemes base,srp,grp/var] \
 //	    [-faults 'light;heavy'] [-overlay l2.size=512K] [-arith] [-timing] \
 //	    [-shrink] [-shrink-out repro.txt] [-q] [-listen localhost:6060]
+//	grpconform -h2h [-n 50] [-seed 1] [-jobs 8]
 //
 // The summary on stdout is deterministic: byte-identical across -jobs
 // settings. Exit status: 0 all programs conform, 1 conformance failures
 // (with -shrink, the first failing program is minimized and printed),
 // 2 usage or configuration errors.
+//
+// With -h2h the tool instead runs the scheme head-to-head comparison
+// (internal/conformance.RunHeadToHead): per-class geometric-mean IPC for
+// base, stride, ghb, grp/var, and grp-adaptive over clean and hint-hostile
+// generated workloads, printed as a table. -n and -seed size and seed the
+// fleet; -schemes narrows the columns.
 package main
 
 import (
@@ -48,7 +55,7 @@ func main() {
 		n         = flag.Int("n", 200, "number of generated programs to check")
 		seed      = flag.Int64("seed", 1, "base seed; program i uses seed+i")
 		jobs      = flag.Int("jobs", 0, "worker goroutines (default GOMAXPROCS)")
-		schemes   = flag.String("schemes", "all", "comma-separated schemes to differentiate (default: base,stride,srp,grp/fix,grp/var)")
+		schemes   = flag.String("schemes", "all", "comma-separated schemes to differentiate (default: base,stride,ghb,srp,grp/fix,grp/var,grp-adaptive)")
 		faultSpec = flag.String("faults", "", "semicolon-separated fault variants (preset names or key=value specs; empty/none = fault-free only)")
 		arith     = flag.Bool("arith", false, "restrict the generator to the arithmetic-only grammar (no heap idioms)")
 		maxSteps  = flag.Int("max-steps", 0, "interpreter oracle step cap; longer programs are skipped (0 = default)")
@@ -57,6 +64,7 @@ func main() {
 		shrinkOut = flag.String("shrink-out", "", "also write the shrunk reproducer to this file")
 		quiet     = flag.Bool("q", false, "suppress per-program progress lines")
 		listen    = flag.String("listen", "", "serve /metrics (Prometheus text) and /debug/pprof/ on this address during the run, e.g. localhost:6060")
+		h2h       = flag.Bool("h2h", false, "run the scheme head-to-head IPC comparison instead of the conformance campaign")
 	)
 	var overlays overlayFlags
 	flag.Var(&overlays, "overlay", "config overlay axis key=value (repeatable; same axes as the campaign spec grammar)")
@@ -79,6 +87,22 @@ func main() {
 		if err := campaign.ApplyAxis(&base, strings.TrimSpace(k), strings.TrimSpace(v)); err != nil {
 			usageErr(err)
 		}
+	}
+
+	if *h2h {
+		h2hCfg := conformance.H2HConfig{N: *n, Seed: *seed, Jobs: *jobs, Base: base}
+		if *schemes != "all" {
+			h2hCfg.Schemes = scs
+		}
+		start := time.Now()
+		rep, err := conformance.RunHeadToHead(h2hCfg)
+		if err != nil {
+			log.Printf("error: %v", err)
+			os.Exit(2)
+		}
+		fmt.Print(rep.Table())
+		log.Printf("done in %v", time.Since(start).Round(time.Millisecond))
+		return
 	}
 
 	// SIGINT/SIGTERM cancel the campaign: in-flight programs finish, no

@@ -46,7 +46,7 @@ func main() {
 	log.SetPrefix("grpsim: ")
 	var (
 		bench      = flag.String("bench", "wupwise", "benchmark name ("+strings.Join(workloads.Names(), ", ")+")")
-		scheme     = flag.String("scheme", "grp/var", "scheme (base, perfectL1, perfectL2, stride, srp, grp/fix, grp/var, ptr, swpf)")
+		scheme     = flag.String("scheme", "grp/var", "scheme (base, perfectL1, perfectL2, stride, ghb, srp, grp/fix, grp/var, grp-adaptive, ptr, swpf)")
 		factor     = flag.String("factor", "small", "workload scale: test, small, full")
 		policy     = flag.String("policy", "default", "compiler spatial policy: default, conservative, aggressive")
 		compare    = flag.Bool("compare", false, "also run the no-prefetch baseline and report speedup/traffic")

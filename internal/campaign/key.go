@@ -32,7 +32,12 @@ import (
 // 4: Result gained the Attrib attribution summary and Options gained the
 // Attrib flag (now in the key); schema-3 cells would deserialize an
 // attribution-requesting cell with Attrib nil.
-const cacheSchemaVersion = 4
+//
+// 5: the scheme family grew ghb and grp-adaptive and the shared
+// region-queue code gained a capacity override; the scheme axis's value
+// domain changed, so schema-4 stores must not be consulted for cells that
+// could collide with the new names.
+const cacheSchemaVersion = 5
 
 // SchemaVersion reports the store's cell schema version. Fleet
 // dashboards compare it across servers (via the build-info gauge) to
@@ -55,6 +60,8 @@ var schemeVersions = map[core.Scheme]int{
 	core.GRPVar:      1,
 	core.PointerOnly: 1,
 	core.SoftwarePF:  1,
+	core.GHB:         1,
+	core.GRPAdaptive: 1,
 }
 
 // CellKey is the content address of one simulation cell: the SHA-256 of

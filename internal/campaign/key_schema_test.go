@@ -14,6 +14,12 @@ import (
 // schema bump to 3 retires this key.
 const schema2McfGRPVarDigest = "120b7bf81bb9a4a962ea5e32718e536c8f298e4c017eca8408334c33e01c24e6"
 
+// schema4McfGRPVarDigest is the same cell's content address under cache
+// schema 4, recorded immediately before the scheme family grew ghb and
+// grp-adaptive (and the shared region-queue code gained a capacity
+// override). The schema bump to 5 retires it.
+const schema4McfGRPVarDigest = "4a5244964b9d72e94295a8b6da4e061e9e2ba3c1a026417e3e74c9b988e48cce"
+
 // TestSchemaBumpRetiresOldKeys recomputes the (mcf, grp/var, Test) key
 // with today's canonicalization — same recipe that recorded the schema-2
 // digest — and demands it moved. If this fails, either the schema was
@@ -31,6 +37,25 @@ func TestSchemaBumpRetiresOldKeys(t *testing.T) {
 	k := cellKey("mcf", core.GRPVar, opt, ph)
 	if k.Digest == schema2McfGRPVarDigest {
 		t.Fatalf("(mcf, grp/var, Test) still maps to its schema-2 digest %s; stale cached cells would hit", k.Digest)
+	}
+	if k.Digest == schema4McfGRPVarDigest {
+		t.Fatalf("(mcf, grp/var, Test) still maps to its schema-4 digest %s; stale pre-scheme-family cells would hit", k.Digest)
+	}
+}
+
+// TestNewSchemesHaveKeyedVersions pins that the scheme-version axis covers
+// the new family: a missing schemeVersions entry would hash as 0 and leave
+// no handle to dirty that scheme's cells on its next engine change.
+func TestNewSchemesHaveKeyedVersions(t *testing.T) {
+	for _, sc := range []core.Scheme{core.GHB, core.GRPAdaptive} {
+		if v, ok := schemeVersions[sc]; !ok || v < 1 {
+			t.Fatalf("schemeVersions[%v] = %d (present %v), want >= 1", sc, v, ok)
+		}
+	}
+	k1 := cellKey("mcf", core.GHB, core.Options{Factor: workloads.Test}, 42)
+	k2 := cellKey("mcf", core.GRPAdaptive, core.Options{Factor: workloads.Test}, 42)
+	if k1.Digest == k2.Digest {
+		t.Fatal("ghb and grp-adaptive cells share a content address")
 	}
 }
 

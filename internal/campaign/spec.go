@@ -39,11 +39,13 @@ import (
 // schemeAliases maps the friendly spellings used in sweep specs to the
 // canonical scheme names.
 var schemeAliases = map[string]string{
-	"nopf":    "base",
-	"nopref":  "base",
-	"grpfix":  "grp/fix",
-	"grpvar":  "grp/var",
-	"pointer": "ptr",
+	"nopf":        "base",
+	"nopref":      "base",
+	"grpfix":      "grp/fix",
+	"grpvar":      "grp/var",
+	"pointer":     "ptr",
+	"grpadaptive": "grp-adaptive",
+	"adaptive":    "grp-adaptive",
 }
 
 // Axis is one overlay dimension of a sweep grid.

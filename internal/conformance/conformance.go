@@ -99,7 +99,7 @@ type Config struct {
 // DefaultSchemes is the realistic-scheme set the harness differentiates
 // when Config.Schemes is nil.
 func DefaultSchemes() []core.Scheme {
-	return []core.Scheme{core.NoPrefetch, core.StridePF, core.SRP, core.GRPFix, core.GRPVar}
+	return []core.Scheme{core.NoPrefetch, core.StridePF, core.GHB, core.SRP, core.GRPFix, core.GRPVar, core.GRPAdaptive}
 }
 
 const defaultMaxSteps = 300_000
@@ -494,6 +494,7 @@ func ParseSchemes(csv string) ([]core.Scheme, error) {
 	aliases := map[string]string{
 		"nopf": "base", "nopref": "base",
 		"grpfix": "grp/fix", "grpvar": "grp/var", "pointer": "ptr",
+		"grpadaptive": "grp-adaptive", "adaptive": "grp-adaptive",
 	}
 	if strings.EqualFold(strings.TrimSpace(csv), "all") || strings.TrimSpace(csv) == "" {
 		return DefaultSchemes(), nil

@@ -6,6 +6,7 @@ import (
 
 	"grp/internal/core"
 	"grp/internal/mem"
+	"grp/internal/prefetch"
 )
 
 // lightVariants returns the light fault preset as a variant list.
@@ -91,6 +92,47 @@ func TestTamperCaught(t *testing.T) {
 	}
 	if prefetching == 0 {
 		t.Fatal("no prefetching scheme reported divergence")
+	}
+}
+
+// TestTamperedLadderCaught is the adaptive-scheme known-bad self-test: a
+// transition function that walks the aggressiveness ladder off its rungs
+// models a broken adaptivity implementation. The engine must survive
+// (parameters clamp, so no panic and no oracle divergence — the bug is
+// timing-internal) and the harness's always-on invariant checking must
+// flag every program whose run closes an epoch.
+func TestTamperedLadderCaught(t *testing.T) {
+	prefetch.SetLadderTamper(func(from, to prefetch.LadderState) prefetch.LadderState {
+		return prefetch.NumLadderStates + 7 // off the ladder
+	})
+	defer prefetch.SetLadderTamper(nil)
+	rep, err := Run(Config{N: 10, Seed: 1, Schemes: []core.Scheme{core.GRPAdaptive}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatalf("tampered ladder transition went undetected:\n%s", rep.Summary())
+	}
+	for _, f := range rep.Failures() {
+		if f.Scheme != core.GRPAdaptive {
+			t.Fatalf("non-adaptive scheme failed under ladder tamper: %s", f)
+		}
+		if f.Kind != "run-error" {
+			t.Fatalf("unexpected failure kind under ladder tamper: %s", f)
+		}
+		if !strings.Contains(f.Detail, "ladder") {
+			t.Fatalf("failure does not name the ladder invariant: %s", f)
+		}
+	}
+	// And the same fleet with the tamper removed is clean — the failures
+	// above are the tamper's, not the scheme's.
+	prefetch.SetLadderTamper(nil)
+	rep, err = Run(Config{N: 10, Seed: 1, Schemes: []core.Scheme{core.GRPAdaptive}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("untampered grp-adaptive fleet failed:\n%s", rep.Summary())
 	}
 }
 

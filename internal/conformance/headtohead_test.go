@@ -1,0 +1,125 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"grp/internal/core"
+)
+
+// TestHeadToHeadAdaptiveWinsHintDropped pins the scheme family's headline
+// result: on the hint-dropped class (hints stripped before the engine sees
+// the miss), static GRP starves — it only acts on hints — while the
+// adaptive ladder notices the uncovered miss stream and escalates into
+// hardware fallback regions. grp-adaptive must beat grp/var there, and
+// must not give back the clean-code result where hints flow.
+func TestHeadToHeadAdaptiveWinsHintDropped(t *testing.T) {
+	rep, err := RunHeadToHead(H2HConfig{N: 30, Seed: 1, Jobs: 4, Classes: []H2HClass{
+		{Name: "heap-clean"},
+		{Name: "hint-dropped", Faults: "drop-hint=0.95"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive := rep.Cell("hint-dropped", core.GRPAdaptive)
+	static := rep.Cell("hint-dropped", core.GRPVar)
+	if adaptive == nil || static == nil {
+		t.Fatalf("missing hint-dropped cells in report:\n%s", rep.Table())
+	}
+	if adaptive.Programs == 0 {
+		t.Fatal("hint-dropped class aggregated zero programs")
+	}
+	if adaptive.Geomean <= static.Geomean {
+		t.Fatalf("grp-adaptive (%.4f) does not beat grp/var (%.4f) on the hint-dropped class:\n%s",
+			adaptive.Geomean, static.Geomean, rep.Table())
+	}
+	// On clean heap code the ladder must not cost the paper point its win:
+	// adaptive stays within 2% of static GRP.
+	ca, cs := rep.Cell("heap-clean", core.GRPAdaptive), rep.Cell("heap-clean", core.GRPVar)
+	if ca.Geomean < 0.98*cs.Geomean {
+		t.Fatalf("grp-adaptive (%.4f) gives up more than 2%% vs grp/var (%.4f) on clean code:\n%s",
+			ca.Geomean, cs.Geomean, rep.Table())
+	}
+}
+
+// TestHeadToHeadDeterministic checks the comparison is a pure function of
+// (N, seed): rerunning with a different worker count reproduces every cell
+// bit-for-bit, so EXPERIMENTS.md numbers are reproducible claims.
+func TestHeadToHeadDeterministic(t *testing.T) {
+	cfg := H2HConfig{N: 8, Seed: 3}
+	cfg.Jobs = 1
+	r1, err := RunHeadToHead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Jobs = 4
+	r4, err := RunHeadToHead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1, t4 := r1.Table(), r4.Table(); t1 != t4 {
+		t.Fatalf("head-to-head differs between jobs=1 and jobs=4:\n%s\nvs\n%s", t1, t4)
+	}
+}
+
+// TestHeadToHeadTable smoke-checks the rendered table: every class row and
+// scheme column present, exactly one starred winner per class, and the
+// no-prefetch floor never starred (it is a reference, not a contestant).
+func TestHeadToHeadTable(t *testing.T) {
+	rep, err := RunHeadToHead(H2HConfig{N: 5, Seed: 1, Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := rep.Table()
+	for _, sc := range DefaultH2HSchemes() {
+		if !strings.Contains(table, sc.String()) {
+			t.Fatalf("table missing scheme column %s:\n%s", sc, table)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(table, "\n"), "\n")
+	if want := 2 + len(DefaultH2HClasses()); len(lines) != want {
+		t.Fatalf("table has %d lines, want %d:\n%s", len(lines), want, table)
+	}
+	for _, cl := range DefaultH2HClasses() {
+		row := ""
+		for _, ln := range lines[2:] {
+			if strings.HasPrefix(ln, cl.Name) {
+				row = ln
+			}
+		}
+		if row == "" {
+			t.Fatalf("table missing class row %s:\n%s", cl.Name, table)
+		}
+		if got := strings.Count(row, "*"); got != 1 {
+			t.Fatalf("class %s has %d starred winners, want 1:\n%s", cl.Name, got, table)
+		}
+	}
+	// The floor column is first after the class label; it must never win.
+	for _, ln := range lines[2:] {
+		fields := strings.Fields(ln)
+		if strings.HasSuffix(fields[1], "*") {
+			t.Fatalf("no-prefetch floor starred as winner:\n%s", table)
+		}
+	}
+}
+
+// TestHeadToHeadSortedSchemes checks the best-first ordering agrees with
+// the starred cell.
+func TestHeadToHeadSortedSchemes(t *testing.T) {
+	rep, err := RunHeadToHead(H2HConfig{N: 5, Seed: 1, Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cl := range DefaultH2HClasses() {
+		order := rep.SortedSchemes(cl.Name)
+		if len(order) != len(rep.Schemes) {
+			t.Fatalf("class %s: sorted %d schemes, want %d", cl.Name, len(order), len(rep.Schemes))
+		}
+		for i := 1; i < len(order); i++ {
+			a, b := rep.Cell(cl.Name, order[i-1]), rep.Cell(cl.Name, order[i])
+			if a.Geomean < b.Geomean {
+				t.Fatalf("class %s: sorted order not descending at %d", cl.Name, i)
+			}
+		}
+	}
+}

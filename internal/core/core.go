@@ -50,12 +50,20 @@ const (
 	// schemes (Section 2 explains why it cannot cover L2 latencies); it
 	// is provided as the comparison foil and is not part of AllSchemes.
 	SoftwarePF
+	// GHB is a pure-hardware Global History Buffer prefetcher in the
+	// PC/DC (per-PC index, delta correlation) organization — the modern
+	// hardware baseline the paper's stride engine predates.
+	GHB
+	// GRPAdaptive is GRP/Var wrapped in a 5-state aggressiveness ladder:
+	// region size, pointer fan-out, chase depth, and queue capacity adapt
+	// each epoch to measured accuracy/coverage/lateness.
+	GRPAdaptive
 )
 
 var schemeNames = map[Scheme]string{
 	NoPrefetch: "base", PerfectL1: "perfectL1", PerfectL2: "perfectL2",
 	StridePF: "stride", SRP: "srp", GRPFix: "grp/fix", GRPVar: "grp/var",
-	PointerOnly: "ptr", SoftwarePF: "swpf",
+	PointerOnly: "ptr", SoftwarePF: "swpf", GHB: "ghb", GRPAdaptive: "grp-adaptive",
 }
 
 // String implements fmt.Stringer.
@@ -78,7 +86,7 @@ func SchemeByName(name string) (Scheme, error) {
 
 // AllSchemes lists every scheme in presentation order.
 func AllSchemes() []Scheme {
-	return []Scheme{NoPrefetch, PerfectL1, PerfectL2, StridePF, SRP, GRPFix, GRPVar, PointerOnly}
+	return []Scheme{NoPrefetch, PerfectL1, PerfectL2, StridePF, GHB, SRP, GRPFix, GRPVar, GRPAdaptive, PointerOnly}
 }
 
 // Options configures a run.
@@ -469,6 +477,12 @@ func engineFor(scheme Scheme, spec *workloads.Spec, m *mem.Memory, opt Options) 
 		cfg.Variable = scheme == GRPVar
 		cfg.RecursionDepth = grpDepth(spec, opt)
 		return prefetch.NewGRP(cfg, m)
+	case GRPAdaptive:
+		cfg := prefetch.DefaultGRPConfig()
+		cfg.RecursionDepth = grpDepth(spec, opt)
+		return prefetch.NewAdaptiveGRP(cfg, m)
+	case GHB:
+		return prefetch.NewGHB(prefetch.DefaultGHBConfig())
 	case PointerOnly:
 		return prefetch.NewPointerOnly(m, grpDepth(spec, opt))
 	default:

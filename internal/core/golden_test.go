@@ -39,7 +39,7 @@ func goldenOptions() Options {
 // whose timing the paper's tables compare (perfect caches are covered by
 // the cycle-bound checks in internal/conformance instead).
 func goldenSchemes() []Scheme {
-	return []Scheme{NoPrefetch, StridePF, SRP, GRPFix, GRPVar}
+	return []Scheme{NoPrefetch, StridePF, GHB, SRP, GRPFix, GRPVar, GRPAdaptive}
 }
 
 // goldenSnapshot is one committed cell snapshot. Digests are hex strings

@@ -44,6 +44,11 @@ type Plan struct {
 	// corrupted (one of the spatial/pointer/recursive bits flipped) before
 	// it reaches the prefetch engine.
 	CorruptHint float64
+	// DropHint is the probability that a miss's compiler hints are
+	// stripped entirely before reaching the prefetch engine — the
+	// "hints went missing" failure mode (broken toolchain, unannotated
+	// library code). Guided engines see an unhinted miss stream.
+	DropHint float64
 	// CancelInflight is the probability, per prefetch-pump step, that one
 	// in-flight prefetch (not yet merged with a demand) is cancelled.
 	CancelInflight float64
@@ -72,8 +77,8 @@ func (p *Plan) Active() bool {
 		return false
 	}
 	return p.DropIssue > 0 || p.TruncateRegion > 0 || p.CorruptHint > 0 ||
-		p.CancelInflight > 0 || p.DegradeChannel > 0 || p.StuckBank > 0 ||
-		p.MSHRSteal > 0 || p.DelayFill > 0
+		p.DropHint > 0 || p.CancelInflight > 0 || p.DegradeChannel > 0 ||
+		p.StuckBank > 0 || p.MSHRSteal > 0 || p.DelayFill > 0
 }
 
 // Validate checks the plan for internal consistency.
@@ -83,7 +88,8 @@ func (p *Plan) Validate() error {
 		v    float64
 	}{
 		{"drop", p.DropIssue}, {"truncate", p.TruncateRegion},
-		{"corrupt-hint", p.CorruptHint}, {"cancel", p.CancelInflight},
+		{"corrupt-hint", p.CorruptHint}, {"drop-hint", p.DropHint},
+		{"cancel", p.CancelInflight},
 		{"degrade", p.DegradeChannel}, {"stuck-bank", p.StuckBank},
 		{"delay-fill", p.DelayFill},
 	}
@@ -116,6 +122,7 @@ type Counts struct {
 	Dropped        uint64 // prefetch issues discarded
 	Truncated      uint64 // region coefficients reduced
 	CorruptedHints uint64 // hint kinds flipped
+	DroppedHints   uint64 // hint sets stripped entirely
 	Degraded       uint64 // DRAM accesses with extra latency
 	StuckBanks     uint64 // bank row cycles extended
 	DelayedFills   uint64 // fills completed late
@@ -123,13 +130,13 @@ type Counts struct {
 
 // Total sums all injected faults.
 func (c Counts) Total() uint64 {
-	return c.Dropped + c.Truncated + c.CorruptedHints + c.Degraded + c.StuckBanks + c.DelayedFills
+	return c.Dropped + c.Truncated + c.CorruptedHints + c.DroppedHints + c.Degraded + c.StuckBanks + c.DelayedFills
 }
 
 // String implements fmt.Stringer.
 func (c Counts) String() string {
-	return fmt.Sprintf("dropped=%d truncated=%d corrupted=%d degraded=%d stuck=%d delayed=%d",
-		c.Dropped, c.Truncated, c.CorruptedHints, c.Degraded, c.StuckBanks, c.DelayedFills)
+	return fmt.Sprintf("dropped=%d truncated=%d corrupted=%d hintless=%d degraded=%d stuck=%d delayed=%d",
+		c.Dropped, c.Truncated, c.CorruptedHints, c.DroppedHints, c.Degraded, c.StuckBanks, c.DelayedFills)
 }
 
 // Injector rolls faults from a plan with a deterministic PRNG. It is not
@@ -195,6 +202,17 @@ func (in *Injector) CorruptHint(h isa.Hint) isa.Hint {
 	in.counts.CorruptedHints++
 	bits := []isa.Hint{isa.HintSpatial, isa.HintPointer, isa.HintRecursive}
 	return h ^ bits[in.next()%uint64(len(bits))]
+}
+
+// DropHint possibly strips every hint bit from a miss, so guided engines
+// see it unhinted. Like corruption, stripping is timing-only: hints never
+// affect functional execution.
+func (in *Injector) DropHint(h isa.Hint) isa.Hint {
+	if h == 0 || !in.roll(in.plan.DropHint) {
+		return h
+	}
+	in.counts.DroppedHints++
+	return 0
 }
 
 // TruncateCoeff possibly reduces a region-size coefficient, truncating the

@@ -21,6 +21,7 @@ import (
 //	drop=P              drop prefetch issues with probability P
 //	truncate=P          truncate region coefficients with probability P
 //	corrupt-hint=P      corrupt hint kinds with probability P
+//	drop-hint=P         strip a miss's hints entirely with probability P
 //	cancel=P            cancel one in-flight prefetch per pump step with P
 //	degrade=P:C         degrade DRAM channel: probability P, +C cycles
 //	stuck-bank=P:C      stick a DRAM bank busy: probability P, +C cycles
@@ -111,6 +112,8 @@ func Parse(spec string) (Plan, error) {
 			p.TruncateRegion, err = parseProb(val)
 		case "corrupt-hint":
 			p.CorruptHint, err = parseProb(val)
+		case "drop-hint":
+			p.DropHint, err = parseProb(val)
 		case "cancel":
 			p.CancelInflight, err = parseProb(val)
 		case "degrade":
@@ -124,7 +127,7 @@ func Parse(spec string) (Plan, error) {
 		case "delay-fill":
 			p.DelayFill, p.DelayFillCycles, err = parseProbCycles(val)
 		default:
-			return Plan{}, fmt.Errorf("faults: unknown key %q (want seed, drop, truncate, corrupt-hint, cancel, degrade, stuck-bank, mshr-steal, delay-fill)", key)
+			return Plan{}, fmt.Errorf("faults: unknown key %q (want seed, drop, truncate, corrupt-hint, drop-hint, cancel, degrade, stuck-bank, mshr-steal, delay-fill)", key)
 		}
 		if err != nil {
 			return Plan{}, fmt.Errorf("faults: bad value for %s: %v", key, err)
@@ -155,6 +158,9 @@ func (p Plan) String() string {
 	}
 	if p.CorruptHint > 0 {
 		add("corrupt-hint=" + formatProb(p.CorruptHint))
+	}
+	if p.DropHint > 0 {
+		add("drop-hint=" + formatProb(p.DropHint))
 	}
 	if p.CancelInflight > 0 {
 		add("cancel=" + formatProb(p.CancelInflight))

@@ -1,0 +1,359 @@
+package prefetch
+
+import (
+	"grp/internal/isa"
+	"grp/internal/oamap"
+)
+
+// adaptParams is one rung's worth of engine configuration: how much
+// speculation each aggressiveness state permits.
+type adaptParams struct {
+	// maxRegionBlocks caps the spatial region size (the hinted size still
+	// applies, but conservative rungs shrink oversized regions).
+	maxRegionBlocks int
+	// ptrBlocks is how many blocks to fetch per discovered pointer.
+	ptrBlocks int
+	// chaseDepth caps the recursive pointer-chase counter.
+	chaseDepth uint8
+	// queueCap bounds the prefetch queue (the prioritizer threshold:
+	// a shorter queue means less stale speculation competing for idle
+	// channels).
+	queueCap int
+	// fallbackBlocks, when nonzero, opens an SRP-style region of that many
+	// blocks on unhinted primary misses — the aggressive rungs' answer to
+	// absent or untrustworthy hints.
+	fallbackBlocks int
+}
+
+// adaptLadderParams maps each ladder rung to its parameters. The middle
+// rung reproduces GRP/Var's paper-faithful operating point exactly;
+// conservative rungs shrink regions, pointer fan-out, chase depth, and the
+// queue; aggressive rungs add hardware-only region fallback and wider
+// pointer fan-out.
+var adaptLadderParams = [NumLadderStates]adaptParams{
+	VeryConservative:  {maxRegionBlocks: 4, ptrBlocks: 1, chaseDepth: 1, queueCap: 8, fallbackBlocks: 0},
+	ConservativeState: {maxRegionBlocks: 16, ptrBlocks: 1, chaseDepth: 2, queueCap: 16, fallbackBlocks: 0},
+	MiddleOfTheRoad:   {maxRegionBlocks: 64, ptrBlocks: 2, chaseDepth: 6, queueCap: QueueSize, fallbackBlocks: 0},
+	AggressiveState:   {maxRegionBlocks: 64, ptrBlocks: 2, chaseDepth: 6, queueCap: QueueSize, fallbackBlocks: 8},
+	VeryAggressive:    {maxRegionBlocks: 64, ptrBlocks: 4, chaseDepth: 6, queueCap: QueueSize, fallbackBlocks: 32},
+}
+
+// adaptTrackCap bounds the feedback tracking map; when it grows past this
+// the map is reset wholesale (only feedback fidelity is affected, never
+// timing of the prefetches themselves).
+const adaptTrackCap = 4096
+
+// AdaptiveGRP is GRP/Var wrapped in the aggressiveness ladder: the same
+// hint-guided region/pointer/indirect machinery, but with region size,
+// pointer fan-out, chase depth, and queue capacity moving along the
+// 5-state ladder, stepped each epoch from counters the engine measures
+// about its own prefetches.
+//
+// The feedback counters are deliberately self-tracked (a small oamap of
+// this engine's in-flight and resident prefetches) rather than read from
+// the attribution ledger: the ledger is an optional observer that must
+// never change timing, and the adaptive engine must behave identically
+// with and without it attached.
+type AdaptiveGRP struct {
+	cfg    GRPConfig
+	mem    MemReader
+	q      regionQueue
+	stats  Stats
+	ladder *Ladder
+
+	// bound is the most recent SETBOUND value (loop trip count).
+	bound uint64
+	// scanCtr maps blocks awaiting arrival to their pointer-chase counter.
+	scanCtr *oamap.U8
+	// track follows this engine's own prefetches for ladder feedback:
+	// 1 = issued and still in flight, 2 = resident in the L2.
+	track *oamap.U8
+
+	// Indirect's per-call region-coalescing scratch, as in GRP.
+	indBase [16]uint64
+	indBits [16]uint64
+}
+
+// NewAdaptiveGRP builds an adaptive GRP engine reading scanned lines from
+// mem. cfg carries the same knobs as GRP/Var (recursion depth, pointer
+// blocks); the ladder scales them per rung but never exceeds them.
+func NewAdaptiveGRP(cfg GRPConfig, mem MemReader) *AdaptiveGRP {
+	if cfg.PtrBlocks <= 0 {
+		cfg.PtrBlocks = 2
+	}
+	if cfg.RecursionDepth == 0 {
+		cfg.RecursionDepth = 6
+	}
+	cfg.Variable = true
+	return &AdaptiveGRP{
+		cfg:     cfg,
+		mem:     mem,
+		stats:   newStats(),
+		ladder:  NewLadder(),
+		scanCtr: oamap.NewU8(),
+		track:   oamap.NewU8(),
+	}
+}
+
+// Name implements Engine.
+func (a *AdaptiveGRP) Name() string { return "grp-adaptive" }
+
+// Rung returns the ladder's current state (for tests and telemetry).
+func (a *AdaptiveGRP) Rung() LadderState { return a.ladder.State() }
+
+// LadderTransitions returns how many epoch boundaries changed the state.
+func (a *AdaptiveGRP) LadderTransitions() uint64 { return a.ladder.Transitions }
+
+// params returns the current rung's parameters. A tampered out-of-range
+// state indexes the top rung (rung() clamps) so the run survives until
+// CheckInvariants reports it.
+func (a *AdaptiveGRP) params() adaptParams { return adaptLadderParams[a.ladder.rung()] }
+
+// chaseDepth caps the configured recursion depth at the rung's limit.
+func (a *AdaptiveGRP) chaseDepth(p adaptParams) uint8 {
+	if a.cfg.RecursionDepth < p.chaseDepth {
+		return a.cfg.RecursionDepth
+	}
+	return p.chaseDepth
+}
+
+// regionBlocksFor is GRP/Var's size computation capped at the rung's
+// maximum: bound << coeff bytes rounded up to a power of two, clamped to
+// [2, maxRegionBlocks].
+func (a *AdaptiveGRP) regionBlocksFor(coeff uint8, p adaptParams) int {
+	blocks := p.maxRegionBlocks
+	if coeff != isa.FixedRegion {
+		if coeff == 0 {
+			return 2
+		}
+		bound := a.bound
+		if bound == 0 {
+			bound = 1
+		}
+		bytes := bound << coeff
+		want := int((bytes + BlockBytes - 1) / BlockBytes)
+		pow := 2
+		for pow < want {
+			pow <<= 1
+		}
+		if pow < blocks {
+			blocks = pow
+		}
+	}
+	return blocks
+}
+
+// OnL2DemandMiss implements Engine: GRP's hint-gated behavior, with the
+// rung's caps applied and — on the aggressive rungs — an SRP-style region
+// fallback for unhinted misses.
+func (a *AdaptiveGRP) OnL2DemandMiss(ev MissEvent) {
+	miss := ev.Addr &^ uint64(BlockBytes-1)
+
+	if ev.Merged {
+		// Merged hint bits can still raise the pointer counter, capped at
+		// the rung's chase depth.
+		p := a.params()
+		var want uint8
+		switch {
+		case ev.Hint.Has(isa.HintRecursive):
+			want = a.chaseDepth(p)
+		case ev.Hint.Has(isa.HintPointer):
+			want = 1
+		default:
+			return
+		}
+		if cur, _ := a.scanCtr.Get(miss); cur < want {
+			a.scanCtr.Set(miss, want)
+		}
+		return
+	}
+
+	// Primary misses advance the coverage denominator; this may close the
+	// epoch and step the ladder, so fetch the rung's parameters after.
+	a.ladder.RecordMiss()
+	p := a.params()
+	a.q.cap = p.queueCap
+
+	switch {
+	case ev.Hint.Has(isa.HintSpatial):
+		blocks := a.regionBlocksFor(ev.Coeff, p)
+		a.openRegion(ev, blocks)
+	case p.fallbackBlocks > 0:
+		// No spatial hint (absent, dropped, or corrupted away): on the
+		// aggressive rungs, prefetch the surrounding region anyway.
+		a.openRegion(ev, p.fallbackBlocks)
+	}
+
+	switch {
+	case ev.Hint.Has(isa.HintRecursive):
+		a.scanCtr.Set(miss, a.chaseDepth(p))
+	case ev.Hint.Has(isa.HintPointer):
+		a.scanCtr.Set(miss, 1)
+	}
+}
+
+// openRegion allocates or recycles a region entry of the given power-of-two
+// block count around the miss, exactly as GRP does.
+func (a *AdaptiveGRP) openRegion(ev MissEvent, blocks int) {
+	size := uint64(blocks) * BlockBytes
+	base := ev.Addr &^ (size - 1)
+	if i := a.q.find(base); i >= 0 && int(a.q.entries[i].blocks) == blocks {
+		a.q.entries[i].retarget(ev.Addr)
+		a.q.moveToHead(i)
+		a.stats.RegionsRecycled++
+		return
+	}
+	e := makeRegion(ev.Addr, blocks, ev.Present, 0)
+	if e.bits != 0 {
+		a.q.pushHead(e)
+		a.stats.recordRegion(blocks)
+	}
+}
+
+// OnDemandHitPrefetched implements Engine: a demand access hit one of this
+// engine's prefetches — the useful counter's trigger. A hit while the
+// block is still in flight (tracked state 1: the demand merged into the
+// outstanding prefetch) counts as late.
+func (a *AdaptiveGRP) OnDemandHitPrefetched(block uint64) {
+	st, ok := a.track.Get(block)
+	if !ok {
+		return // tracking was reset under this block; forgo the feedback
+	}
+	a.track.Delete(block)
+	a.ladder.RecordUseful(st == 1)
+}
+
+// OnArrival implements Engine: mark tracked prefetches resident, then run
+// GRP's pointer scan for lines with a pending chase counter.
+func (a *AdaptiveGRP) OnArrival(block uint64) {
+	if st, ok := a.track.Get(block); ok && st == 1 {
+		a.track.Set(block, 2)
+	}
+	ctr, ok := a.scanCtr.Get(block)
+	if !ok {
+		return
+	}
+	a.scanCtr.Delete(block)
+	if ctr == 0 {
+		return
+	}
+	a.scanBlock(block, ctr-1)
+}
+
+func (a *AdaptiveGRP) scanBlock(block uint64, childCtr uint8) {
+	a.stats.PointerScans++
+	ptrBlocks := a.params().ptrBlocks
+	for off := uint64(0); off < BlockBytes; off += 8 {
+		v := a.mem.Read64(block + off)
+		if !a.mem.InHeap(v) {
+			continue
+		}
+		a.stats.PointersFound++
+		a.enqueuePtrTarget(v, childCtr, ptrBlocks)
+	}
+}
+
+// enqueuePtrTarget queues ptrBlocks blocks starting at the block containing
+// addr, carrying the child pointer counter.
+func (a *AdaptiveGRP) enqueuePtrTarget(addr uint64, ctr uint8, ptrBlocks int) {
+	base := addr &^ uint64(BlockBytes-1)
+	bits, blocks := ptrRegionBits(base, ptrBlocks)
+	a.q.pushHead(regionEntry{base: base, bits: bits, idx: 0, blocks: uint8(blocks), ptrCtr: ctr})
+	a.stats.recordRegion(blocks)
+}
+
+// noteIssue records a popped candidate for ladder feedback. Issuing may
+// close the epoch (issue bound), so it runs after the pop decided.
+func (a *AdaptiveGRP) noteIssue(block uint64) {
+	if a.track.Len() >= adaptTrackCap {
+		a.track.Reset()
+	}
+	a.track.Set(block, 1)
+	a.ladder.RecordIssue()
+}
+
+// Pop implements Engine.
+func (a *AdaptiveGRP) Pop(present func(uint64) bool) (uint64, bool) {
+	b, ctr, ok := a.q.pop(present)
+	if !ok {
+		return 0, false
+	}
+	a.stats.CandidatesPopped++
+	if ctr > 0 {
+		a.scanCtr.Set(b, ctr)
+	}
+	a.noteIssue(b)
+	return b, true
+}
+
+// PopOpenFirst implements OpenPageAware.
+func (a *AdaptiveGRP) PopOpenFirst(present, rowOpen func(uint64) bool) (uint64, bool) {
+	b, ctr, ok := a.q.popOpenFirst(present, rowOpen)
+	if !ok {
+		return 0, false
+	}
+	a.stats.CandidatesPopped++
+	if ctr > 0 {
+		a.scanCtr.Set(b, ctr)
+	}
+	a.noteIssue(b)
+	return b, true
+}
+
+// SetBound implements Engine.
+func (a *AdaptiveGRP) SetBound(v uint64) { a.bound = v }
+
+// Indirect implements Engine, identically to GRP: PREFI targets are
+// indirect hints whose accuracy the ladder measures like any other issued
+// prefetch, so the instruction itself is never throttled.
+func (a *AdaptiveGRP) Indirect(indexElemAddr, base uint64, shift uint) {
+	a.stats.IndirectInstrs++
+	idxBlock := indexElemAddr &^ uint64(BlockBytes-1)
+	n := 0
+	const regionSize = uint64(RegionBlocks) * BlockBytes
+	for off := uint64(0); off < BlockBytes; off += 4 {
+		idx := uint64(a.mem.Read32(idxBlock + off))
+		target := base + (idx << shift)
+		a.stats.IndirectPrefetches++
+		rbase := target &^ (regionSize - 1)
+		pos := (target - rbase) / BlockBytes
+		slot := -1
+		for i := 0; i < n; i++ {
+			if a.indBase[i] == rbase {
+				slot = i
+				break
+			}
+		}
+		if slot < 0 {
+			slot = n
+			a.indBase[slot], a.indBits[slot] = rbase, 0
+			n++
+		}
+		a.indBits[slot] |= 1 << uint(pos)
+	}
+	for k := 0; k < n; k++ {
+		rbase, bits := a.indBase[k], a.indBits[k]
+		if i := a.q.find(rbase); i >= 0 {
+			a.q.entries[i].bits |= bits
+			a.q.moveToHead(i)
+			continue
+		}
+		a.q.pushHead(regionEntry{base: rbase, bits: bits, blocks: RegionBlocks})
+	}
+}
+
+// Stats implements Engine.
+func (a *AdaptiveGRP) Stats() Stats { return a.stats }
+
+// QueueLen implements QueueLenner.
+func (a *AdaptiveGRP) QueueLen() int { return a.q.len() }
+
+// CheckInvariants implements Checker: the region queue's invariants plus
+// the ladder's (a tampered transition function lands the state outside the
+// ladder, which must surface here, not as a crash).
+func (a *AdaptiveGRP) CheckInvariants() error {
+	if err := a.ladder.CheckInvariants(); err != nil {
+		return err
+	}
+	return a.q.checkInvariants()
+}

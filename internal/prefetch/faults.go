@@ -16,6 +16,8 @@ type Faults interface {
 	DropIssue() bool
 	// CorruptHint possibly flips a hint kind before the engine sees it.
 	CorruptHint(h isa.Hint) isa.Hint
+	// DropHint possibly strips a miss's hints entirely.
+	DropHint(h isa.Hint) isa.Hint
 	// TruncateCoeff possibly shrinks a region-size coefficient.
 	TruncateCoeff(c uint8) uint8
 }
@@ -54,6 +56,7 @@ func (f *faulty) Unwrap() Engine { return f.inner }
 func (f *faulty) Name() string { return f.inner.Name() }
 
 func (f *faulty) OnL2DemandMiss(ev MissEvent) {
+	ev.Hint = f.inj.DropHint(ev.Hint)
 	ev.Hint = f.inj.CorruptHint(ev.Hint)
 	ev.Coeff = f.inj.TruncateCoeff(ev.Coeff)
 	f.inner.OnL2DemandMiss(ev)

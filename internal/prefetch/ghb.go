@@ -1,0 +1,257 @@
+package prefetch
+
+import (
+	"fmt"
+
+	"grp/internal/oamap"
+)
+
+// GHB is a Global History Buffer prefetcher in the PC/DC (per-PC index,
+// delta-correlation) organization of Nesbit & Smith, the shape ChampSim's
+// reference prefetcher uses. It is pure hardware — hints are ignored — and
+// is the modern comparison point for the paper's stride engine: instead of
+// per-PC last-address slots, every L2 miss appends to one circular history
+// buffer whose entries for the same PC are linked into a chain, so the
+// predictor sees each PC's full recent miss history and can lock onto a
+// stride after two matching deltas.
+//
+// The buffer is circular: when the head wraps, the overwritten entry's
+// slot is recycled, and every link or index-table pointer that still names
+// it must be treated as dead. Rather than eagerly scanning the buffer and
+// index table on every insertion (the reference implementation's O(N)
+// invalidation sweep), each entry carries the global insertion sequence
+// number it was written with, and each pointer stores the sequence number
+// of its target: a link is live iff the target slot still holds that
+// sequence number. Overwrites invalidate implicitly, in O(1), and the
+// steady state allocates nothing.
+type GHB struct {
+	cfg   GHBConfig
+	index []ghbIndexEntry
+	hist  []ghbEntry
+	seq   uint64 // global insertion counter; slot of insertion n is n % len(hist)
+
+	// ring is the pending-candidate FIFO; a bounded ring so training
+	// bursts never allocate. When full, the oldest candidate is dropped
+	// in favor of the newer (more timely) one.
+	ring     []uint64
+	ringHead int
+	ringLen  int
+
+	// issued dedupes candidates across training events, exactly as the
+	// stride engine's per-buffer sets do; periodically reset to stay
+	// bounded.
+	issued *oamap.U8
+
+	stats Stats
+}
+
+// GHBConfig parameterizes the GHB engine.
+type GHBConfig struct {
+	// IndexEntries is the PC index table size (256 in the ChampSim
+	// reference). The table is tagless: PCs are folded modulo the size,
+	// and aliasing chains are tolerated, as in the reference.
+	IndexEntries int
+	// HistoryEntries is the circular history buffer size (256).
+	HistoryEntries int
+	// Degree is how many blocks are prefetched per correlated miss (4).
+	Degree int
+	// Lookahead is the stride multiple of the first prefetched block
+	// (1 = the next block on the stream).
+	Lookahead int
+	// MaxQueue bounds the pending-candidate ring (32, the paper's
+	// prefetch-queue size).
+	MaxQueue int
+}
+
+// DefaultGHBConfig returns the ChampSim reference geometry.
+func DefaultGHBConfig() GHBConfig {
+	return GHBConfig{IndexEntries: 256, HistoryEntries: 256, Degree: 4, Lookahead: 1, MaxQueue: QueueSize}
+}
+
+// ghbEntry is one history-buffer slot. seq is the global insertion number
+// this slot was last written with; prevPtr/prevSeq name the previous entry
+// of the same index-table chain, live iff hist[prevPtr].seq == prevSeq.
+type ghbEntry struct {
+	blockNum uint64 // miss block number (address >> log2(BlockBytes))
+	seq      uint64
+	prevPtr  int32
+	prevSeq  uint64
+}
+
+// ghbIndexEntry is one tagless index-table slot: the chain head, live iff
+// hist[ptr].seq == seq.
+type ghbIndexEntry struct {
+	ptr int32
+	seq uint64
+}
+
+// NewGHB builds a GHB engine; zero config fields take the defaults.
+func NewGHB(cfg GHBConfig) *GHB {
+	def := DefaultGHBConfig()
+	if cfg.IndexEntries <= 0 {
+		cfg.IndexEntries = def.IndexEntries
+	}
+	if cfg.HistoryEntries <= 0 {
+		cfg.HistoryEntries = def.HistoryEntries
+	}
+	if cfg.Degree <= 0 {
+		cfg.Degree = def.Degree
+	}
+	if cfg.Lookahead <= 0 {
+		cfg.Lookahead = def.Lookahead
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = def.MaxQueue
+	}
+	return &GHB{
+		cfg:    cfg,
+		index:  make([]ghbIndexEntry, cfg.IndexEntries),
+		hist:   make([]ghbEntry, cfg.HistoryEntries),
+		ring:   make([]uint64, cfg.MaxQueue),
+		issued: oamap.NewU8(),
+		stats:  newStats(),
+	}
+}
+
+// Name implements Engine.
+func (g *GHB) Name() string { return "ghb" }
+
+// live reports whether the (ptr, seq) link still names the entry it was
+// created for: false once the circular buffer overwrote that slot.
+func (g *GHB) live(ptr int32, seq uint64) bool {
+	return seq != 0 && g.hist[ptr].seq == seq
+}
+
+// OnL2DemandMiss implements Engine: append the miss to the history buffer,
+// link it into its PC's chain, and when the last two chain deltas agree,
+// prefetch Degree blocks down the correlated stride.
+func (g *GHB) OnL2DemandMiss(ev MissEvent) {
+	if ev.Merged {
+		return // train on primary misses only, like the stride engine
+	}
+	bn := ev.Addr / BlockBytes
+	it := &g.index[(ev.PC/4)%uint64(len(g.index))]
+
+	g.seq++
+	slot := int32(g.seq % uint64(len(g.hist)))
+	var prevPtr int32
+	var prevSeq uint64
+	if g.live(it.ptr, it.seq) {
+		prevPtr, prevSeq = it.ptr, it.seq
+	}
+	g.hist[slot] = ghbEntry{blockNum: bn, seq: g.seq, prevPtr: prevPtr, prevSeq: prevSeq}
+	it.ptr, it.seq = slot, g.seq
+
+	// Delta correlation needs the two previous chain entries. A chain walk
+	// stops at the first dead link (its target slot was overwritten), which
+	// is exactly the reference implementation's prev_ptr invalidation.
+	if !g.live(prevPtr, prevSeq) {
+		return
+	}
+	p1 := g.hist[prevPtr]
+	if !g.live(p1.prevPtr, p1.prevSeq) {
+		return
+	}
+	p2 := g.hist[p1.prevPtr]
+
+	stride1 := int64(bn) - int64(p1.blockNum)
+	stride2 := int64(p1.blockNum) - int64(p2.blockNum)
+	if stride1 == 0 || stride1 != stride2 {
+		return
+	}
+	g.stats.recordRegion(g.cfg.Degree)
+	for i := 0; i < g.cfg.Degree; i++ {
+		cand := uint64(int64(bn)+int64(g.cfg.Lookahead+i)*stride1) * BlockBytes
+		g.push(cand)
+	}
+}
+
+// push enqueues a candidate block, deduplicating against recently queued
+// candidates; when the ring is full the oldest pending candidate is
+// dropped for the newer one.
+func (g *GHB) push(block uint64) {
+	if _, dup := g.issued.Get(block); dup {
+		return
+	}
+	g.issued.Set(block, 1)
+	if g.issued.Len() > 4*g.cfg.MaxQueue {
+		// Bound the dedupe set by forgetting the oldest entries wholesale,
+		// as the stride engine does; only dedupe quality is affected.
+		g.issued.Reset()
+		g.issued.Set(block, 1)
+	}
+	if g.ringLen == len(g.ring) {
+		g.ringHead = (g.ringHead + 1) % len(g.ring)
+		g.ringLen--
+	}
+	g.ring[(g.ringHead+g.ringLen)%len(g.ring)] = block
+	g.ringLen++
+}
+
+// OnDemandHitPrefetched implements Engine. GHB trains on the miss stream
+// only: a hit on a prefetched line means the stream is already covered.
+func (*GHB) OnDemandHitPrefetched(uint64) {}
+
+// OnArrival implements Engine; GHB does not inspect arriving data.
+func (*GHB) OnArrival(uint64) {}
+
+// Pop implements Engine: drain the pending ring in FIFO order.
+func (g *GHB) Pop(present func(uint64) bool) (uint64, bool) {
+	for g.ringLen > 0 {
+		block := g.ring[g.ringHead]
+		g.ringHead = (g.ringHead + 1) % len(g.ring)
+		g.ringLen--
+		if present != nil && present(block) {
+			continue
+		}
+		g.stats.CandidatesPopped++
+		return block, true
+	}
+	return 0, false
+}
+
+// SetBound implements Engine; pure hardware prefetching ignores hints.
+func (*GHB) SetBound(uint64) {}
+
+// Indirect implements Engine; pure hardware prefetching ignores hints.
+func (*GHB) Indirect(uint64, uint64, uint) {}
+
+// Stats implements Engine.
+func (g *GHB) Stats() Stats { return g.stats }
+
+// QueueLen implements QueueLenner.
+func (g *GHB) QueueLen() int { return g.ringLen }
+
+// CheckInvariants implements Checker: ring occupancy within bounds, every
+// live history entry in its congruent slot, and every live link naming an
+// in-range slot.
+func (g *GHB) CheckInvariants() error {
+	if g.ringLen < 0 || g.ringLen > len(g.ring) {
+		return fmt.Errorf("ghb ring holds %d entries, capacity %d", g.ringLen, len(g.ring))
+	}
+	if g.ringHead < 0 || g.ringHead >= len(g.ring) {
+		return fmt.Errorf("ghb ring head %d outside [0,%d)", g.ringHead, len(g.ring))
+	}
+	for i := range g.hist {
+		e := &g.hist[i]
+		if e.seq == 0 {
+			continue
+		}
+		if e.seq > g.seq {
+			return fmt.Errorf("ghb history slot %d: seq %d exceeds global %d", i, e.seq, g.seq)
+		}
+		if want := int32(e.seq % uint64(len(g.hist))); want != int32(i) {
+			return fmt.Errorf("ghb history slot %d holds seq %d, which belongs in slot %d", i, e.seq, want)
+		}
+		if e.prevSeq != 0 && (e.prevPtr < 0 || int(e.prevPtr) >= len(g.hist)) {
+			return fmt.Errorf("ghb history slot %d: prev pointer %d outside [0,%d)", i, e.prevPtr, len(g.hist))
+		}
+	}
+	for i := range g.index {
+		it := &g.index[i]
+		if it.seq != 0 && (it.ptr < 0 || int(it.ptr) >= len(g.hist)) {
+			return fmt.Errorf("ghb index slot %d: pointer %d outside [0,%d)", i, it.ptr, len(g.hist))
+		}
+	}
+	return nil
+}

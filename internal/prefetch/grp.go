@@ -187,13 +187,10 @@ func (g *GRP) scanBlock(block uint64, childCtr uint8) {
 // addr, as a region-style entry carrying the child pointer counter.
 func (g *GRP) enqueuePtrTarget(addr uint64, ctr uint8) {
 	base := addr &^ uint64(BlockBytes-1)
-	var bits uint64
-	for i := 0; i < g.cfg.PtrBlocks && i < 64; i++ {
-		bits |= 1 << uint(i)
-	}
-	e := regionEntry{base: base, bits: bits, idx: 0, blocks: uint8(g.cfg.PtrBlocks), ptrCtr: ctr}
+	bits, blocks := ptrRegionBits(base, g.cfg.PtrBlocks)
+	e := regionEntry{base: base, bits: bits, idx: 0, blocks: uint8(blocks), ptrCtr: ctr}
 	g.q.pushHead(e)
-	g.stats.recordRegion(g.cfg.PtrBlocks)
+	g.stats.recordRegion(blocks)
 }
 
 // Pop implements Engine. Blocks popped from entries with a nonzero pointer

@@ -1,0 +1,199 @@
+package prefetch
+
+import "fmt"
+
+// The aggressiveness ladder is the feedback mechanism behind the adaptive
+// GRP engine: a 5-state machine in the style of Srinath et al.'s
+// feedback-directed prefetching (the shape ChampSim's GHB_FDP variant
+// uses), stepped once per epoch from three counters the engine measures
+// about its own prefetches:
+//
+//	issued — candidates handed to the issue pump this epoch;
+//	useful — issued prefetches a demand access later hit (late ones count,
+//	         as the paper's Table 5 accuracy metric does);
+//	late   — the subset of useful whose demand arrived while the prefetch
+//	         was still in flight (the block helped, but not fully);
+//	misses — primary L2 demand misses this epoch (the coverage
+//	         denominator).
+//
+// The decision matrix, evaluated at each epoch boundary:
+//
+//	accuracy low  (useful < 20% of issued)            → step down: the
+//	    engine is polluting; shrink regions and throttle.
+//	accuracy ok and lateness high (late ≥ 1% of issued) → step up:
+//	    prefetches are right but not early enough; run further ahead.
+//	accuracy high (≥ 75%) and coverage low (useful
+//	    covers < 50% of misses)                        → step up: the
+//	    engine is right but timid; open more speculation. An idle epoch
+//	    (nothing issued at all) with misses outstanding also lands here,
+//	    which is what lets the adaptive engine escalate out of a state
+//	    where wrong or absent hints gave it nothing to do.
+//	otherwise                                          → hold.
+//
+// All thresholds are integer comparisons on raw counters, so transitions
+// are exactly reproducible across runs and engine generations.
+
+// LadderState is one rung of the aggressiveness ladder.
+type LadderState uint8
+
+// The five rungs, least to most aggressive.
+const (
+	VeryConservative LadderState = iota
+	ConservativeState
+	MiddleOfTheRoad
+	AggressiveState
+	VeryAggressive
+
+	// NumLadderStates is the rung count; a live ladder's state is always
+	// below it (CheckInvariants enforces this).
+	NumLadderStates = 5
+)
+
+var ladderStateNames = [NumLadderStates]string{
+	"very-conservative", "conservative", "middle", "aggressive", "very-aggressive",
+}
+
+// String implements fmt.Stringer.
+func (s LadderState) String() string {
+	if int(s) < len(ladderStateNames) {
+		return ladderStateNames[s]
+	}
+	return fmt.Sprintf("ladder-state(%d)", int(s))
+}
+
+// Ladder thresholds (percent, scaled to integer cross-multiplication) and
+// epoch lengths. An epoch closes on whichever bound is hit first, so the
+// ladder still steps when the engine issues nothing (misses alone close
+// it) and when it issues plenty into a miss-free phase. The epoch bounds
+// are sized for this reproduction's workload scale (hundreds to thousands
+// of L2 misses per run, not the billions of a full SPEC run): small
+// enough that even the conformance harness's generated programs close a
+// few epochs, large enough that the percentage thresholds see a usable
+// sample.
+const (
+	ladderAccLowPct  = 20
+	ladderAccHighPct = 75
+	ladderLatePct    = 1
+	ladderCovPct     = 50
+
+	ladderEpochIssues = 32
+	ladderEpochMisses = 64
+)
+
+// LadderTransition is the pure decision function: the next state from the
+// closing epoch's counters. Exported so the property-based tests can drive
+// it with arbitrary counter sequences without building an engine.
+func LadderTransition(s LadderState, useful, late, issued, misses uint64) LadderState {
+	accLow := issued > 0 && useful*100 < issued*ladderAccLowPct
+	accHigh := issued == 0 || useful*100 >= issued*ladderAccHighPct
+	isLate := issued > 0 && late*100 >= issued*ladderLatePct
+	covLow := useful*100 < misses*ladderCovPct
+	switch {
+	case accLow:
+		if s > VeryConservative {
+			return s - 1
+		}
+	case isLate:
+		if s < VeryAggressive {
+			return s + 1
+		}
+	case accHigh && covLow && misses > 0:
+		if s < VeryAggressive {
+			return s + 1
+		}
+	}
+	return s
+}
+
+// ladderTamper, when non-nil, intercepts every epoch transition. It exists
+// solely for the conformance harness's known-bad self-test: a tamperer
+// that returns an out-of-range state models a broken transition function,
+// which the engine's CheckInvariants must then report. Never set outside
+// tests.
+var ladderTamper func(from, to LadderState) LadderState
+
+// SetLadderTamper installs (or, with nil, removes) the transition
+// tamperer. Test-only; see ladderTamper.
+func SetLadderTamper(fn func(from, to LadderState) LadderState) { ladderTamper = fn }
+
+// Ladder accumulates one epoch's counters and steps the state machine at
+// each epoch boundary.
+type Ladder struct {
+	state  LadderState
+	useful uint64
+	late   uint64
+	issued uint64
+	misses uint64
+
+	// Transitions counts epoch boundaries that changed the state; surfaced
+	// through engine stats for test assertions and telemetry.
+	Transitions uint64
+}
+
+// NewLadder returns a ladder starting at the middle rung, the paper-
+// faithful GRP/Var operating point.
+func NewLadder() *Ladder { return &Ladder{state: MiddleOfTheRoad} }
+
+// State returns the current rung.
+func (l *Ladder) State() LadderState { return l.state }
+
+// rung returns the state clamped into range for parameter-table indexing:
+// a tampered (out-of-range) state must not crash the engine — it must be
+// caught as an invariant violation, which needs the run to survive until
+// the checker looks.
+func (l *Ladder) rung() int {
+	s := int(l.state)
+	if s >= NumLadderStates {
+		s = NumLadderStates - 1
+	}
+	return s
+}
+
+// RecordIssue counts one popped candidate and closes the epoch at the
+// issue bound.
+func (l *Ladder) RecordIssue() {
+	l.issued++
+	if l.issued >= ladderEpochIssues {
+		l.step()
+	}
+}
+
+// RecordMiss counts one primary L2 demand miss and closes the epoch at the
+// miss bound.
+func (l *Ladder) RecordMiss() {
+	l.misses++
+	if l.misses >= ladderEpochMisses {
+		l.step()
+	}
+}
+
+// RecordUseful counts one issued prefetch that a demand access hit; late
+// marks the in-flight (merged) case.
+func (l *Ladder) RecordUseful(late bool) {
+	l.useful++
+	if late {
+		l.late++
+	}
+}
+
+// step closes the epoch: transition on the counters, then reset them.
+func (l *Ladder) step() {
+	next := LadderTransition(l.state, l.useful, l.late, l.issued, l.misses)
+	if ladderTamper != nil {
+		next = ladderTamper(l.state, next)
+	}
+	if next != l.state {
+		l.Transitions++
+	}
+	l.state = next
+	l.useful, l.late, l.issued, l.misses = 0, 0, 0, 0
+}
+
+// CheckInvariants reports an error when the state left the ladder — the
+// signature of a broken (or tampered) transition function.
+func (l *Ladder) CheckInvariants() error {
+	if int(l.state) >= NumLadderStates {
+		return fmt.Errorf("adaptive ladder state %d outside the %d-rung ladder", l.state, NumLadderStates)
+	}
+	return nil
+}

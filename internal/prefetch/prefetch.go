@@ -138,11 +138,24 @@ type regionEntry struct {
 // entry (LIFO scheduling, Sec. 5.1).
 type regionQueue struct {
 	entries []regionEntry // index 0 = head
+	// cap, when nonzero, overrides QueueSize as the occupancy bound. The
+	// adaptive engine's conservative rungs shrink it to throttle how much
+	// speculation is buffered; every other engine leaves it 0.
+	cap int
 }
 
 func (q *regionQueue) reset() { q.entries = q.entries[:0] }
 
 func (q *regionQueue) len() int { return len(q.entries) }
+
+// capacity returns the queue's occupancy bound (QueueSize unless
+// overridden, never above it).
+func (q *regionQueue) capacity() int {
+	if q.cap > 0 && q.cap < QueueSize {
+		return q.cap
+	}
+	return QueueSize
+}
 
 // find returns the queue position of the region containing addr with the
 // given alignment, or -1.
@@ -155,10 +168,10 @@ func (q *regionQueue) find(base uint64) int {
 	return -1
 }
 
-// pushHead inserts e at the head, evicting the bottom entry if full.
+// pushHead inserts e at the head, evicting the bottom entries if full.
 func (q *regionQueue) pushHead(e regionEntry) {
-	if len(q.entries) >= QueueSize {
-		q.entries = q.entries[:QueueSize-1]
+	if c := q.capacity(); len(q.entries) >= c {
+		q.entries = q.entries[:c-1]
 	}
 	q.entries = append(q.entries, regionEntry{})
 	copy(q.entries[1:], q.entries)
@@ -168,7 +181,7 @@ func (q *regionQueue) pushHead(e regionEntry) {
 // pushTail appends e at the bottom of the queue (FIFO ablation); when full
 // the newest entry is dropped.
 func (q *regionQueue) pushTail(e regionEntry) {
-	if len(q.entries) >= QueueSize {
+	if len(q.entries) >= q.capacity() {
 		return
 	}
 	q.entries = append(q.entries, e)
@@ -290,6 +303,23 @@ func makeRegion(addr uint64, blocks int, present func(uint64) bool, ptrCtr uint8
 		blocks: uint8(blocks),
 		ptrCtr: ptrCtr,
 	}
+}
+
+// ptrRegionBits builds the candidate bit vector for a pointer-target region
+// of up to want blocks starting at base. Unlike spatial regions — which are
+// size-aligned, so they end at or below the top of the address space by
+// construction — pointer regions start at an arbitrary block, and one whose
+// target sits in the topmost blocks is clamped rather than wrapped to
+// address zero.
+func ptrRegionBits(base uint64, want int) (bits uint64, blocks int) {
+	for i := 0; i < want && i < 64; i++ {
+		if base+uint64(i)*BlockBytes < base {
+			break // wrapped past the top of the address space
+		}
+		bits |= 1 << uint(i)
+		blocks++
+	}
+	return bits, blocks
 }
 
 // retarget updates a queued region entry for a new miss within it: the miss

@@ -63,8 +63,9 @@ func (p *PointerOnly) OnArrival(block uint64) {
 		}
 		p.stats.PointersFound++
 		base := v &^ uint64(BlockBytes-1)
-		p.q.pushHead(regionEntry{base: base, bits: 0b11, blocks: 2, ptrCtr: ctr - 1})
-		p.stats.recordRegion(2)
+		bits, blocks := ptrRegionBits(base, 2)
+		p.q.pushHead(regionEntry{base: base, bits: bits, blocks: uint8(blocks), ptrCtr: ctr - 1})
+		p.stats.recordRegion(blocks)
 	}
 }
 

@@ -153,6 +153,96 @@ func TestScanStaysInLine(t *testing.T) {
 	}
 }
 
+// TestScanZeroLengthHeap checks the degenerate bounds base == lim: the
+// heap is empty, so no value — not even the base itself — passes the
+// pointer test, and a hinted scan completes without queuing anything.
+func TestScanZeroLengthHeap(t *testing.T) {
+	f := &boundsMem{
+		words: map[uint64]uint64{scanLine: heapBase, scanLine + 8: heapBase + 8},
+		base:  heapBase, lim: heapBase,
+	}
+	g, got := scanOnce(t, f)
+	st := g.Stats()
+	if st.PointerScans != 1 {
+		t.Fatalf("PointerScans = %d, want 1", st.PointerScans)
+	}
+	if st.PointersFound != 0 {
+		t.Fatalf("PointersFound = %d, want 0 for a zero-length heap", st.PointersFound)
+	}
+	if len(got) != 0 {
+		t.Fatalf("zero-length heap produced candidates %#x", got)
+	}
+}
+
+// TestRegionEndsAtAddressSpaceTop checks a spatial region in the topmost
+// naturally-aligned slot of the address space: the region ends exactly at
+// 2^64 and every candidate stays inside it — size alignment means no
+// candidate can wrap to low memory.
+func TestRegionEndsAtAddressSpaceTop(t *testing.T) {
+	size := uint64(RegionBlocks) * BlockBytes
+	base := -size // == 2^64 - size
+	e := makeRegion(base+8, RegionBlocks, nil, 0)
+	if e.base != base {
+		t.Fatalf("region base %#x, want %#x", e.base, base)
+	}
+	var q regionQueue
+	q.pushHead(e)
+	n := 0
+	for {
+		b, _, ok := q.pop(nil)
+		if !ok {
+			break
+		}
+		n++
+		if b < base {
+			t.Fatalf("candidate %#x wrapped below region base %#x", b, base)
+		}
+	}
+	// All blocks except the miss block itself.
+	if n != RegionBlocks-1 {
+		t.Fatalf("popped %d candidates, want %d", n, RegionBlocks-1)
+	}
+}
+
+// TestPtrTargetInTopBlock checks a pointer target in the last block of the
+// address space: the two-block pointer region is clamped at the boundary
+// instead of wrapping its second candidate around to address zero.
+func TestPtrTargetInTopBlock(t *testing.T) {
+	topBlk := ^uint64(0) &^ uint64(BlockBytes-1)
+	f := &boundsMem{
+		words: map[uint64]uint64{scanLine: topBlk + 8},
+		base:  topBlk, lim: ^uint64(0),
+	}
+	g, got := scanOnce(t, f)
+	if st := g.Stats(); st.PointersFound != 1 {
+		t.Fatalf("PointersFound = %d, want 1", st.PointersFound)
+	}
+	if len(got) != 1 || got[0] != topBlk {
+		t.Fatalf("candidates = %#x, want exactly [%#x]", got, topBlk)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatalf("clamped top-of-memory region violates invariants: %v", err)
+	}
+}
+
+// TestPtrTargetNearTopKeepsBothBlocks checks the clamp is exact: a target
+// in the second-to-last block still gets its full two-block region.
+func TestPtrTargetNearTopKeepsBothBlocks(t *testing.T) {
+	topBlk := ^uint64(0) &^ uint64(BlockBytes-1)
+	f := &boundsMem{
+		words: map[uint64]uint64{scanLine: topBlk - uint64(BlockBytes) + 8},
+		base:  topBlk - uint64(BlockBytes), lim: ^uint64(0),
+	}
+	g, got := scanOnce(t, f)
+	want := []uint64{topBlk - uint64(BlockBytes), topBlk}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("candidates = %#x, want %#x", got, want)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestScanNotArmedWithoutHint checks an unhinted miss never arms the
 // scanner: GRP's pointer machinery is strictly compiler-guided.
 func TestScanNotArmedWithoutHint(t *testing.T) {

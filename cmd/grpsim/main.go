@@ -50,6 +50,7 @@ func main() {
 		factor     = flag.String("factor", "small", "workload scale: test, small, full")
 		policy     = flag.String("policy", "default", "compiler spatial policy: default, conservative, aggressive")
 		compare    = flag.Bool("compare", false, "also run the no-prefetch baseline and report speedup/traffic")
+		corun      = flag.String("corun", "", "comma-separated co-runner kernels: simulate -bench (core 0) plus these on one shared L2+DRAM and print the per-core slowdown table")
 		metricsOn  = flag.Bool("metrics", false, "collect the telemetry registry and sampled time series")
 		metricsOut = flag.String("metrics-out", "", "write the metrics snapshot as JSON to this file (\"-\" for stdout; implies -metrics)")
 		sampleInt  = flag.Int64("sample-interval", 4096, "sampler period in cycles when -metrics is on (must be positive)")
@@ -95,6 +96,17 @@ func main() {
 	}
 	if err := opt.Validate(); err != nil {
 		log.Fatal(err)
+	}
+	if *corun != "" {
+		// Co-run mode replaces the single-cell campaign path entirely:
+		// RunCoRun drives all cores over the shared fabric and the report
+		// is the per-core slowdown table. Single-core-only instruments
+		// (telemetry, timelines, faults) are rejected by the engine.
+		if *compare || *cacheOn || *perfetto != "" {
+			log.Fatal("-corun does not combine with -compare, -cache, or -perfetto")
+		}
+		runCoRun(spec.Name, *corun, sc, opt, openOut(*attribOut))
+		return
 	}
 	var tl *trace.Timeline
 	if *perfetto != "" {
@@ -154,6 +166,54 @@ func main() {
 	if perfettoFile != nil {
 		writeOut(perfettoFile, tl.WriteJSON)
 		fmt.Printf("wrote %d timeline events to %s\n", tl.Len(), *perfetto)
+	}
+}
+
+// runCoRun is the -corun driver: simulate bench (core 0) plus the
+// comma-separated co-runners on one shared L2+DRAM, run each workload
+// solo for the slowdown reference, and print the per-core table. With
+// -attrib each core's lifecycle ledger joins the report (and -attrib-out
+// dumps the per-core summaries as a JSON array).
+func runCoRun(bench, list string, sc core.Scheme, opt core.Options, attribFile *os.File) {
+	benches := []string{bench}
+	for _, b := range strings.Split(list, ",") {
+		b = strings.TrimSpace(b)
+		if b == "" {
+			log.Fatalf("-corun: empty kernel in %q", list)
+		}
+		if _, err := workloads.ByName(b); err != nil {
+			log.Fatal(err)
+		}
+		benches = append(benches, b)
+	}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	opt.Cancel = ctx.Err
+
+	cr, err := core.RunCoRun(benches, sc, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cr.ComputeSlowdowns(opt); err != nil {
+		log.Fatal(err)
+	}
+	core.FprintCoRun(os.Stdout, cr)
+	if opt.Attrib {
+		for _, r := range cr.Results {
+			fmt.Printf("\ncore %d (%s):", r.CoRun.Core, r.Bench)
+			core.FprintAttrib(os.Stdout, r.Attrib)
+		}
+	}
+	if attribFile != nil {
+		writeOut(attribFile, func(w io.Writer) error {
+			summaries := make([]interface{}, len(cr.Results))
+			for i, r := range cr.Results {
+				summaries[i] = r.Attrib
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(summaries)
+		})
 	}
 }
 

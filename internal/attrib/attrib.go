@@ -208,6 +208,7 @@ type Ledger struct {
 	dropsHeld    uint64
 	dropsSW      uint64
 	victimRemiss uint64
+	crossPoll    uint64
 	classTotals  Counts
 }
 
@@ -251,7 +252,7 @@ func (l *Ledger) Recycle() {
 	l.lastRegion, l.lastPC, l.haveLast = 0, 0, false
 	l.rgKey, l.rg, l.pcKey, l.pg = 0, nil, 0, nil
 	l.issued, l.hintsSeen, l.holdsBusy, l.dropsHeld, l.dropsSW = 0, 0, 0, 0, 0
-	l.victimRemiss = 0
+	l.victimRemiss, l.crossPoll = 0, 0
 	l.classTotals = Counts{}
 	ledgerPool.Put(l)
 }
@@ -462,6 +463,35 @@ func (l *Ledger) Fill(idx int32, now uint64, filled bool, victim uint64, victimV
 		e.victimDemand = true
 		l.victims.Set(victim, 1)
 	}
+}
+
+// CrossCoreVictim records that the prefetch at slab index idx (from
+// Issue) displaced another core's valid demand-resident line in a shared
+// cache — cross-core pollution, charged to the issuing core's ledger.
+// The entry is marked victim-demand (so an unused eviction classifies as
+// pollution), but the victim itself is tracked in its owner's ledger via
+// VictimDisplaced, not here: the two cores' address spaces are disjoint,
+// so arming this ledger's re-miss table with a foreign block could only
+// ever produce false credits. Nil-safe, and a no-op on idx < 0.
+func (l *Ledger) CrossCoreVictim(idx int32) {
+	if l == nil || idx < 0 {
+		return
+	}
+	if e := &l.entries[idx]; e.live {
+		e.victimDemand = true
+	}
+	l.crossPoll++
+}
+
+// VictimDisplaced arms the victim re-miss tracker for a local block that
+// *another* core's prefetch fill displaced from a shared cache, so this
+// core's later demand re-miss to it is counted in VictimReMisses — the
+// demonstrated cost of suffering cross-core pollution. Nil-safe.
+func (l *Ledger) VictimDisplaced(block uint64) {
+	if l == nil {
+		return
+	}
+	l.victims.Set(block, 1)
 }
 
 // release ends tracking for an already-terminal entry (a late prefetch

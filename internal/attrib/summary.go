@@ -34,6 +34,13 @@ type Summary struct {
 	// prefetch fill had displaced — pollution's demonstrated cost.
 	VictimReMisses uint64 `json:"victim_remisses"`
 
+	// CrossCorePollution counts this core's prefetch fills that evicted
+	// another core's valid demand-resident line from the shared L2 (co-run
+	// mode only; always zero solo). Like the other annotations it sits
+	// outside the conservation identity: the same prefetch still lands in
+	// exactly one taxonomy class.
+	CrossCorePollution uint64 `json:"cross_core_pollution,omitempty"`
+
 	Regions      []GroupSummary `json:"regions"`
 	PCs          []GroupSummary `json:"pcs"`
 	RegionsTotal int            `json:"regions_total"`
@@ -50,15 +57,16 @@ func (l *Ledger) Summarize() *Summary {
 		return nil
 	}
 	s := &Summary{
-		Issued:           l.issued,
-		Counts:           l.classTotals,
-		HintsSeen:        l.hintsSeen,
-		HoldsBusy:        l.holdsBusy,
-		DropsHeldPresent: l.dropsHeld,
-		DropsSoftware:    l.dropsSW,
-		VictimReMisses:   l.victimRemiss,
-		RegionsTotal:     len(l.perRegion),
-		PCsTotal:         len(l.perPC),
+		Issued:             l.issued,
+		Counts:             l.classTotals,
+		HintsSeen:          l.hintsSeen,
+		HoldsBusy:          l.holdsBusy,
+		DropsHeldPresent:   l.dropsHeld,
+		DropsSoftware:      l.dropsSW,
+		VictimReMisses:     l.victimRemiss,
+		CrossCorePollution: l.crossPoll,
+		RegionsTotal:       len(l.perRegion),
+		PCsTotal:           len(l.perPC),
 	}
 	s.Regions = topGroups(l.perRegion)
 	s.PCs = topGroups(l.perPC)

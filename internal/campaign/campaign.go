@@ -180,7 +180,11 @@ func (e *Engine) Keys(jobs []Job) ([]CellKey, error) {
 		if err != nil {
 			return nil, err
 		}
-		keys[i] = cellKey(j.Bench, j.Scheme, j.Opt, ph)
+		crh, err := e.memo.coRunHashes(j.Opt, j.Scheme)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = cellKey(j.Bench, j.Scheme, j.Opt, ph, crh...)
 	}
 	return keys, nil
 }
@@ -353,7 +357,11 @@ func (e *Engine) RunOne(ctx context.Context, i int, j Job) (*core.Result, bool, 
 		if err != nil {
 			return nil, false, key, err
 		}
-		key = cellKey(j.Bench, j.Scheme, j.Opt, ph)
+		crh, err := e.memo.coRunHashes(j.Opt, j.Scheme)
+		if err != nil {
+			return nil, false, key, err
+		}
+		key = cellKey(j.Bench, j.Scheme, j.Opt, ph, crh...)
 	}
 	if useCache {
 		if r, ok := e.store.Get(key); ok {

@@ -309,10 +309,44 @@ func TestSpecParse(t *testing.T) {
 		"frobnicate=1",              // unknown axis
 		"schemes",                   // not key=value
 		"depth=4096 × schemes=base", // out of range
+		"corun=nosuch",              // unknown co-runner
+		"corun=art+nosuch",          // unknown core-2 co-runner
+		"corun=+",                   // empty co-runner list
 	} {
 		if _, err := ParseSpec(bad, testOpt()); err == nil {
 			t.Errorf("spec %q parsed without error", bad)
 		}
+	}
+}
+
+// TestSpecCoRunAxis: the corun axis lands in Options.CoRun ('+'-joined
+// for 3+ cores, "none" = solo) and corun=all expands to the full
+// co-runner column, so kernels=all × corun=all is the co-run matrix.
+func TestSpecCoRunAxis(t *testing.T) {
+	g, err := ParseSpec("schemes=grp/var × kernels=mcf × corun=none,art,art+equake", testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Cells) != 3 {
+		t.Fatalf("want 3 cells, got %d", len(g.Cells))
+	}
+	if g.Cells[0].Opt.CoRun != nil {
+		t.Errorf("corun=none cell has CoRun %v", g.Cells[0].Opt.CoRun)
+	}
+	if got := g.Cells[1].Opt.CoRun; len(got) != 1 || got[0] != "art" {
+		t.Errorf("corun=art cell has CoRun %v", got)
+	}
+	if got := g.Cells[2].Opt.CoRun; len(got) != 2 || got[0] != "art" || got[1] != "equake" {
+		t.Errorf("corun=art+equake cell has CoRun %v", got)
+	}
+
+	all, err := ParseSpec("schemes=grp/var × kernels=all × corun=all", testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(workloads.Names())
+	if len(all.Cells) != n*n {
+		t.Fatalf("co-run matrix expanded to %d cells, want %d", len(all.Cells), n*n)
 	}
 }
 

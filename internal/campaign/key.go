@@ -37,7 +37,12 @@ import (
 // region-queue code gained a capacity override; the scheme axis's value
 // domain changed, so schema-4 stores must not be consulted for cells that
 // could collide with the new names.
-const cacheSchemaVersion = 5
+//
+// 6: co-run mode — Options gained CoRun (now in the key, with each
+// co-runner's program hash) and Result gained the CoRun context; a
+// schema-5 cell deserialized into a co-run-aware reader would silently
+// present a solo result for a co-run cell or drop the CoRun field.
+const cacheSchemaVersion = 6
 
 // SchemaVersion reports the store's cell schema version. Fleet
 // dashboards compare it across servers (via the build-info gauge) to
@@ -78,7 +83,7 @@ type CellKey struct {
 // (opt.Mem == nil hashes identically to an explicit DefaultMemConfig), so
 // the key depends on what the simulator will actually do, not on how the
 // caller spelled it.
-func canonicalize(bench string, sc core.Scheme, opt core.Options, progHash uint64) string {
+func canonicalize(bench string, sc core.Scheme, opt core.Options, progHash uint64, coRunHashes []uint64) string {
 	kv := map[string]string{}
 	set := func(k string, v interface{}) { kv[k] = fmt.Sprint(v) }
 
@@ -109,6 +114,13 @@ func canonicalize(bench string, sc core.Scheme, opt core.Options, progHash uint6
 	// The two engines are cycle-exact twins, but they are different code;
 	// a legacy-engine run must never satisfy (or poison) a new-engine hit.
 	set("legacy_engine", opt.LegacyEngine)
+	// Co-run cells depend on every core's program, not just core 0's: the
+	// co-runner list is ordered (core ids) and each co-runner's compiled
+	// program is content-addressed alongside the cell's own prog.hash.
+	set("corun", strings.Join(opt.CoRun, "+"))
+	for i, h := range coRunHashes {
+		set(fmt.Sprintf("corun.hash.%d", i), fmt.Sprintf("%016x", h))
+	}
 
 	memCfg := sim.DefaultMemConfig()
 	if opt.Mem != nil {
@@ -191,9 +203,10 @@ func canonicalize(bench string, sc core.Scheme, opt core.Options, progHash uint6
 	return b.String()
 }
 
-// cellKey computes the content address of one cell.
-func cellKey(bench string, sc core.Scheme, opt core.Options, progHash uint64) CellKey {
-	sum := sha256.Sum256([]byte(canonicalize(bench, sc, opt, progHash)))
+// cellKey computes the content address of one cell. Co-run cells pass
+// one hash per co-runner (core order); solo cells pass none.
+func cellKey(bench string, sc core.Scheme, opt core.Options, progHash uint64, coRunHashes ...uint64) CellKey {
+	sum := sha256.Sum256([]byte(canonicalize(bench, sc, opt, progHash, coRunHashes)))
 	return CellKey{Bench: bench, Scheme: sc, Digest: hex.EncodeToString(sum[:])}
 }
 
@@ -253,6 +266,23 @@ type hashMemo struct {
 }
 
 func newHashMemo() *hashMemo { return &hashMemo{m: map[string]uint64{}} }
+
+// coRunHashes hashes each co-runner's compiled program (core order,
+// same codegen rules as the cell's own bench). Nil for solo cells.
+func (hm *hashMemo) coRunHashes(opt core.Options, sc core.Scheme) ([]uint64, error) {
+	if len(opt.CoRun) == 0 {
+		return nil, nil
+	}
+	out := make([]uint64, len(opt.CoRun))
+	for i, b := range opt.CoRun {
+		h, err := hm.get(b, opt.Factor, opt.Policy, sc == core.SoftwarePF)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = h
+	}
+	return out, nil
+}
 
 func (hm *hashMemo) get(bench string, f workloads.Factor, pol compiler.Policy, swpf bool) (uint64, error) {
 	k := fmt.Sprintf("%s|%s|%s|%t", bench, f, pol, swpf)

@@ -29,7 +29,14 @@ import (
 // suffixes):
 //
 //	l1.size l1.assoc l2.size l2.assoc l2.mshrs dram.channels
-//	prefetch.inflight depth srp.region openpage mru noprior
+//	prefetch.inflight depth srp.region openpage mru noprior corun
+//
+// The corun axis runs each cell multi-core: its value names the
+// co-runner workload(s) sharing the L2 and DRAM with the cell's bench,
+// '+'-joined for three or more cores ("corun=art,mcf+art" is a 2-core
+// and a 3-core variant). "none" is the solo cell; "corun=all" expands to
+// one co-runner per workload, so "kernels=all × corun=all" is the full
+// co-run matrix.
 //
 // The expanded grid is ordered canonically: overlay combinations vary
 // slowest (axes in declared order, values in declared order), then
@@ -127,6 +134,9 @@ func ParseSpec(spec string, base core.Options) (*Grid, error) {
 		default:
 			if _, ok := axisSetters[k]; !ok {
 				return nil, fmt.Errorf("campaign: unknown spec key %q (axes: %s)", k, strings.Join(axisKeys(), ", "))
+			}
+			if k == "corun" && len(vals) == 1 && strings.EqualFold(vals[0], "all") {
+				vals = workloads.Names()
 			}
 			g.Axes = append(g.Axes, Axis{Key: k, Values: vals})
 		}
@@ -338,6 +348,28 @@ var axisSetters = map[string]func(*core.Options, string) error{
 			return err
 		}
 		o.DisablePrioritizer = b
+		return nil
+	},
+	"corun": func(o *core.Options, v string) error {
+		if strings.EqualFold(v, "none") || v == "-" {
+			o.CoRun = nil
+			return nil
+		}
+		var benches []string
+		for _, p := range strings.Split(v, "+") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			if _, err := workloads.ByName(p); err != nil {
+				return err
+			}
+			benches = append(benches, p)
+		}
+		if len(benches) == 0 {
+			return fmt.Errorf("empty co-runner list")
+		}
+		o.CoRun = benches
 		return nil
 	},
 }

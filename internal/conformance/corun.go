@@ -1,0 +1,256 @@
+package conformance
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+
+	"grp/internal/campaign"
+	"grp/internal/compiler"
+	"grp/internal/core"
+	"grp/internal/mem"
+	"grp/internal/progen"
+	"grp/internal/workloads"
+)
+
+// The co-run equivalence battery holds the multi-core engine to two
+// properties over the generated-program fleet:
+//
+//   - N=1 equivalence: a 1-core co-run is cycle-identical to the
+//     single-cell engine — every field of the Result agrees, down to the
+//     attribution summary. The co-run system is a second implementation
+//     of the same timing semantics, so this is the multi-core analogue
+//     of the legacy-engine timing check.
+//   - 2-core architectural invariance: contention perturbs timing only;
+//     each core of a 2-core self-co-run reproduces its solo run's
+//     architectural and memory digests, never runs faster than solo,
+//     and keeps every shared-fabric invariant (including the arbiter's
+//     starvation bound) intact.
+
+// CoRunConfig parameterizes a co-run conformance campaign.
+type CoRunConfig struct {
+	// N is how many generated programs to check; Seed seeds the first
+	// (program i uses Seed+i). Jobs is the worker-pool width.
+	N    int
+	Seed int64
+	Jobs int
+	// Schemes to check; nil uses the realistic set (DefaultSchemes).
+	Schemes []core.Scheme
+	// Pair additionally runs every program as a 2-core self-co-run and
+	// checks architectural invariance under contention.
+	Pair bool
+	// MaxSteps bounds the interpreter oracle (default 300k); programs
+	// exceeding it are skipped, as in the main harness.
+	MaxSteps int
+	// Progress, when non-nil, is called after each checked program.
+	// Serialized.
+	Progress func(done, total, failed int)
+}
+
+// CoRunFailure is one equivalence or invariance violation.
+type CoRunFailure struct {
+	Seed   int64
+	Scheme core.Scheme
+	Kind   string // run-error, equivalence-divergence, arch-divergence, cycle-bound
+	Detail string
+}
+
+func (f CoRunFailure) String() string {
+	return fmt.Sprintf("seed %d %s: %s: %s", f.Seed, f.Scheme, f.Kind, f.Detail)
+}
+
+// CoRunProgramReport is the outcome of checking one generated program.
+type CoRunProgramReport struct {
+	Seed       int64
+	Skipped    bool
+	SkipReason string
+	Cells      int
+	Failures   []CoRunFailure
+}
+
+// CoRunReport aggregates a co-run conformance campaign.
+type CoRunReport struct {
+	Programs []CoRunProgramReport
+}
+
+// Failed reports whether any program failed.
+func (r *CoRunReport) Failed() bool {
+	for _, p := range r.Programs {
+		if len(p.Failures) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Failures collects every failure in seed order.
+func (r *CoRunReport) Failures() []CoRunFailure {
+	var out []CoRunFailure
+	for _, p := range r.Programs {
+		out = append(out, p.Failures...)
+	}
+	return out
+}
+
+// Summary renders the deterministic campaign summary.
+func (r *CoRunReport) Summary() string {
+	var cells, skipped int
+	for _, p := range r.Programs {
+		cells += p.Cells
+		if p.Skipped {
+			skipped++
+		}
+	}
+	fails := r.Failures()
+	var b strings.Builder
+	fmt.Fprintf(&b, "corun-conformance: %d programs, %d cells, %d skipped, %d failures\n",
+		len(r.Programs), cells, skipped, len(fails))
+	for _, f := range fails {
+		fmt.Fprintf(&b, "  FAIL %s\n", f)
+	}
+	return b.String()
+}
+
+// RunCoRun checks cfg.N generated programs through the co-run
+// equivalence battery on up to cfg.Jobs workers.
+func RunCoRun(cfg CoRunConfig) (*CoRunReport, error) {
+	if cfg.N <= 0 {
+		cfg.N = 1
+	}
+	rep := &CoRunReport{Programs: make([]CoRunProgramReport, cfg.N)}
+	var done, failed int
+	progress := func(failures int) {}
+	if cfg.Progress != nil {
+		mu := make(chan struct{}, 1)
+		mu <- struct{}{}
+		progress = func(failures int) {
+			<-mu
+			done++
+			failed += failures
+			cfg.Progress(done, cfg.N, failed)
+			mu <- struct{}{}
+		}
+	}
+	err := campaign.ParallelFor(nil, cfg.N, cfg.Jobs, func(i int) error {
+		pr := CheckCoRunSeed(cfg, cfg.Seed+int64(i))
+		rep.Programs[i] = *pr
+		progress(len(pr.Failures))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// CheckCoRunSeed generates one program and runs it through the battery.
+func CheckCoRunSeed(cfg CoRunConfig, seed int64) *CoRunProgramReport {
+	pr := &CoRunProgramReport{Seed: seed}
+	fail := func(sc core.Scheme, kind, detail string) {
+		pr.Failures = append(pr.Failures, CoRunFailure{Seed: seed, Scheme: sc, Kind: kind, Detail: detail})
+	}
+
+	w := progen.Generate(seed, progen.Config{})
+	if err := w.Prog.Validate(); err != nil {
+		fail(core.NoPrefetch, "run-error", fmt.Sprintf("generator produced invalid program: %v", err))
+		return pr
+	}
+	// Budget from the interpreter oracle, exactly as the main harness
+	// derives it (see CheckWorkload).
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = defaultMaxSteps
+	}
+	om := mem.New()
+	lay := compiler.Place(w.Prog, om)
+	w.Init(om, func(name string) uint64 { return lay.Addr[name] })
+	ip := compiler.NewInterp(w.Prog, lay, om, maxSteps)
+	if err := ip.Run(); err != nil {
+		pr.Skipped = true
+		pr.SkipReason = err.Error()
+		return pr
+	}
+	budget := uint64(ip.Steps())*16 + 65536
+	spec := syntheticSpec(seed, w, budget)
+
+	schemes := cfg.Schemes
+	if schemes == nil {
+		schemes = DefaultSchemes()
+	}
+	opt := core.Options{Attrib: true, CheckInvariants: true}
+
+	for _, sc := range schemes {
+		pr.Cells += 2
+		solo, err := core.Run(spec, sc, opt)
+		if err != nil {
+			fail(sc, "run-error", fmt.Sprintf("solo: %v", err))
+			continue
+		}
+		cr, err := core.RunCoRunSpecs([]*workloads.Spec{spec}, sc, opt)
+		if err != nil {
+			fail(sc, "run-error", fmt.Sprintf("corun n=1: %v", err))
+			continue
+		}
+		if diffs := DiffResults(solo, cr.Results[0]); len(diffs) > 0 {
+			fail(sc, "equivalence-divergence",
+				fmt.Sprintf("1-core co-run diverged from solo; first divergent field: %s", diffs[0]))
+			continue
+		}
+
+		if !cfg.Pair {
+			continue
+		}
+		pr.Cells++
+		pair, err := core.RunCoRunSpecs([]*workloads.Spec{spec, spec}, sc, opt)
+		if err != nil {
+			fail(sc, "run-error", fmt.Sprintf("corun n=2: %v", err))
+			continue
+		}
+		for c, r := range pair.Results {
+			if r.ArchDigest != solo.ArchDigest || r.MemDigest != solo.MemDigest {
+				fail(sc, "arch-divergence",
+					fmt.Sprintf("2-core self-co-run core %d: arch %016x mem %016x, solo arch %016x mem %016x",
+						c, r.ArchDigest, r.MemDigest, solo.ArchDigest, solo.MemDigest))
+			}
+			if r.CPU.Cycles < solo.CPU.Cycles {
+				fail(sc, "cycle-bound",
+					fmt.Sprintf("2-core core %d finished in %d cycles, solo took %d — contention cannot speed a core up",
+						c, r.CPU.Cycles, solo.CPU.Cycles))
+			}
+		}
+	}
+	return pr
+}
+
+// DiffResults compares two Results field-by-field and returns the
+// divergent fields in declaration order (empty = identical). The
+// co-run context is excluded — it is exactly the field that must differ
+// between a solo run and a 1-core co-run.
+func DiffResults(solo, corun *core.Result) []string {
+	var out []string
+	add := func(name string, g, w interface{}) {
+		if !reflect.DeepEqual(g, w) {
+			out = append(out, fmt.Sprintf("%s: solo %v, corun %v", name, g, w))
+		}
+	}
+	add("bench", solo.Bench, corun.Bench)
+	add("scheme", solo.Scheme, corun.Scheme)
+	add("cpu.instrs", solo.CPU.Instrs, corun.CPU.Instrs)
+	add("cpu.cycles", solo.CPU.Cycles, corun.CPU.Cycles)
+	add("cpu.loads", solo.CPU.Loads, corun.CPU.Loads)
+	add("cpu.stores", solo.CPU.Stores, corun.CPU.Stores)
+	add("cpu.branches", solo.CPU.Branches, corun.CPU.Branches)
+	add("cpu.mispredicts", solo.CPU.Mispredicts, corun.CPU.Mispredicts)
+	add("cpu.halted", solo.CPU.Halted, corun.CPU.Halted)
+	add("l1", solo.L1, corun.L1)
+	add("l2", solo.L2, corun.L2)
+	add("mem", solo.Mem, corun.Mem)
+	add("dram", solo.Dram, corun.Dram)
+	add("pf", solo.PF, corun.PF)
+	add("traffic_bytes", solo.TrafficBytes, corun.TrafficBytes)
+	add("hints", solo.Hints, corun.Hints)
+	add("arch_digest", fmt.Sprintf("%016x", solo.ArchDigest), fmt.Sprintf("%016x", corun.ArchDigest))
+	add("mem_digest", fmt.Sprintf("%016x", solo.MemDigest), fmt.Sprintf("%016x", corun.MemDigest))
+	add("attrib", solo.Attrib, corun.Attrib)
+	return out
+}

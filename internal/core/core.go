@@ -169,6 +169,12 @@ type Options struct {
 	// early — it cannot change a completed run's results — so it is
 	// invisible to the campaign cache key.
 	Cancel func() error
+	// CoRun, when non-empty, runs the cell multi-core: the cell's bench
+	// on core 0 and each listed workload on its own additional core, all
+	// over one shared L2 and DRAM (see RunCoRun). The cell's Result is
+	// core 0's per-core view with the cross-core context in Result.CoRun.
+	// Part of the campaign cache key (spec axis "corun").
+	CoRun []string
 }
 
 // Validate checks the run options: any overridden CPU, cache, or DRAM
@@ -235,6 +241,8 @@ type Result struct {
 	// Attrib is the prefetch lifecycle attribution digest (nil unless
 	// Options.Attrib was set on the current engine).
 	Attrib *attrib.Summary `json:",omitempty"`
+	// CoRun is the cross-core context of a co-run cell (nil on solo runs).
+	CoRun *CoRunInfo `json:",omitempty"`
 }
 
 // IPC returns committed instructions per cycle.
@@ -268,6 +276,9 @@ type memSystem interface {
 func Run(spec *workloads.Spec, scheme Scheme, opt Options) (*Result, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
+	}
+	if len(opt.CoRun) > 0 {
+		return runCoRunCell(spec, scheme, opt)
 	}
 	built := spec.Build(opt.Factor)
 	m := mem.New()

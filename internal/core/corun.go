@@ -1,0 +1,326 @@
+// Co-run mode: N cores, each running its own workload, over one shared
+// L2 and DRAM (sim.CoRunSystem). Surfaced two ways: RunCoRun for the
+// multi-result driver (grpsim -corun), and Options.CoRun for the
+// campaign grid, where a cell's result is core 0's view of the co-run
+// with the cross-core context attached.
+package core
+
+import (
+	"fmt"
+
+	"grp/internal/attrib"
+	"grp/internal/compiler"
+	"grp/internal/cpu"
+	"grp/internal/isa"
+	"grp/internal/mem"
+	"grp/internal/prefetch"
+	"grp/internal/sim"
+	"grp/internal/workloads"
+)
+
+// CoRunInfo is the cross-core context attached to each per-core Result
+// of a co-run.
+type CoRunInfo struct {
+	// NCores is the co-run width; Core is this result's core id.
+	NCores int `json:"n_cores"`
+	Core   int `json:"core"`
+	// Benches lists every core's workload, indexed by core id.
+	Benches []string `json:"benches"`
+	// AggTrafficBytes is total traffic on the shared DRAM across all
+	// cores (each Result.TrafficBytes also reports this shared total;
+	// per-core traffic is not separable at the controller).
+	AggTrafficBytes uint64 `json:"agg_traffic_bytes"`
+	// PollutionCaused counts this core's prefetch fills that evicted
+	// another core's valid demand-resident line from the shared L2;
+	// PollutionSuffered counts this core's lines so evicted.
+	PollutionCaused   uint64 `json:"pollution_caused"`
+	PollutionSuffered uint64 `json:"pollution_suffered"`
+}
+
+// CoRunResult is the outcome of one co-run: one Result per core (same
+// scheme everywhere, workloads per Benches order) plus the aggregates.
+type CoRunResult struct {
+	// Results holds core i's view at index i. Shared-resource fields
+	// (L2, Dram, TrafficBytes) are the shared totals in every entry;
+	// L1, Mem, CPU, PF and Attrib are genuinely per-core.
+	Results []*Result
+	// AggTrafficBytes is the shared controller's total traffic.
+	AggTrafficBytes uint64
+	// SoloCycles/Slowdown are filled by ComputeSlowdowns: core i's solo
+	// cycle count under the same scheme and options, and its co-run
+	// slowdown factor corunCycles/soloCycles.
+	SoloCycles []uint64
+	Slowdown   []float64
+}
+
+// validateCoRun rejects option combinations the co-run engine does not
+// support. Fault injection, telemetry, timelines, the legacy engine and
+// the fill tamper hook are all single-core instruments; everything else
+// (ablations, attribution, invariant checking, watchdog, cancellation)
+// carries over.
+func validateCoRun(opt Options) error {
+	switch {
+	case opt.Faults.Active():
+		return fmt.Errorf("core: co-run does not support fault injection")
+	case opt.Metrics:
+		return fmt.Errorf("core: co-run does not support the telemetry layer")
+	case opt.Timeline != nil:
+		return fmt.Errorf("core: co-run does not support timeline capture")
+	case opt.LegacyEngine:
+		return fmt.Errorf("core: co-run does not support the legacy engine")
+	case opt.TamperPrefetchFill != nil:
+		return fmt.Errorf("core: co-run does not support the fill tamper hook")
+	}
+	return nil
+}
+
+// RunCoRun simulates len(benches) cores, each running one benchmark
+// under the given scheme, over a shared L2 and DRAM. Each core keeps a
+// private functional memory, compiled program, L1, prefetch engine, L2
+// MSHR partition and prefetch budget; contention happens at the shared
+// L2 capacity and DRAM channels. Threads interleave deterministically —
+// each step commits one instruction on the core whose last commit is
+// furthest behind (ties to the lower core id) — so a co-run is exactly
+// reproducible at any host parallelism. With one benchmark the run is
+// cycle-identical to Run (the conformance equivalence battery holds the
+// two engines to that).
+func RunCoRun(benches []string, scheme Scheme, opt Options) (*CoRunResult, error) {
+	specs := make([]*workloads.Spec, len(benches))
+	for i, bench := range benches {
+		spec, err := workloads.ByName(bench)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = spec
+	}
+	return RunCoRunSpecs(specs, scheme, opt)
+}
+
+// RunCoRunSpecs is RunCoRun over already-resolved workload specs — the
+// entry point for synthetic workloads (the conformance harness's
+// generated programs) that are not in the registry.
+func RunCoRunSpecs(specs []*workloads.Spec, scheme Scheme, opt Options) (*CoRunResult, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("core: co-run needs at least one workload")
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := validateCoRun(opt); err != nil {
+		return nil, err
+	}
+	n := len(specs)
+	benches := make([]string, n)
+	for i, spec := range specs {
+		benches[i] = spec.Name
+	}
+
+	type coreState struct {
+		spec   *workloads.Spec
+		m      *mem.Memory
+		prog   *isa.Program
+		engine prefetch.Engine
+		ledger *attrib.Ledger
+		core   *cpu.Core
+		thread *cpu.Thread
+
+		maxInstrs uint64
+	}
+	states := make([]*coreState, n)
+	engines := make([]prefetch.Engine, n)
+	for i, spec := range specs {
+		st := &coreState{spec: spec, m: mem.New()}
+		built := spec.Build(opt.Factor)
+		var cgOpts compiler.CodegenOptions
+		if scheme == SoftwarePF {
+			cgOpts.SoftwarePrefetch = true
+		}
+		prog, layout, _, err := compiler.CompileWorkloadOpts(built.Prog, st.m, opt.Policy, cgOpts)
+		if err != nil {
+			return nil, fmt.Errorf("core: compiling %s: %w", spec.Name, err)
+		}
+		built.Init(st.m, layout)
+		st.prog = prog
+		st.engine = engineFor(scheme, spec, st.m, opt)
+		st.maxInstrs = built.MaxInstrs
+		states[i], engines[i] = st, st.engine
+	}
+
+	memCfg := sim.DefaultMemConfig()
+	if opt.Mem != nil {
+		memCfg = *opt.Mem
+	}
+	switch scheme {
+	case PerfectL1:
+		memCfg.L1.Perfect = true
+	case PerfectL2:
+		memCfg.L2.Perfect = true
+	}
+	if opt.PrefetchInsertMRU {
+		memCfg.L2.PrefetchInsertMRU = true
+	}
+	if opt.OpenPageFirst {
+		memCfg.OpenPageFirst = true
+	}
+
+	cs, err := sim.NewCoRunSystem(memCfg, engines)
+	if err != nil {
+		return nil, fmt.Errorf("core: building co-run system: %w", err)
+	}
+	if opt.DisablePrioritizer {
+		cs.SetPrioritizer(false)
+	}
+	wdCfg := sim.WatchdogConfig{}
+	if opt.Watchdog != nil {
+		wdCfg = *opt.Watchdog
+	}
+	cs.SetWatchdog(wdCfg)
+	if opt.CheckInvariants {
+		cs.EnableInvariantChecks(opt.InvariantEvery)
+	}
+
+	for i, st := range states {
+		port := cs.Port(i)
+		if opt.Attrib {
+			st.ledger = attrib.NewLedger()
+			port.AttachLedger(st.ledger)
+		}
+		cpuCfg := cpu.Default()
+		if opt.CPU != nil {
+			cpuCfg = *opt.CPU
+		}
+		cpuCfg.MaxInstrs = st.maxInstrs
+		if opt.MaxInstrs != 0 {
+			cpuCfg.MaxInstrs = opt.MaxInstrs
+		}
+		cpuCfg.Cancel = opt.Cancel
+		c, err := cpu.New(cpuCfg, st.m, port)
+		if err != nil {
+			return nil, fmt.Errorf("core: building core %d: %w", i, err)
+		}
+		st.core = c
+	}
+
+	// Watchdog and invariant aborts surface as typed panics from inside
+	// the shared pump; convert them back into errors, as Run does.
+	err = func() (err error) {
+		defer sim.RecoverAbort(&err)
+		for i, st := range states {
+			t, serr := st.core.Start(st.prog)
+			if serr != nil {
+				return fmt.Errorf("starting core %d: %w", i, serr)
+			}
+			st.thread = t
+		}
+		// Deterministic interleave: always step the unfinished core whose
+		// last committed instruction is furthest behind in cycles (lower
+		// core id on ties). Cross-core submission-time jitter from the
+		// commit granularity is absorbed by the shared pump's monotonic
+		// clamp.
+		for {
+			best := -1
+			for i, st := range states {
+				if st.thread.Done() {
+					continue
+				}
+				if best < 0 || st.thread.LastCommitCycle() < states[best].thread.LastCommitCycle() {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			if serr := states[best].thread.Step(); serr != nil {
+				return fmt.Errorf("core %d (%s): %w", best, states[best].spec.Name, serr)
+			}
+		}
+		cs.Drain()
+		return nil
+	}()
+	if err != nil {
+		return nil, fmt.Errorf("core: co-running %v/%s: %w", benches, scheme, err)
+	}
+
+	out := &CoRunResult{
+		Results:         make([]*Result, n),
+		AggTrafficBytes: cs.Dram.TrafficBytes(),
+	}
+	for i, st := range states {
+		port := cs.Port(i)
+		var attribSummary *attrib.Summary
+		if st.ledger != nil {
+			st.ledger.Finalize()
+			if cerr := st.ledger.CheckConservation(); cerr != nil {
+				return nil, fmt.Errorf("core: co-running %v/%s: core %d: %w", benches, scheme, i, cerr)
+			}
+			attribSummary = st.ledger.Summarize()
+			port.AttachLedger(nil)
+			st.ledger.Recycle()
+		}
+		cres := st.thread.Result()
+		md := st.m.Digest()
+		caused, suffered := port.Pollution()
+		out.Results[i] = &Result{
+			Bench:        st.spec.Name,
+			Scheme:       scheme,
+			CPU:          cres,
+			L1:           port.L1.Stats(),
+			L2:           cs.L2.Stats(),
+			Mem:          port.Stats(),
+			Dram:         cs.Dram.Stats(),
+			PF:           st.engine.Stats(),
+			TrafficBytes: cs.Dram.TrafficBytes(),
+			Hints:        st.prog.CountHints(),
+			ArchDigest:   archDigest(st.core, cres, md),
+			MemDigest:    md,
+			Attrib:       attribSummary,
+			CoRun: &CoRunInfo{
+				NCores: n, Core: i,
+				Benches:           append([]string(nil), benches...),
+				AggTrafficBytes:   cs.Dram.TrafficBytes(),
+				PollutionCaused:   caused,
+				PollutionSuffered: suffered,
+			},
+		}
+	}
+	return out, nil
+}
+
+// ComputeSlowdowns runs each co-run workload solo under the same scheme
+// and options and fills SoloCycles and Slowdown (co-run cycles over solo
+// cycles, per core). Solo runs are full simulations; drivers that only
+// need the co-run itself skip this.
+func (cr *CoRunResult) ComputeSlowdowns(opt Options) error {
+	opt.CoRun = nil
+	cr.SoloCycles = make([]uint64, len(cr.Results))
+	cr.Slowdown = make([]float64, len(cr.Results))
+	for i, r := range cr.Results {
+		spec, err := workloads.ByName(r.Bench)
+		if err != nil {
+			return err
+		}
+		solo, err := Run(spec, r.Scheme, opt)
+		if err != nil {
+			return fmt.Errorf("core: solo reference for %s: %w", r.Bench, err)
+		}
+		cr.SoloCycles[i] = solo.CPU.Cycles
+		if solo.CPU.Cycles > 0 {
+			cr.Slowdown[i] = float64(r.CPU.Cycles) / float64(solo.CPU.Cycles)
+		}
+	}
+	return nil
+}
+
+// runCoRunCell is Run's co-run delegation: the cell's bench takes core
+// 0, Options.CoRun fills cores 1..N-1, and the cell's result is core 0's
+// per-core view (CoRunInfo attached).
+func runCoRunCell(spec *workloads.Spec, scheme Scheme, opt Options) (*Result, error) {
+	benches := append([]string{spec.Name}, opt.CoRun...)
+	sub := opt
+	sub.CoRun = nil
+	cr, err := RunCoRun(benches, scheme, sub)
+	if err != nil {
+		return nil, err
+	}
+	return cr.Results[0], nil
+}

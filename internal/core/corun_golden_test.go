@@ -1,0 +1,179 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"grp/internal/workloads"
+)
+
+// The co-run golden suite pins 2-core contention timing the same way the
+// single-core suite pins solo timing: exact per-core digests, cycles,
+// and memory statistics for a subset of kernel pairs under the three
+// headline prefetchers. Regenerate with
+// go test ./internal/core -run TestCoRunGoldenSnapshots -update.
+
+// corunGoldenPairs is the snapshot grid's workload axis: pointer-chasing
+// vs streaming (mcf|art), two pointer chasers (mcf|equake), two
+// streamers (art|swim), and an integer pair (gzip|twolf) — enough shapes
+// to pin both capacity contention and channel contention.
+func corunGoldenPairs() [][2]string {
+	return [][2]string{
+		{"mcf", "art"},
+		{"mcf", "equake"},
+		{"art", "swim"},
+		{"gzip", "twolf"},
+	}
+}
+
+// corunGoldenSchemes: the co-run grid covers the paper's variable-region
+// GRP plus the two post-paper engine families (GHB, adaptive GRP).
+func corunGoldenSchemes() []Scheme {
+	return []Scheme{GRPVar, GHB, GRPAdaptive}
+}
+
+// corunGoldenSnapshot is one committed 2-core cell: per-core snapshots
+// (reusing the solo golden schema) plus the cross-core fields.
+type corunGoldenSnapshot struct {
+	Benches         []string `json:"benches"`
+	Scheme          string   `json:"scheme"`
+	AggTrafficBytes uint64   `json:"agg_traffic_bytes"`
+
+	Cores []corunGoldenCore `json:"cores"`
+}
+
+type corunGoldenCore struct {
+	goldenSnapshot
+	PollutionCaused   uint64 `json:"pollution_caused"`
+	PollutionSuffered uint64 `json:"pollution_suffered"`
+}
+
+func corunSnapshotOf(cr *CoRunResult) corunGoldenSnapshot {
+	out := corunGoldenSnapshot{
+		Scheme:          cr.Results[0].Scheme.String(),
+		AggTrafficBytes: cr.AggTrafficBytes,
+	}
+	for _, r := range cr.Results {
+		out.Benches = append(out.Benches, r.Bench)
+		out.Cores = append(out.Cores, corunGoldenCore{
+			goldenSnapshot:    snapshotOf(r),
+			PollutionCaused:   r.CoRun.PollutionCaused,
+			PollutionSuffered: r.CoRun.PollutionSuffered,
+		})
+	}
+	return out
+}
+
+// corunDiffFields reports divergent fields in declaration order, the
+// per-core solo schema first (prefixed core0./core1.), then the
+// cross-core fields — the first entry is the first divergent field.
+func corunDiffFields(got, want corunGoldenSnapshot) []string {
+	var out []string
+	if len(got.Cores) != len(want.Cores) {
+		return []string{fmt.Sprintf("cores: got %d, want %d", len(got.Cores), len(want.Cores))}
+	}
+	for i := range got.Cores {
+		for _, d := range diffFields(got.Cores[i].goldenSnapshot, want.Cores[i].goldenSnapshot) {
+			out = append(out, fmt.Sprintf("core%d.%s", i, d))
+		}
+		if g, w := got.Cores[i].PollutionCaused, want.Cores[i].PollutionCaused; g != w {
+			out = append(out, fmt.Sprintf("core%d.pollution_caused: got %d, want %d", i, g, w))
+		}
+		if g, w := got.Cores[i].PollutionSuffered, want.Cores[i].PollutionSuffered; g != w {
+			out = append(out, fmt.Sprintf("core%d.pollution_suffered: got %d, want %d", i, g, w))
+		}
+	}
+	if got.AggTrafficBytes != want.AggTrafficBytes {
+		out = append(out, fmt.Sprintf("agg_traffic_bytes: got %d, want %d", got.AggTrafficBytes, want.AggTrafficBytes))
+	}
+	return out
+}
+
+func corunGoldenPath(pair [2]string, sc Scheme) string {
+	name := fmt.Sprintf("%s__%s__%s.json", pair[0], pair[1],
+		strings.ReplaceAll(sc.String(), "/", "-"))
+	return filepath.Join("testdata", "corun", name)
+}
+
+// TestCoRunGoldenSnapshots simulates every committed pair × scheme cell
+// at Test factor 2-core and compares field-by-field, naming the first
+// divergent field on mismatch. -update regenerates.
+func TestCoRunGoldenSnapshots(t *testing.T) {
+	opt := Options{Factor: workloads.Test}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Join("testdata", "corun"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pair := range corunGoldenPairs() {
+		for _, sc := range corunGoldenSchemes() {
+			pair, sc := pair, sc
+			t.Run(fmt.Sprintf("%s+%s/%s", pair[0], pair[1], sc), func(t *testing.T) {
+				cr, err := RunCoRun([]string{pair[0], pair[1]}, sc, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := corunSnapshotOf(cr)
+				path := corunGoldenPath(pair, sc)
+
+				if *updateGolden {
+					data, err := json.MarshalIndent(got, "", "  ")
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing co-run golden snapshot (run with -update to generate): %v", err)
+				}
+				var want corunGoldenSnapshot
+				if err := json.Unmarshal(data, &want); err != nil {
+					t.Fatalf("corrupt co-run golden snapshot %s: %v", path, err)
+				}
+				if diffs := corunDiffFields(got, want); len(diffs) > 0 {
+					t.Errorf("%s+%s/%s diverges from golden snapshot; first divergent field:\n  %s",
+						pair[0], pair[1], sc, strings.Join(diffs, "\n  "))
+				}
+			})
+		}
+	}
+}
+
+// TestCoRunGoldenCoverage pins the co-run grid shape exactly as
+// TestGoldenCoverage pins the solo one.
+func TestCoRunGoldenCoverage(t *testing.T) {
+	if *updateGolden {
+		t.Skip("regenerating")
+	}
+	want := map[string]bool{}
+	for _, pair := range corunGoldenPairs() {
+		for _, sc := range corunGoldenSchemes() {
+			want[filepath.Base(corunGoldenPath(pair, sc))] = true
+		}
+	}
+	ents, err := os.ReadDir(filepath.Join("testdata", "corun"))
+	if err != nil {
+		t.Fatalf("corun testdata missing (run TestCoRunGoldenSnapshots -update): %v", err)
+	}
+	seen := map[string]bool{}
+	for _, e := range ents {
+		if !want[e.Name()] {
+			t.Errorf("stale corun golden file %s", e.Name())
+		}
+		seen[e.Name()] = true
+	}
+	for name := range want {
+		if !seen[name] {
+			t.Errorf("missing corun golden file %s", name)
+		}
+	}
+}

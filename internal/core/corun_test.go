@@ -1,0 +1,194 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"grp/internal/faults"
+	"grp/internal/sim"
+	"grp/internal/workloads"
+)
+
+// TestCoRunSingleCoreMatchesSolo: a 1-core co-run is the solo engine in
+// every observable field — digests, cycles, all statistics, and the
+// attribution summary. The fleet-scale version of this check (200
+// generated programs) lives in internal/conformance; this is the fast
+// in-package anchor over two real kernels.
+func TestCoRunSingleCoreMatchesSolo(t *testing.T) {
+	for _, bench := range []string{"mcf", "art"} {
+		for _, sc := range []Scheme{GRPVar, GHB} {
+			spec, err := workloads.ByName(bench)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := Options{Factor: workloads.Test, Attrib: true, CheckInvariants: true}
+			solo, err := Run(spec, sc, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cr, err := RunCoRun([]string{bench}, sc, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := *cr.Results[0]
+			if got.CoRun == nil || got.CoRun.NCores != 1 || got.CoRun.Core != 0 {
+				t.Fatalf("%s/%s: missing or wrong CoRun info: %+v", bench, sc, got.CoRun)
+			}
+			got.CoRun = nil
+			if !reflect.DeepEqual(*solo, got) {
+				t.Fatalf("%s/%s: 1-core co-run diverged from solo:\nsolo:  %+v\ncorun: %+v",
+					bench, sc, *solo, got)
+			}
+		}
+	}
+}
+
+// TestCoRunOptionsDelegation: Options.CoRun routes Run through the
+// co-run engine — the cell's bench lands on core 0 and the result
+// carries the cross-core context.
+func TestCoRunOptionsDelegation(t *testing.T) {
+	spec, err := workloads.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Factor: workloads.Test, CoRun: []string{"art"}}
+	r, err := Run(spec, GRPVar, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bench != "mcf" || r.CoRun == nil || r.CoRun.NCores != 2 || r.CoRun.Core != 0 {
+		t.Fatalf("co-run cell result misrouted: bench=%s corun=%+v", r.Bench, r.CoRun)
+	}
+	if got, want := r.CoRun.Benches, []string{"mcf", "art"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("co-run benches = %v, want %v", got, want)
+	}
+
+	cr, err := RunCoRun([]string{"mcf", "art"}, GRPVar, Options{Factor: workloads.Test})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CPU.Cycles != cr.Results[0].CPU.Cycles || r.ArchDigest != cr.Results[0].ArchDigest {
+		t.Fatal("Options.CoRun cell differs from the equivalent RunCoRun core 0")
+	}
+}
+
+// TestCoRunArchUnchanged: contention perturbs timing only — each core's
+// architectural and memory digests equal its solo run's.
+func TestCoRunArchUnchanged(t *testing.T) {
+	opt := Options{Factor: workloads.Test, Attrib: true, CheckInvariants: true}
+	cr, err := RunCoRun([]string{"mcf", "art"}, GRPVar, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range cr.Results {
+		spec, err := workloads.ByName(r.Bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo, err := Run(spec, GRPVar, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.ArchDigest != solo.ArchDigest || r.MemDigest != solo.MemDigest {
+			t.Fatalf("core %d (%s): digests diverged from solo under contention", i, r.Bench)
+		}
+		if r.CPU.Cycles < solo.CPU.Cycles {
+			t.Fatalf("core %d (%s): co-run cycles %d below solo %d — contention cannot speed a core up",
+				i, r.Bench, r.CPU.Cycles, solo.CPU.Cycles)
+		}
+	}
+}
+
+// TestCoRunDeterminism: two identical co-runs agree exactly.
+func TestCoRunDeterminism(t *testing.T) {
+	opt := Options{Factor: workloads.Test, Attrib: true}
+	a, err := RunCoRun([]string{"mcf", "art", "equake"}, GRPAdaptive, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCoRun([]string{"mcf", "art", "equake"}, GRPAdaptive, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("co-run is not deterministic across identical invocations")
+	}
+}
+
+// TestCoRunPollutionAccounting: with the shared L2 squeezed small enough
+// that prefetch fills displace the co-runner's working set, pollution
+// shows up and balances: total caused equals total suffered, and the
+// same totals surface through the attribution annotation.
+func TestCoRunPollutionAccounting(t *testing.T) {
+	memCfg := sim.DefaultMemConfig()
+	memCfg.L2.SizeBytes = 8 << 10 // 8 KB shared L2: heavy capacity contention
+	opt := Options{Factor: workloads.Test, Mem: &memCfg, Attrib: true, CheckInvariants: true}
+	cr, err := RunCoRun([]string{"mcf", "art"}, GRPVar, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var caused, suffered, ledgerPoll uint64
+	for _, r := range cr.Results {
+		caused += r.CoRun.PollutionCaused
+		suffered += r.CoRun.PollutionSuffered
+		if r.Attrib != nil {
+			ledgerPoll += r.Attrib.CrossCorePollution
+		}
+	}
+	if caused == 0 {
+		t.Fatal("no cross-core pollution under an 8 KB shared L2 — accounting is dead")
+	}
+	if caused != suffered {
+		t.Fatalf("pollution caused %d != suffered %d", caused, suffered)
+	}
+	if ledgerPoll == 0 {
+		t.Fatal("attribution ledgers recorded no cross-core pollution")
+	}
+}
+
+// TestCoRunSlowdowns: ComputeSlowdowns fills per-core solo references;
+// slowdown is ≥ 1 by the non-speedup property.
+func TestCoRunSlowdowns(t *testing.T) {
+	opt := Options{Factor: workloads.Test}
+	cr, err := RunCoRun([]string{"mcf", "art"}, GRPVar, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cr.ComputeSlowdowns(opt); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range cr.Slowdown {
+		if cr.SoloCycles[i] == 0 || s < 1.0 {
+			t.Fatalf("core %d: slowdown %.3f (solo %d cycles) — want ≥ 1 with a real solo reference",
+				i, s, cr.SoloCycles[i])
+		}
+	}
+}
+
+// TestCoRunRejectsUnsupportedOptions: the single-core-only instruments
+// fail fast with a named error instead of silently misbehaving.
+func TestCoRunRejectsUnsupportedOptions(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Options
+		want string
+	}{
+		{"faults", Options{Factor: workloads.Test, Faults: &faults.Plan{Seed: 1, DelayFill: 1, DelayFillCycles: 4}}, "fault injection"},
+		{"metrics", Options{Factor: workloads.Test, Metrics: true}, "telemetry"},
+		{"legacy", Options{Factor: workloads.Test, LegacyEngine: true}, "legacy engine"},
+	}
+	for _, tc := range cases {
+		_, err := RunCoRun([]string{"mcf", "art"}, GRPVar, tc.opt)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestCoRunEmpty documents the degenerate-input contract.
+func TestCoRunEmpty(t *testing.T) {
+	if _, err := RunCoRun(nil, GRPVar, Options{Factor: workloads.Test}); err == nil {
+		t.Fatal("RunCoRun(nil benches) succeeded")
+	}
+}

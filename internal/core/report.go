@@ -52,6 +52,35 @@ func FprintCompare(w io.Writer, r, base *Result) {
 	fmt.Fprintf(w, "  coverage         %.1f%%\n", Coverage(r, base))
 }
 
+// FprintCoRun writes the co-run report: one row per core — commit
+// progress, shared-L2 pollution it caused and suffered, and (when
+// ComputeSlowdowns ran) its solo cycle count and slowdown factor — then
+// the shared-fabric aggregates.
+func FprintCoRun(w io.Writer, cr *CoRunResult) {
+	n := len(cr.Results)
+	fmt.Fprintf(w, "co-run: %d cores on one shared L2+DRAM, scheme %s\n", n, cr.Results[0].Scheme)
+	t := &stats.Table{
+		Title: "Per-core view",
+		Headers: []string{"core", "bench", "instrs", "cycles", "ipc",
+			"solo cycles", "slowdown", "pol.caused", "pol.suffered"},
+	}
+	for i, r := range cr.Results {
+		soloCycles, slowdown := "-", "-"
+		if len(cr.SoloCycles) == n && cr.SoloCycles[i] > 0 {
+			soloCycles = fmt.Sprint(cr.SoloCycles[i])
+			slowdown = stats.Fmt(cr.Slowdown[i], 3)
+		}
+		t.Add(fmt.Sprint(i), r.Bench, fmt.Sprint(r.CPU.Instrs), fmt.Sprint(r.CPU.Cycles),
+			stats.Fmt(r.IPC(), 3), soloCycles, slowdown,
+			fmt.Sprint(r.CoRun.PollutionCaused), fmt.Sprint(r.CoRun.PollutionSuffered))
+	}
+	fmt.Fprint(w, t.String())
+	l2 := cr.Results[0].L2
+	fmt.Fprintf(w, "shared L2: %d accesses, %.1f%% miss\n", l2.Accesses, l2.MissRate())
+	fmt.Fprintf(w, "aggregate DRAM traffic: %d bytes (%d blocks)\n",
+		cr.AggTrafficBytes, cr.AggTrafficBytes/64)
+}
+
 // FprintLatencies writes demand- and prefetch-latency percentiles from a
 // telemetry snapshot; it is a no-op when snap is nil or the histograms
 // are absent or empty.

@@ -324,71 +324,136 @@ func New(cfg Config, m *mem.Memory, msys MemoryTiming) (*Core, error) {
 	return c, nil
 }
 
+// pendStore is a recent store kept for load forwarding: block address,
+// size, data-ready cycle, and the cycle it leaves the store buffer.
+type pendStore struct {
+	addr   uint64
+	size   int
+	ready  uint64
+	commit uint64
+}
+
+// Thread is an in-flight run that advances one committed instruction per
+// Step call. It holds all scheduler state Run used to keep on its stack,
+// so a co-run driver can interleave several threads over one shared
+// memory system; a Thread stepped to completion is cycle-identical to
+// Run on the same program.
+type Thread struct {
+	c   *Core
+	p   *isa.Program
+	res Result
+
+	regReady  [isa.NumRegs]uint64
+	robCommit []uint64 // commit cycle by ROB slot
+
+	issueSlots *slotTable
+	memSlots   *slotTable
+
+	fetchCycle        uint64
+	fetchedThisCycle  int
+	lastCommitCycle   uint64
+	commitsThisCycle  int
+	storeAddrReadyMax uint64 // all older stores' addresses known by here
+
+	recentStores []pendStore
+
+	pc     int
+	budget uint64
+	i      uint64
+	done   bool
+}
+
+// Done reports whether the thread has halted, exhausted its budget, or
+// failed; Step is a no-op afterwards.
+func (t *Thread) Done() bool { return t.done }
+
+// Result returns the (possibly partial) run summary accumulated so far.
+func (t *Thread) Result() Result { return t.res }
+
+// LastCommitCycle returns the cycle the most recent instruction
+// committed at — the thread's notion of local time, used by a co-run
+// driver to step the core that is furthest behind.
+func (t *Thread) LastCommitCycle() uint64 { return t.lastCommitCycle }
+
+// Start validates the program and returns a Thread positioned before its
+// first instruction. The core's functional state (registers, predictor)
+// is shared with the thread, matching Run's semantics.
+func (c *Core) Start(p *isa.Program) (*Thread, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Thread{
+		c:          c,
+		p:          p,
+		robCommit:  make([]uint64, c.cfg.ROBSize),
+		issueSlots: newSlotTable(c.cfg.IssueWidth, c.cfg.LegacyScheduler),
+		memSlots:   newSlotTable(c.cfg.MemPorts, c.cfg.LegacyScheduler),
+		fetchCycle: 1,
+	}
+	t.budget = c.cfg.MaxInstrs
+	if t.budget == 0 {
+		t.budget = 1 << 62
+	}
+	return t, nil
+}
+
 // Run executes the program to HALT or the instruction budget and returns
 // timing results. It returns an error for malformed programs or runaway
 // execution without a budget.
 func (c *Core) Run(p *isa.Program) (Result, error) {
-	if err := p.Validate(); err != nil {
+	t, err := c.Start(p)
+	if err != nil {
 		return Result{}, err
 	}
-	var res Result
-
-	var regReady [isa.NumRegs]uint64
-	robCommit := make([]uint64, c.cfg.ROBSize) // commit cycle by ROB slot
-
-	issueSlots := newSlotTable(c.cfg.IssueWidth, c.cfg.LegacyScheduler)
-	memSlots := newSlotTable(c.cfg.MemPorts, c.cfg.LegacyScheduler)
-
-	var fetchCycle uint64 = 1
-	fetchedThisCycle := 0
-	var lastCommitCycle uint64
-	commitsThisCycle := 0
-	var storeAddrReadyMax uint64 // all older stores' addresses known by here
-
-	// Recent stores for load forwarding: block address -> data-ready cycle.
-	type pendStore struct {
-		addr   uint64
-		size   int
-		ready  uint64
-		commit uint64
+	for !t.Done() {
+		if err := t.Step(); err != nil {
+			return t.res, err
+		}
 	}
-	var recentStores []pendStore
+	return t.res, nil
+}
 
-	pc := 0
-	budget := c.cfg.MaxInstrs
-	if budget == 0 {
-		budget = 1 << 62
+// Step fetches, executes, schedules and commits exactly one instruction.
+// A Step on a finished thread is a no-op. On error the thread is marked
+// done and the partial result stays readable via Result.
+func (t *Thread) Step() error {
+	if t.done {
+		return nil
 	}
-
-	cancel := c.cfg.Cancel
-	for i := uint64(0); i < budget; i++ {
+	c := t.c
+	p := t.p
+	i := t.i
+	{
 		// A masked countdown keeps the cancellation poll off the per-
 		// instruction hot path; 4096 instructions of slack is microseconds
 		// of wall time.
-		if cancel != nil && i&4095 == 4095 {
+		if cancel := c.cfg.Cancel; cancel != nil && i&4095 == 4095 {
 			if err := cancel(); err != nil {
-				return res, fmt.Errorf("cpu: %s: run cancelled: %w", p.Name, err)
+				t.done = true
+				return fmt.Errorf("cpu: %s: run cancelled: %w", p.Name, err)
 			}
 		}
+		pc := t.pc
 		if pc < 0 || pc >= len(p.Instrs) {
-			return res, fmt.Errorf("cpu: %s: pc %d out of range", p.Name, pc)
+			t.done = true
+			return fmt.Errorf("cpu: %s: pc %d out of range", p.Name, pc)
 		}
 		in := p.Instrs[pc]
 
 		// --- Fetch slot ---
-		if fetchedThisCycle >= c.cfg.FetchWidth {
-			fetchCycle++
-			fetchedThisCycle = 0
+		if t.fetchedThisCycle >= c.cfg.FetchWidth {
+			t.fetchCycle++
+			t.fetchedThisCycle = 0
 		}
-		fetchAt := fetchCycle
+		fetchAt := t.fetchCycle
 		// ROB space: the slot we are about to reuse must have committed.
 		slot := int(i) % c.cfg.ROBSize
-		if robCommit[slot] > fetchAt {
-			fetchAt = robCommit[slot]
-			fetchCycle = fetchAt
-			fetchedThisCycle = 0
+		if t.robCommit[slot] > fetchAt {
+			fetchAt = t.robCommit[slot]
+			t.fetchCycle = fetchAt
+			t.fetchedThisCycle = 0
 		}
-		fetchedThisCycle++
+		t.fetchedThisCycle++
 
 		// --- Functional execute (oracle path) ---
 		a, b := in.Uses()
@@ -474,11 +539,11 @@ func (c *Core) Run(p *isa.Program) (Result, error) {
 
 		// --- Schedule: ready, issue, complete ---
 		readyAt := fetchAt + 1 // decode/rename
-		if regReady[a] > readyAt {
-			readyAt = regReady[a]
+		if t.regReady[a] > readyAt {
+			readyAt = t.regReady[a]
 		}
-		if regReady[b] > readyAt {
-			readyAt = regReady[b]
+		if t.regReady[b] > readyAt {
+			readyAt = t.regReady[b]
 		}
 		var doneAt uint64
 		ipc := uint64(pc) // instruction address for the stride table
@@ -488,21 +553,21 @@ func (c *Core) Run(p *isa.Program) (Result, error) {
 			// A software prefetch consumes an issue slot and a memory
 			// port like a load — its runtime overhead is the point of the
 			// comparison — but binds no register and never stalls.
-			issueAt := issueSlots.reserveWith(readyAt, fetchCycle, memSlots)
+			issueAt := t.issueSlots.reserveWith(readyAt, t.fetchCycle, t.memSlots)
 			c.msys.SoftwarePrefetch(addr, issueAt)
 			doneAt = issueAt + 1
 		case in.IsLoad():
-			res.Loads++
+			t.res.Loads++
 			// Conservative disambiguation: wait for all older stores'
 			// addresses.
-			if storeAddrReadyMax > readyAt {
-				readyAt = storeAddrReadyMax
+			if t.storeAddrReadyMax > readyAt {
+				readyAt = t.storeAddrReadyMax
 			}
-			issueAt := issueSlots.reserveWith(readyAt, fetchCycle, memSlots)
+			issueAt := t.issueSlots.reserveWith(readyAt, t.fetchCycle, t.memSlots)
 			// Forward from an in-flight older store to the same address.
 			forwarded := false
-			for j := len(recentStores) - 1; j >= 0; j-- {
-				st := recentStores[j]
+			for j := len(t.recentStores) - 1; j >= 0; j-- {
+				st := t.recentStores[j]
 				if st.commit <= issueAt {
 					continue
 				}
@@ -520,44 +585,44 @@ func (c *Core) Run(p *isa.Program) (Result, error) {
 				doneAt = c.msys.Load(ipc, addr, in.Hint, in.Coeff, issueAt)
 			}
 		case in.IsStore():
-			res.Stores++
-			issueAt := issueSlots.reserveWith(readyAt, fetchCycle, memSlots)
+			t.res.Stores++
+			issueAt := t.issueSlots.reserveWith(readyAt, t.fetchCycle, t.memSlots)
 			// The store enters the store buffer; the cache access happens
 			// in the background and does not block commit.
 			c.msys.Store(ipc, addr, issueAt)
 			doneAt = issueAt + 1
-			if readyAt > storeAddrReadyMax {
-				storeAddrReadyMax = readyAt
+			if readyAt > t.storeAddrReadyMax {
+				t.storeAddrReadyMax = readyAt
 			}
-			recentStores = append(recentStores, pendStore{
+			t.recentStores = append(t.recentStores, pendStore{
 				addr: addr, size: in.MemSize(), ready: doneAt, commit: doneAt + 2,
 			})
-			if len(recentStores) > c.cfg.ROBSize {
-				recentStores = recentStores[len(recentStores)-c.cfg.ROBSize:]
+			if len(t.recentStores) > c.cfg.ROBSize {
+				t.recentStores = t.recentStores[len(t.recentStores)-c.cfg.ROBSize:]
 			}
 		default:
-			issueAt := issueSlots.reserveWith(readyAt, fetchCycle, nil)
+			issueAt := t.issueSlots.reserveWith(readyAt, t.fetchCycle, nil)
 			doneAt = issueAt + opLatency(in.Op)
 		}
 
 		// --- Writeback ---
 		if d := in.Defines(); d != 0 {
-			regReady[d] = doneAt
+			t.regReady[d] = doneAt
 			c.regs[d] = value
 		}
 
 		// --- Branch resolution ---
 		if in.IsBranch() {
-			res.Branches++
+			t.res.Branches++
 			if in.IsConditional() {
 				idx := pc & (len(c.predict) - 1)
 				predTaken := c.predict[idx] >= 2
 				if predTaken != taken {
-					res.Mispredicts++
+					t.res.Mispredicts++
 					// Fetch resumes after the branch resolves.
-					if doneAt+c.cfg.BranchPenalty > fetchCycle {
-						fetchCycle = doneAt + c.cfg.BranchPenalty
-						fetchedThisCycle = 0
+					if doneAt+c.cfg.BranchPenalty > t.fetchCycle {
+						t.fetchCycle = doneAt + c.cfg.BranchPenalty
+						t.fetchedThisCycle = 0
 					}
 				}
 				if taken && c.predict[idx] < 3 {
@@ -570,17 +635,17 @@ func (c *Core) Run(p *isa.Program) (Result, error) {
 
 		// --- Commit (in order) ---
 		cAt := doneAt + 1
-		if cAt < lastCommitCycle {
-			cAt = lastCommitCycle
+		if cAt < t.lastCommitCycle {
+			cAt = t.lastCommitCycle
 		}
-		if cAt == lastCommitCycle && commitsThisCycle >= c.cfg.CommitWidth {
+		if cAt == t.lastCommitCycle && t.commitsThisCycle >= c.cfg.CommitWidth {
 			cAt++
 		}
-		if cAt > lastCommitCycle {
-			lastCommitCycle = cAt
-			commitsThisCycle = 0
+		if cAt > t.lastCommitCycle {
+			t.lastCommitCycle = cAt
+			t.commitsThisCycle = 0
 		}
-		commitsThisCycle++
+		t.commitsThisCycle++
 		if c.monitor != nil {
 			// Check precedes the retirement note: an instruction whose
 			// completion cycle leapt past the stall threshold must trip the
@@ -588,29 +653,34 @@ func (c *Core) Run(p *isa.Program) (Result, error) {
 			c.monitor.CheckProgress(cAt)
 			c.monitor.NoteRetire(cAt)
 		}
-		robCommit[slot] = cAt
-		res.Instrs++
-		res.Cycles = cAt
-		c.progInstrs = res.Instrs
+		t.robCommit[slot] = cAt
+		t.res.Instrs++
+		t.res.Cycles = cAt
+		c.progInstrs = t.res.Instrs
 		c.progCycles = cAt
 
 		if i%(1<<16) == 0 {
-			issueSlots.pruneBelow(fetchCycle)
-			memSlots.pruneBelow(fetchCycle)
+			t.issueSlots.pruneBelow(t.fetchCycle)
+			t.memSlots.pruneBelow(t.fetchCycle)
 		}
 
 		// --- Next PC ---
 		if in.Op == isa.OpHalt {
-			res.Halted = true
-			break
+			t.res.Halted = true
+			t.done = true
+			return nil
 		}
 		if in.IsBranch() && taken {
-			pc = in.Target
+			t.pc = in.Target
 		} else {
-			pc++
+			t.pc = pc + 1
 		}
 	}
-	return res, nil
+	t.i++
+	if t.i >= t.budget {
+		t.done = true
+	}
+	return nil
 }
 
 // Regs returns the architectural register file after Run (for tests).
